@@ -1,0 +1,150 @@
+// Ablation study (ours; the paper reports only the full heuristic): the
+// contribution of each ingredient of the BIST-aware binder —
+//   (a) SD/MCS-structured PVES selection        (Section III.A.1)
+//   (b) the ΔSD register-choice rule            (Section III.A.2)
+//   (c) the Case 1 / Case 2 overrides           (Section III.A.2)
+//   (d) Lemma-2 CBILBO avoidance                (Section III.B)
+//   (e) SD weighting of IR^LR promotion          (Section IV)
+// measured on the five paper benchmarks and on a pool of random DFGs.
+//
+// Timing benchmark: the full binder vs the stripped binder.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/synthesizer.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/random_dfg.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lbist;
+
+struct Variant {
+  const char* label;
+  SynthesisOptions opts;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  auto base = [] {
+    SynthesisOptions o;
+    o.binder = BinderKind::BistAware;
+    return o;
+  };
+  {
+    Variant v{"full heuristic", base()};
+    out.push_back(v);
+  }
+  {
+    Variant v{"- SD-ordered PVES", base()};
+    v.opts.bist_binder.sd_ordered_pves = false;
+    out.push_back(v);
+  }
+  {
+    Variant v{"- dSD rule", base()};
+    v.opts.bist_binder.delta_sd_rule = false;
+    out.push_back(v);
+  }
+  {
+    Variant v{"- case overrides", base()};
+    v.opts.bist_binder.case_overrides = false;
+    out.push_back(v);
+  }
+  {
+    Variant v{"- CBILBO avoidance", base()};
+    v.opts.bist_binder.avoid_cbilbo = false;
+    out.push_back(v);
+  }
+  {
+    Variant v{"- SD mux weighting", base()};
+    v.opts.interconnect.weight_by_sd = false;
+    out.push_back(v);
+  }
+  {
+    Variant v{"clique-partition binder", base()};
+    v.opts.binder = BinderKind::CliquePartition;
+    out.push_back(v);
+  }
+  {
+    Variant v{"everything off", base()};
+    v.opts.bist_binder = BistBinderOptions{false, false, false, false};
+    v.opts.interconnect.weight_by_sd = false;
+    out.push_back(v);
+  }
+  return out;
+}
+
+void print_ablation() {
+  auto benches = paper_benchmarks();
+  TextTable t({"variant", "ex1", "ex2", "Tseng1", "Tseng2", "Paulin",
+               "random x20", "CBILBOs(paper5)"});
+  t.set_title("Ablation — % BIST area overhead per binder variant");
+
+  for (const Variant& v : variants()) {
+    std::vector<std::string> row{v.label};
+    int cbilbos = 0;
+    for (const auto& bench : benches) {
+      auto result = Synthesizer(v.opts).run(
+          bench.design.dfg, *bench.design.schedule,
+          parse_module_spec(bench.module_spec));
+      row.push_back(fmt_double(result.overhead_percent));
+      cbilbos += result.bist.counts().cbilbo;
+    }
+    double random_total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      RandomDfgOptions ropts;
+      ropts.seed = seed;
+      ropts.kinds = {OpKind::Add, OpKind::Mul, OpKind::And};
+      auto rd = make_random_dfg(ropts);
+      auto result = Synthesizer(v.opts).run(
+          rd.dfg, rd.schedule, minimal_module_spec(rd.dfg, rd.schedule));
+      random_total += result.overhead_percent;
+    }
+    row.push_back(fmt_double(random_total / 20.0));
+    row.push_back(std::to_string(cbilbos));
+    t.add_row(std::move(row));
+  }
+  std::cout << t << std::endl;
+}
+
+void BM_FullBinder(benchmark::State& state) {
+  auto bench = make_tseng1();
+  const auto protos = parse_module_spec(bench.module_spec);
+  SynthesisOptions opts;
+  opts.binder = BinderKind::BistAware;
+  Synthesizer synth(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth.run(bench.design.dfg, *bench.design.schedule, protos)
+            .overhead_percent);
+  }
+}
+BENCHMARK(BM_FullBinder);
+
+void BM_StrippedBinder(benchmark::State& state) {
+  auto bench = make_tseng1();
+  const auto protos = parse_module_spec(bench.module_spec);
+  SynthesisOptions opts;
+  opts.binder = BinderKind::BistAware;
+  opts.bist_binder = BistBinderOptions{false, false, false, false};
+  Synthesizer synth(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth.run(bench.design.dfg, *bench.design.schedule, protos)
+            .overhead_percent);
+  }
+}
+BENCHMARK(BM_StrippedBinder);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

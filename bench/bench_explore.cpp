@@ -1,0 +1,77 @@
+// Design-space exploration sweep (extension): area/testability tradeoffs
+// across resource budgets and binder styles on the filter benchmarks —
+// the "efficient exploration of the design space" the paper's introduction
+// motivates, measured.
+//
+// Timing benchmark: one full sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/explorer.hpp"
+#include "dfg/benchmarks.hpp"
+
+namespace {
+
+using namespace lbist;
+
+void print_sweeps() {
+  {
+    Dfg fir = make_fir(8);
+    std::vector<ResourceLimits> budgets = {
+        {{OpKind::Mul, 1}, {OpKind::Add, 1}},
+        {{OpKind::Mul, 2}, {OpKind::Add, 1}},
+        {{OpKind::Mul, 2}, {OpKind::Add, 2}},
+        {{OpKind::Mul, 4}, {OpKind::Add, 2}},
+    };
+    auto points = explore_resource_budgets(fir, budgets);
+    std::cout << "FIR8 — resource-budget sweep\n"
+              << describe_points(points) << "\n";
+  }
+  {
+    Dfg biquad = make_biquad_cascade(2);
+    std::vector<ResourceLimits> budgets = {
+        {{OpKind::Mul, 1}, {OpKind::Add, 1}, {OpKind::Sub, 1}},
+        {{OpKind::Mul, 2}, {OpKind::Add, 2}, {OpKind::Sub, 1}},
+        {{OpKind::Mul, 5}, {OpKind::Add, 3}, {OpKind::Sub, 1}},
+    };
+    auto points = explore_resource_budgets(biquad, budgets);
+    std::cout << "Biquad x2 — resource-budget sweep\n"
+              << describe_points(points) << "\n";
+  }
+  {
+    // Fixed schedule, alternative module assignments (the Tseng1 vs Tseng2
+    // experiment generalized).
+    auto bench = make_tseng1();
+    auto points = explore_module_specs(
+        bench.design.dfg, *bench.design.schedule,
+        {"2+,1*,1-,1&,1|,1/", "1+,3[-*/&|]", "1+,1[-|*],1[&/]",
+         "3[+-|],2[*&/]"});
+    std::cout << "Tseng — module-assignment sweep\n"
+              << describe_points(points) << "\n";
+  }
+}
+
+void BM_ExploreFir(benchmark::State& state) {
+  Dfg fir = make_fir(8);
+  std::vector<ResourceLimits> budgets = {
+      {{OpKind::Mul, 1}, {OpKind::Add, 1}},
+      {{OpKind::Mul, 2}, {OpKind::Add, 2}},
+  };
+  for (auto _ : state) {
+    auto points = explore_resource_budgets(fir, budgets);
+    benchmark::DoNotOptimize(points.size());
+  }
+}
+BENCHMARK(BM_ExploreFir);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweeps();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fault-coverage study (ours; backs the paper's Section II premises):
+//   * coverage vs pattern count for each functional-unit type under the
+//     allocated BIST configuration (maximal-length LFSR TPGs + MISR SA),
+//   * the independent-vs-correlated TPG experiment — the quantitative
+//     reason an embedding needs two *distinct* TPG registers,
+//   * the full test plan (sessions, clocks, coverage) for every paper
+//     benchmark's testable data path.
+//
+// Timing benchmark: fault simulation cost per module type.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bist/fault_sim.hpp"
+#include "bist/test_plan.hpp"
+#include "core/compare.hpp"
+#include "dfg/benchmarks.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lbist;
+
+constexpr int kWidth = 8;
+
+void print_coverage_curves() {
+  TextTable t({"module", "8 pat", "32 pat", "128 pat", "512 pat",
+               "512 pat, 1 TPG"});
+  t.set_title("Fault coverage (%) vs pattern count — stuck-at port faults");
+  const std::pair<const char*, ModuleProto> units[] = {
+      {"adder", ModuleProto{{OpKind::Add}}},
+      {"subtractor", ModuleProto{{OpKind::Sub}}},
+      {"multiplier", ModuleProto{{OpKind::Mul}}},
+      {"divider", ModuleProto{{OpKind::Div}}},
+      {"comparator", ModuleProto{{OpKind::Lt}}},
+      {"ALU [-*/&|]", ModuleProto{{OpKind::Sub, OpKind::Mul, OpKind::Div,
+                                   OpKind::And, OpKind::Or}}},
+  };
+  for (const auto& [label, proto] : units) {
+    std::vector<std::string> row{label};
+    for (int patterns : {8, 32, 128, 512}) {
+      row.push_back(fmt_double(
+          100.0 * simulate_module_bist(proto, kWidth, patterns).coverage(),
+          1));
+    }
+    row.push_back(fmt_double(
+        100.0 *
+            simulate_module_bist(proto, kWidth, 512, /*independent=*/false)
+                .coverage(),
+        1));
+    t.add_row(std::move(row));
+  }
+  std::cout << t << std::endl;
+}
+
+void print_test_plans() {
+  TextTable t({"DFG", "sessions", "clocks", "min coverage %",
+               "avg coverage %"});
+  t.set_title("Test plans for the testable (BIST-aware) data paths");
+  for (const auto& row : compare_paper_benchmarks()) {
+    TestPlan plan =
+        build_test_plan(row.testable.datapath, row.testable.bist, 250,
+                        kWidth);
+    t.add_row({row.name, std::to_string(plan.num_sessions),
+               std::to_string(plan.total_clocks),
+               fmt_double(100.0 * plan.min_coverage, 1),
+               fmt_double(100.0 * plan.avg_coverage, 1)});
+  }
+  std::cout << t << std::endl;
+}
+
+void BM_FaultSimulateModule(benchmark::State& state) {
+  const ModuleProto protos[] = {
+      ModuleProto{{OpKind::Add}}, ModuleProto{{OpKind::Mul}},
+      ModuleProto{{OpKind::Div}},
+      ModuleProto{{OpKind::Add, OpKind::Sub, OpKind::And}}};
+  const char* labels[] = {"add", "mul", "div", "alu3"};
+  const auto& proto = protos[state.range(0)];
+  for (auto _ : state) {
+    auto result = simulate_module_bist(proto, kWidth, 250);
+    benchmark::DoNotOptimize(result.detected);
+  }
+  state.SetLabel(labels[state.range(0)]);
+}
+BENCHMARK(BM_FaultSimulateModule)->DenseRange(0, 3);
+
+void BM_BuildTestPlan(benchmark::State& state) {
+  auto row = compare_benchmark(make_paulin());
+  for (auto _ : state) {
+    auto plan = build_test_plan(row.testable.datapath, row.testable.bist,
+                                250, kWidth);
+    benchmark::DoNotOptimize(plan.avg_coverage);
+  }
+}
+BENCHMARK(BM_BuildTestPlan);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_coverage_curves();
+  print_test_plans();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Reproduces Fig. 6 of the paper: the five typical situations when two
+// variables are merged into one register, and the effect of each merge on
+// multiplexer count and on BIST resources.  For every case we build the
+// data path twice — with the pair merged and with the pair split into
+// separate registers — and report the deltas.
+//
+//   case 1: different source modules, different destination modules
+//   case 2: source module of one is the destination module of the other
+//   case 3: one common destination module, different sources
+//   case 4: one common source module, different destinations
+//   case 5: common source module and common destination module
+//
+// Timing benchmark: datapath construction on the case designs.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "binding/module_binding.hpp"
+#include "bist/allocator.hpp"
+#include "dfg/lifetime.hpp"
+#include "dfg/parse.hpp"
+#include "graph/conflict.hpp"
+#include "interconnect/build_datapath.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lbist;
+
+struct Case {
+  const char* label;
+  const char* dfg_text;
+  const char* spec;
+  const char* u;
+  const char* v;
+};
+
+const Case kCases[] = {
+    {"1: diff src, diff dst",
+     R"(dfg case1
+input a b c d e
+op add1 + a b -> u @1
+op mul1 * u c -> w @2
+op mul2 * w d -> v @3
+op and1 & v e -> z @4
+output z
+)",
+     "1+,2*,1&", "u", "v"},
+    {"2: src of one = dst of other",
+     R"(dfg case2
+input a b c d e
+op add1 + a b -> u @1
+op mul1 * u c -> w @2
+op mul2 * w d -> v @3
+op and1 & v e -> z @4
+output z
+)",
+     "1+,1*,1&", "u", "v"},
+    {"3: common dst, diff src",
+     R"(dfg case3
+input a b c d e f
+op add1 + a b -> u @1
+op mul1 * u c -> w @2
+op sub1 - d e -> v @2
+op mul2 * v f -> z @3
+output w z
+)",
+     "1+,1*,1-", "u", "v"},
+    {"4: common src, diff dst",
+     R"(dfg case4
+input a b c d
+op add1 + a b -> u @1
+op mul1 * u c -> w @2
+op add2 + w d -> v @3
+op sub1 - v d -> z @4
+output z
+)",
+     "1+,1*,1-", "u", "v"},
+    {"5: common src and dst",
+     R"(dfg case5
+input a b c d
+op add1 + a b -> u @1
+op mul1 * u c -> w @2
+op add2 + w d -> v @3
+op mul2 * v d -> z @4
+output z
+)",
+     "1+,1*", "u", "v"},
+};
+
+/// First-fit binding with the pair (u, v) pre-seeded either merged into one
+/// register or split across two.
+RegisterBinding bind_with_pair(const Dfg& dfg,
+                               const IdMap<VarId, LiveInterval>& lt,
+                               VarId u, VarId v, bool merged) {
+  RegisterBinding rb;
+  rb.reg_of.assign(dfg.num_vars(), RegId::invalid());
+  rb.regs.push_back({u});
+  rb.reg_of[u] = RegId{0};
+  if (merged) {
+    rb.regs[0].push_back(v);
+    rb.reg_of[v] = RegId{0};
+  } else {
+    rb.regs.push_back({v});
+    rb.reg_of[v] = RegId{1};
+  }
+  for (const auto& var : dfg.vars()) {
+    if (!var.allocatable() || rb.reg_of[var.id].valid()) continue;
+    std::size_t r = 0;
+    for (; r < rb.regs.size(); ++r) {
+      bool ok = true;
+      for (VarId member : rb.regs[r]) {
+        if (lt[member].overlaps(lt[var.id])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) break;
+    }
+    if (r == rb.regs.size()) rb.regs.emplace_back();
+    rb.regs[r].push_back(var.id);
+    rb.reg_of[var.id] = RegId{static_cast<RegId::value_type>(r)};
+  }
+  return rb;
+}
+
+void print_fig6() {
+  TextTable t({"merge case", "#Mux split", "#Mux merged", "dMux",
+               "BIST extra split", "BIST extra merged", "dBIST"});
+  t.set_title(
+      "Fig. 6 — effect of merging two variables on muxes and BIST "
+      "resources");
+  AreaModel model;
+  BistAllocator alloc(model);
+
+  for (const Case& c : kCases) {
+    auto parsed = parse_dfg(c.dfg_text);
+    const Dfg& dfg = parsed.dfg;
+    auto lt = compute_lifetimes(dfg, *parsed.schedule);
+    auto mb = ModuleBinding::bind(dfg, *parsed.schedule,
+                                  parse_module_spec(c.spec));
+    const VarId u = *dfg.find_var(c.u);
+    const VarId v = *dfg.find_var(c.v);
+
+    auto rb_split = bind_with_pair(dfg, lt, u, v, /*merged=*/false);
+    auto rb_merged = bind_with_pair(dfg, lt, u, v, /*merged=*/true);
+    rb_split.validate(dfg, lt);
+    rb_merged.validate(dfg, lt);
+
+    auto dp_split = build_datapath(dfg, mb, rb_split);
+    auto dp_merged = build_datapath(dfg, mb, rb_merged);
+    auto bist_split = alloc.solve(dp_split);
+    auto bist_merged = alloc.solve(dp_merged);
+
+    t.add_row({c.label, std::to_string(dp_split.mux_count()),
+               std::to_string(dp_merged.mux_count()),
+               std::to_string(dp_merged.mux_count() - dp_split.mux_count()),
+               fmt_double(bist_split.extra_area, 0),
+               fmt_double(bist_merged.extra_area, 0),
+               fmt_double(bist_merged.extra_area - bist_split.extra_area,
+                          0)});
+  }
+  std::cout << t << std::endl;
+}
+
+void BM_BuildCaseDatapath(benchmark::State& state) {
+  const Case& c = kCases[static_cast<std::size_t>(state.range(0))];
+  auto parsed = parse_dfg(c.dfg_text);
+  auto lt = compute_lifetimes(parsed.dfg, *parsed.schedule);
+  auto mb = ModuleBinding::bind(parsed.dfg, *parsed.schedule,
+                                parse_module_spec(c.spec));
+  const VarId u = *parsed.dfg.find_var(c.u);
+  const VarId v = *parsed.dfg.find_var(c.v);
+  auto rb = bind_with_pair(parsed.dfg, lt, u, v, true);
+  for (auto _ : state) {
+    auto dp = build_datapath(parsed.dfg, mb, rb);
+    benchmark::DoNotOptimize(dp.mux_count());
+  }
+  state.SetLabel(c.label);
+}
+BENCHMARK(BM_BuildCaseDatapath)->DenseRange(0, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

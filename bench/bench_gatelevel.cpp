@@ -1,0 +1,116 @@
+// Gate-level validation study (ours): the paper assumes BIST quality is
+// independent of the modules' gate-level implementation, and our area model
+// assumes linear adders and quadratic multipliers.  This harness checks
+// both against real ripple/array netlists:
+//   * gate counts vs the area-model constants,
+//   * internal stuck-at coverage under the allocated BIST configuration
+//     (LFSR pair + MISR) vs the port-fault model,
+//   * the correlated-TPG penalty at gate level.
+//
+// Timing benchmark: 64-way parallel gate fault simulation.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "bist/area_model.hpp"
+#include "bist/fault_sim.hpp"
+#include "core/compare.hpp"
+#include "gates/gate_fault_sim.hpp"
+#include "gates/gate_selftest.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lbist;
+
+constexpr int kWidth = 8;
+
+void print_gate_study() {
+  TextTable t({"module", "gates", "area model", "port-fault cov %",
+               "gate-fault cov %", "gate cov, 1 TPG %"});
+  t.set_title(
+      "Gate-level validation (width 8, 255 patterns; area model at width "
+      "8)");
+  AreaModel model;
+  model.bit_width = kWidth;
+
+  const std::pair<const char*, OpKind> units[] = {
+      {"adder", OpKind::Add},       {"subtractor", OpKind::Sub},
+      {"multiplier", OpKind::Mul},  {"and", OpKind::And},
+      {"xor", OpKind::Xor},         {"comparator <", OpKind::Lt},
+  };
+  for (const auto& [label, kind] : units) {
+    ModuleNetlist m = build_module(kind, kWidth);
+    const auto port = simulate_module_bist(ModuleProto{{kind}}, kWidth, 255);
+    const auto gate = simulate_gate_bist(m, 255);
+    const auto corr = simulate_gate_bist(m, 255, /*independent=*/false);
+    t.add_row({label, std::to_string(m.netlist.gate_count()),
+               fmt_double(model.module_area(ModuleProto{{kind}}), 0),
+               fmt_double(100.0 * port.coverage(), 1),
+               fmt_double(100.0 * gate.coverage(), 1),
+               fmt_double(100.0 * corr.coverage(), 1)});
+  }
+  std::cout << t;
+  std::cout << "(gate counts confirm the model's shape: linear adders, "
+               "quadratic multipliers)\n"
+            << std::endl;
+}
+
+void print_plan_gate_coverage() {
+  TextTable t({"DFG", "gate faults", "detected", "coverage %",
+               "port-model coverage %"});
+  t.set_title(
+      "Allocated plans graded at gate level (chip TPG seeds, 250 patterns)");
+  for (const auto& row : compare_paper_benchmarks()) {
+    auto gate = run_gate_self_test(row.testable.datapath, row.testable.bist,
+                                   250, kWidth);
+    // Port model for comparison.
+    int port_total = 0, port_detected = 0;
+    for (const auto& mod : row.testable.datapath.modules) {
+      auto r = simulate_module_bist(mod.proto, kWidth, 250);
+      port_total += r.total;
+      port_detected += r.detected;
+    }
+    t.add_row({row.name, std::to_string(gate.faults_injected),
+               std::to_string(gate.faults_detected),
+               fmt_double(100.0 * gate.coverage(), 1),
+               fmt_double(100.0 * port_detected /
+                              std::max(port_total, 1),
+                          1)});
+  }
+  std::cout << t << std::endl;
+}
+
+void BM_GateFaultSim(benchmark::State& state) {
+  const OpKind kinds[] = {OpKind::Add, OpKind::Mul};
+  ModuleNetlist m = build_module(kinds[state.range(0)], 8);
+  for (auto _ : state) {
+    auto r = simulate_gate_bist(m, 255);
+    benchmark::DoNotOptimize(r.detected);
+  }
+  state.SetLabel(state.range(0) == 0 ? "add8" : "mul8");
+}
+BENCHMARK(BM_GateFaultSim)->DenseRange(0, 1);
+
+void BM_ParallelEval(benchmark::State& state) {
+  ModuleNetlist m = build_multiplier(8);
+  std::vector<std::uint64_t> a(8, 0x123456789ABCDEFull);
+  std::vector<std::uint64_t> b(8, 0xFEDCBA987654321ull);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.eval(a, b));
+  }
+}
+BENCHMARK(BM_ParallelEval);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_gate_study();
+  print_plan_gate_coverage();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

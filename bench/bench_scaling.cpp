@@ -1,0 +1,117 @@
+// Scaling study (ours): BIST overhead reduction and runtime as the design
+// grows — random scheduled DFGs from ~10 to ~150 variables, plus FIR
+// filters of increasing tap count scheduled with the list scheduler.
+//
+// Timing benchmarks: the full testable pipeline vs design size.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "core/synthesizer.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/random_dfg.hpp"
+#include "sched/list_sched.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lbist;
+
+RandomDfgOptions size_opts(int steps, int width, std::uint64_t seed) {
+  RandomDfgOptions o;
+  o.seed = seed;
+  o.num_steps = steps;
+  o.ops_per_step = width;
+  o.num_inputs = width + 2;
+  o.kinds = {OpKind::Add, OpKind::Mul, OpKind::And, OpKind::Sub};
+  return o;
+}
+
+void print_scaling() {
+  TextTable t({"design", "#vars", "#regs", "#mux", "trad %BIST",
+               "ours %BIST", "reduction %", "ours runtime ms"});
+  t.set_title("Scaling — overhead reduction vs design size");
+
+  auto run_pair = [&](const std::string& label, const Dfg& dfg,
+                      const Schedule& sched) {
+    auto protos = minimal_module_spec(dfg, sched);
+    SynthesisOptions trad;
+    trad.binder = BinderKind::Traditional;
+    auto rt = Synthesizer(trad).run(dfg, sched, protos);
+
+    SynthesisOptions ours;
+    ours.binder = BinderKind::BistAware;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto ro = Synthesizer(ours).run(dfg, sched, protos);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    const double red =
+        rt.overhead_percent > 0
+            ? 100.0 * (rt.overhead_percent - ro.overhead_percent) /
+                  rt.overhead_percent
+            : 0.0;
+    t.add_row({label, std::to_string(dfg.num_vars()),
+               std::to_string(ro.num_registers()),
+               std::to_string(ro.num_mux()),
+               fmt_double(rt.overhead_percent),
+               fmt_double(ro.overhead_percent), fmt_double(red),
+               fmt_double(ms, 1)});
+  };
+
+  for (auto [steps, width] : {std::pair{4, 2}, {6, 3}, {8, 4}, {10, 5},
+                              {12, 6}}) {
+    auto rd = make_random_dfg(size_opts(steps, width, 7));
+    run_pair("random " + std::to_string(steps) + "x" + std::to_string(width),
+             rd.dfg, rd.schedule);
+  }
+  for (int taps : {4, 8, 16, 32}) {
+    Dfg fir = make_fir(taps);
+    Schedule sched =
+        list_schedule(fir, {{OpKind::Mul, 2}, {OpKind::Add, 2}});
+    run_pair("fir" + std::to_string(taps), fir, sched);
+  }
+  std::cout << t << std::endl;
+}
+
+void BM_PipelineVsSize(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  auto rd = make_random_dfg(size_opts(steps, 4, 7));
+  auto protos = minimal_module_spec(rd.dfg, rd.schedule);
+  SynthesisOptions opts;
+  opts.binder = BinderKind::BistAware;
+  Synthesizer synth(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth.run(rd.dfg, rd.schedule, protos).overhead_percent);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PipelineVsSize)->Arg(4)->Arg(8)->Arg(12)->Complexity();
+
+void BM_FirPipeline(benchmark::State& state) {
+  Dfg fir = make_fir(static_cast<int>(state.range(0)));
+  Schedule sched = list_schedule(fir, {{OpKind::Mul, 2}, {OpKind::Add, 2}});
+  auto protos = minimal_module_spec(fir, sched);
+  SynthesisOptions opts;
+  opts.binder = BinderKind::BistAware;
+  Synthesizer synth(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth.run(fir, sched, protos).overhead_percent);
+  }
+}
+BENCHMARK(BM_FirPipeline)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

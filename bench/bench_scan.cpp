@@ -1,0 +1,71 @@
+// BIST vs partial scan study (ours; the DFT alternative the paper's
+// introduction cites): for each benchmark's testable data path, the area
+// of the minimal BIST solution vs a minimum-feedback-vertex-set scan
+// chain, plus the S-graph statistics.  Scan is cheaper in silicon but
+// needs an external tester; BIST is autonomous — the numbers quantify the
+// gap the paper's approach narrows.
+//
+// Timing benchmark: exact MFVS on the benchmark S-graphs.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baselines/partial_scan.hpp"
+#include "core/compare.hpp"
+#include "dfg/benchmarks.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lbist;
+
+void print_scan_table() {
+  TextTable t({"DFG", "#regs", "S-graph edges", "self-adjacent",
+               "scan FFs", "scan extra", "scan %", "BIST extra",
+               "BIST %"});
+  t.set_title("Partial scan (MFVS) vs BIST on the testable data paths");
+  AreaModel model;
+  for (const auto& row : compare_paper_benchmarks()) {
+    const auto& dp = row.testable.datapath;
+    SGraph g = build_sgraph(dp);
+    std::size_t edges = 0;
+    for (const auto& adj : g.adjacency) edges += adj.size();
+    auto plan = plan_partial_scan(dp, model);
+    t.add_row({row.name, std::to_string(dp.registers.size()),
+               std::to_string(edges),
+               std::to_string(dp.self_adjacent_registers().size()),
+               std::to_string(plan.scanned.size()),
+               fmt_double(plan.extra_area, 0),
+               fmt_double(plan.overhead_percent(dp, model)),
+               fmt_double(row.testable.bist.extra_area, 0),
+               fmt_double(row.testable.overhead_percent)});
+  }
+  std::cout << t;
+  std::cout << "(scan assumes an external tester; BIST is autonomous — "
+               "the area gap is the price of self-test)\n"
+            << std::endl;
+}
+
+void BM_ExactMfvs(benchmark::State& state) {
+  auto rows = compare_paper_benchmarks();
+  const auto& dp =
+      rows[static_cast<std::size_t>(state.range(0))].testable.datapath;
+  SGraph g = build_sgraph(dp);
+  for (auto _ : state) {
+    auto fvs = minimum_feedback_vertex_set(g);
+    benchmark::DoNotOptimize(fvs.size());
+  }
+  state.SetLabel(rows[static_cast<std::size_t>(state.range(0))].name);
+}
+BENCHMARK(BM_ExactMfvs)->DenseRange(0, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scan_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

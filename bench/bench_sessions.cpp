@@ -1,0 +1,71 @@
+// Test-time study (ours): the area-minimal BIST solution is not unique —
+// among equal-area solutions, session counts (total test time) differ.
+// This harness compares the default allocator against the
+// minimize-sessions tie-break and against the transparency-extended space,
+// reporting area, sessions, and total test clocks per benchmark.
+//
+// Timing benchmark: allocation with session tie-breaking.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bist/allocator.hpp"
+#include "bist/sessions.hpp"
+#include "bist/test_plan.hpp"
+#include "core/compare.hpp"
+#include "dfg/benchmarks.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lbist;
+
+void print_sessions_table() {
+  TextTable t({"DFG", "extra", "sessions (area-only)",
+               "sessions (tie-break)", "clocks saved",
+               "sessions (+transp.)"});
+  t.set_title(
+      "Test time: session counts of area-minimal BIST solutions "
+      "(250-pattern sessions)");
+  for (const auto& row : compare_paper_benchmarks()) {
+    const Datapath& dp = row.testable.datapath;
+    BistAllocator plain{AreaModel{}};
+    BistAllocator tuned{AreaModel{}};
+    tuned.minimize_sessions = true;
+    BistAllocator transp{AreaModel{}};
+    transp.use_transparent_paths = true;
+    transp.minimize_sessions = true;
+
+    auto a = plain.solve(dp);
+    auto b = tuned.solve(dp);
+    auto c = transp.solve(dp);
+    const int sa = schedule_test_sessions(dp, a).num_sessions;
+    const int sb = schedule_test_sessions(dp, b).num_sessions;
+    const int sc = schedule_test_sessions(dp, c).num_sessions;
+    t.add_row({row.name, fmt_double(a.extra_area, 0), std::to_string(sa),
+               std::to_string(sb), std::to_string((sa - sb) * 250),
+               std::to_string(sc)});
+  }
+  std::cout << t << std::endl;
+}
+
+void BM_AllocWithSessionTieBreak(benchmark::State& state) {
+  auto row = compare_benchmark(make_tseng1());
+  BistAllocator alloc{AreaModel{}};
+  alloc.minimize_sessions = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.solve(row.testable.datapath).extra_area);
+  }
+}
+BENCHMARK(BM_AllocWithSessionTieBreak);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sessions_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

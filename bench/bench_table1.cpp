@@ -1,0 +1,103 @@
+// Reproduces Table I of the paper: per benchmark, the register count, mux
+// count and % BIST area overhead of the traditional-HLS and testable-HLS
+// data paths, plus the percentage reduction in BIST area.  The paper's
+// published numbers are printed alongside for comparison (absolute
+// percentages depend on the BITS register library we do not have; the
+// comparison *shape* is the reproduction target — see EXPERIMENTS.md).
+//
+// Also registers google-benchmark timings of the two synthesis pipelines.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/compare.hpp"
+#include "dfg/benchmarks.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  int regs, trad_mux;
+  double trad_area;
+  int test_mux;
+  double test_area, reduction;
+};
+// The published Table I.
+constexpr PaperRow kPaper[] = {
+    {"ex1", 3, 3, 18.14, 3, 10.67, 30.00},
+    {"ex2", 5, 5, 11.17, 4, 7.56, 32.31},
+    {"Tseng1", 5, 9, 17.65, 7, 11.34, 35.75},
+    {"Tseng2", 5, 7, 10.04, 10, 5.66, 46.62},
+    {"Paulin", 4, 6, 16.34, 6, 9.34, 42.84},
+};
+
+void print_table1() {
+  using namespace lbist;
+  auto rows = compare_paper_benchmarks();
+
+  TextTable t({"DFG", "Module assignment", "#Reg", "#Mux(T)", "%BIST(T)",
+               "#Mux(ours)", "%BIST(ours)", "%Reduction",
+               "paper %red."});
+  t.set_title(
+      "TABLE I — design comparisons with BIST area overhead "
+      "(T = traditional HLS)");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    t.add_row({r.name, r.module_spec,
+               std::to_string(r.testable.num_registers()),
+               std::to_string(r.traditional.num_mux()),
+               fmt_double(r.traditional.overhead_percent),
+               std::to_string(r.testable.num_mux()),
+               fmt_double(r.testable.overhead_percent),
+               fmt_double(r.reduction_percent()),
+               fmt_double(kPaper[i].reduction)});
+  }
+  std::cout << t << std::endl;
+}
+
+void BM_SynthesizeTraditional(benchmark::State& state) {
+  using namespace lbist;
+  auto benches = paper_benchmarks();
+  const auto& bench = benches[static_cast<std::size_t>(state.range(0))];
+  const auto protos = parse_module_spec(bench.module_spec);
+  SynthesisOptions opts;
+  opts.binder = BinderKind::Traditional;
+  Synthesizer synth(opts);
+  for (auto _ : state) {
+    auto result =
+        synth.run(bench.design.dfg, *bench.design.schedule, protos);
+    benchmark::DoNotOptimize(result.overhead_percent);
+  }
+  state.SetLabel(bench.name);
+}
+
+void BM_SynthesizeTestable(benchmark::State& state) {
+  using namespace lbist;
+  auto benches = paper_benchmarks();
+  const auto& bench = benches[static_cast<std::size_t>(state.range(0))];
+  const auto protos = parse_module_spec(bench.module_spec);
+  SynthesisOptions opts;
+  opts.binder = BinderKind::BistAware;
+  Synthesizer synth(opts);
+  for (auto _ : state) {
+    auto result =
+        synth.run(bench.design.dfg, *bench.design.schedule, protos);
+    benchmark::DoNotOptimize(result.overhead_percent);
+  }
+  state.SetLabel(bench.name);
+}
+
+BENCHMARK(BM_SynthesizeTraditional)->DenseRange(0, 4);
+BENCHMARK(BM_SynthesizeTestable)->DenseRange(0, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

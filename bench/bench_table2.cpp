@@ -1,0 +1,76 @@
+// Reproduces Table II of the paper: the composition of the minimal-area
+// BIST solution (how many CBILBOs, BILBOs (TPG/SA), TPGs and SAs) for the
+// traditional-HLS and testable-HLS data paths of each benchmark.  The
+// published compositions are printed alongside.
+//
+// Timing benchmark: the exact (DP) BIST allocator on each testable design.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bist/allocator.hpp"
+#include "core/compare.hpp"
+#include "dfg/benchmarks.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+constexpr const char* kPaperTrad[] = {
+    "2 CBILBO, 1 TPG", "2 CBILBO, 1 TPG/SA, 2 TPG", "2 CBILBO, 3 TPG/SA",
+    "2 CBILBO, 1 TPG/SA, 1 TPG", "3 CBILBO, 1 TPG/SA"};
+constexpr const char* kPaperOurs[] = {
+    "1 CBILBO, 1 TPG", "1 CBILBO, 2 TPG/SA, 1 TPG",
+    "1 CBILBO, 3 TPG/SA, 1 TPG", "2 TPG/SA, 1 TPG", "1 CBILBO, 2 TPG, 1 SA"};
+
+void print_table2() {
+  using namespace lbist;
+  auto rows = compare_paper_benchmarks();
+  TextTable t({"DFG", "Traditional HLS (ours)", "Testable HLS (ours)",
+               "paper: Traditional", "paper: Testable"});
+  t.set_title("TABLE II — minimal-area BIST solutions");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    t.add_row({r.name, r.traditional.bist.counts().to_string(),
+               r.testable.bist.counts().to_string(), kPaperTrad[i],
+               kPaperOurs[i]});
+  }
+  std::cout << t << std::endl;
+}
+
+void BM_ExactBistAllocator(benchmark::State& state) {
+  using namespace lbist;
+  auto rows = compare_paper_benchmarks();
+  const auto& r = rows[static_cast<std::size_t>(state.range(0))];
+  BistAllocator alloc{AreaModel{}};
+  for (auto _ : state) {
+    auto sol = alloc.solve(r.testable.datapath);
+    benchmark::DoNotOptimize(sol.extra_area);
+  }
+  state.SetLabel(r.name);
+}
+
+void BM_GreedyBistAllocator(benchmark::State& state) {
+  using namespace lbist;
+  auto rows = compare_paper_benchmarks();
+  const auto& r = rows[static_cast<std::size_t>(state.range(0))];
+  BistAllocator alloc{AreaModel{}};
+  for (auto _ : state) {
+    auto sol = alloc.solve_greedy(r.testable.datapath);
+    benchmark::DoNotOptimize(sol.extra_area);
+  }
+  state.SetLabel(r.name);
+}
+
+BENCHMARK(BM_ExactBistAllocator)->DenseRange(0, 4);
+BENCHMARK(BM_GreedyBistAllocator)->DenseRange(0, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Table III of the paper: the Paulin differential-equation data
+// path synthesized with RALLOC-style, SYNTEST-style and the paper's
+// (BIST-aware) allocation, comparing total registers and BIST register
+// composition.  RALLOC and SYNTEST are unreleased academic tools; the rows
+// labelled "sim" are our reimplementations of their published styles, and
+// the rows labelled "paper" quote the published Table III.
+//
+// Timing benchmark: each binder style on the Paulin DFG.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/synthesizer.hpp"
+#include "dfg/benchmarks.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void print_table3() {
+  using namespace lbist;
+  Benchmark bench = make_paulin();
+  const auto protos = parse_module_spec(bench.module_spec);
+
+  TextTable t({"HLS system", "# Reg", "# TPG", "# SA", "# BILBO",
+               "# CBILBO"});
+  t.set_title("TABLE III — design comparison for the Paulin example");
+
+  auto run = [&](const char* label, BinderKind kind) {
+    SynthesisOptions opts;
+    opts.binder = kind;
+    auto result = Synthesizer(opts).run(bench.design.dfg,
+                                        *bench.design.schedule, protos);
+    auto c = result.bist.counts();
+    t.add_row({label, std::to_string(result.num_registers()),
+               std::to_string(c.tpg), std::to_string(c.sa),
+               std::to_string(c.tpg_sa), std::to_string(c.cbilbo)});
+  };
+  run("RALLOC (sim)", BinderKind::Ralloc);
+  run("SYNTEST (sim)", BinderKind::Syntest);
+  run("Ours", BinderKind::BistAware);
+  t.add_row({"RALLOC (paper)", "5", "0", "0", "4", "1"});
+  t.add_row({"SYNTEST (paper)", "5", "4", "1", "0", "0"});
+  t.add_row({"Ours (paper)", "4", "2", "1", "0", "1"});
+  std::cout << t << std::endl;
+}
+
+void BM_BinderStyle(benchmark::State& state) {
+  using namespace lbist;
+  Benchmark bench = make_paulin();
+  const auto protos = parse_module_spec(bench.module_spec);
+  const BinderKind kinds[] = {BinderKind::Traditional, BinderKind::BistAware,
+                              BinderKind::Ralloc, BinderKind::Syntest};
+  const char* labels[] = {"traditional", "bist-aware", "ralloc", "syntest"};
+  SynthesisOptions opts;
+  opts.binder = kinds[state.range(0)];
+  Synthesizer synth(opts);
+  for (auto _ : state) {
+    auto result =
+        synth.run(bench.design.dfg, *bench.design.schedule, protos);
+    benchmark::DoNotOptimize(result.overhead_percent);
+  }
+  state.SetLabel(labels[state.range(0)]);
+}
+
+BENCHMARK(BM_BinderStyle)->DenseRange(0, 3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Transparency study (extension; the I-path concept the paper builds on
+// also admits paths *through* modules in identity modes — Abadir/Breuer):
+// how much BIST area the extended embedding space saves on the paper
+// benchmarks and on random designs, and what it costs in test sessions.
+//
+// Timing benchmark: exact allocation with and without transparency.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bist/allocator.hpp"
+#include "bist/sessions.hpp"
+#include "core/compare.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/random_dfg.hpp"
+#include "graph/conflict.hpp"
+#include "interconnect/build_datapath.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lbist;
+
+void print_transparency_table() {
+  TextTable t({"design", "extra (simple)", "extra (+transparent)",
+               "saving", "sessions (simple)", "sessions (+transp.)"});
+  t.set_title(
+      "BIST extra area with simple vs transparency-extended I-paths");
+
+  auto add_row = [&](const std::string& name, const Datapath& dp) {
+    BistAllocator plain{AreaModel{}};
+    BistAllocator ext{AreaModel{}};
+    ext.use_transparent_paths = true;
+    auto s0 = plain.solve(dp);
+    auto s1 = ext.solve(dp);
+    t.add_row({name, fmt_double(s0.extra_area, 0),
+               fmt_double(s1.extra_area, 0) + (s1.exact ? "" : " (greedy)"),
+               fmt_double(s0.extra_area - s1.extra_area, 0),
+               std::to_string(schedule_test_sessions(dp, s0).num_sessions),
+               std::to_string(schedule_test_sessions(dp, s1).num_sessions)});
+  };
+
+  for (const auto& row : compare_paper_benchmarks()) {
+    add_row(row.name, row.testable.datapath);
+  }
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomDfgOptions opts;
+    opts.seed = seed;
+    auto rd = make_random_dfg(opts);
+    auto lt = compute_lifetimes(rd.dfg, rd.schedule);
+    auto cg = build_conflict_graph(rd.dfg, lt);
+    auto mb = ModuleBinding::bind(rd.dfg, rd.schedule,
+                                  minimal_module_spec(rd.dfg, rd.schedule));
+    auto rb = bind_registers_bist_aware(rd.dfg, cg, mb);
+    add_row("random s" + std::to_string(seed),
+            build_datapath(rd.dfg, mb, rb));
+  }
+  std::cout << t << std::endl;
+}
+
+void BM_AllocatorSimple(benchmark::State& state) {
+  auto row = compare_benchmark(make_tseng1());
+  BistAllocator alloc{AreaModel{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.solve(row.testable.datapath).extra_area);
+  }
+}
+BENCHMARK(BM_AllocatorSimple);
+
+void BM_AllocatorTransparent(benchmark::State& state) {
+  auto row = compare_benchmark(make_tseng1());
+  BistAllocator alloc{AreaModel{}};
+  alloc.use_transparent_paths = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.solve(row.testable.datapath).extra_area);
+  }
+}
+BENCHMARK(BM_AllocatorTransparent);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_transparency_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// What the test registers actually do: this example drops to the register
+// level and walks through a BIST session by hand — LFSR pattern generation,
+// MISR signature compaction, fault detection, the CBILBO's concurrent
+// generate+compact behaviour — then builds the full fault-simulated test
+// plan for a FIR filter data path synthesized with the BIST-aware binder.
+//
+// Run:  ./bist_signatures
+
+#include <iomanip>
+#include <iostream>
+
+#include "bist/fault_sim.hpp"
+#include "bist/test_plan.hpp"
+#include "core/synthesizer.hpp"
+#include "dfg/benchmarks.hpp"
+#include "rtl/simulate.hpp"
+#include "sched/list_sched.hpp"
+#include "support/lfsr.hpp"
+
+int main() {
+  using namespace lbist;
+  constexpr int kWidth = 8;
+
+  std::cout << "--- 1. A TPG is an LFSR: first 8 patterns of each seed ---\n";
+  Lfsr tpg_a(kWidth, 0x5);
+  Lfsr tpg_b(kWidth, 0x13);
+  for (int i = 0; i < 8; ++i) {
+    std::cout << "  pattern " << i << ":  L=0x" << std::hex << std::setw(2)
+              << std::setfill('0') << tpg_a.state() << "  R=0x"
+              << std::setw(2) << tpg_b.state() << std::dec << "\n";
+    tpg_a.step();
+    tpg_b.step();
+  }
+  std::cout << "  (period " << tpg_a.period()
+            << "; all non-zero states visited)\n\n";
+
+  std::cout << "--- 2. An SA is a MISR: signatures split good from bad ---\n";
+  Misr good(kWidth), bad(kWidth);
+  Lfsr l(kWidth, 0x5), r(kWidth, 0x13);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t y = eval_op(OpKind::Add, l.state(), r.state(),
+                                    kWidth);
+    good.absorb(y);
+    // The faulty adder has output bit 3 stuck at 1.
+    bad.absorb(y | (1u << 3));
+    l.step();
+    r.step();
+  }
+  std::cout << "  golden signature: 0x" << std::hex << good.signature()
+            << "   faulty: 0x" << bad.signature() << std::dec << "  -> "
+            << (good.signature() != bad.signature() ? "DETECTED"
+                                                    : "missed")
+            << "\n\n";
+
+  std::cout << "--- 3. A CBILBO generates and compacts at once ---\n";
+  Cbilbo cb(kWidth, 0x5);
+  for (int i = 0; i < 50; ++i) {
+    // Self-adjacent loop: the module output feeds the register that also
+    // drives the module (the situation Lemma 2 characterizes).
+    const std::uint32_t y =
+        eval_op(OpKind::Mul, cb.pattern(), 0x3, kWidth);
+    cb.step(y);
+  }
+  std::cout << "  signature after 50 concurrent cycles: 0x" << std::hex
+            << cb.signature() << std::dec << "\n\n";
+
+  std::cout << "--- 4. Why two DISTINCT TPGs (coverage, 250 patterns) ---\n";
+  for (OpKind kind : {OpKind::Sub, OpKind::Xor, OpKind::Lt}) {
+    const auto indep =
+        simulate_module_bist(ModuleProto{{kind}}, kWidth, 250, true);
+    const auto corr =
+        simulate_module_bist(ModuleProto{{kind}}, kWidth, 250, false);
+    std::cout << "  " << to_string(kind) << ": independent "
+              << 100.0 * indep.coverage() << "%  vs  one shared sequence "
+              << 100.0 * corr.coverage() << "%\n";
+  }
+
+  std::cout << "\n--- 5. Full test plan for a FIR8 data path ---\n";
+  Dfg fir = make_fir(8);
+  Schedule sched = list_schedule(fir, {{OpKind::Mul, 2}, {OpKind::Add, 2}});
+  SynthesisOptions opts;
+  opts.binder = BinderKind::BistAware;
+  opts.area.bit_width = kWidth;
+  SynthesisResult result =
+      Synthesizer(opts).run(fir, sched, minimal_module_spec(fir, sched));
+  std::cout << result.describe(fir);
+  TestPlan plan = build_test_plan(result.datapath, result.bist, 250, kWidth);
+  std::cout << plan.describe(result.datapath);
+  return 0;
+}

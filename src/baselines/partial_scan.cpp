@@ -1,0 +1,149 @@
+#include "baselines/partial_scan.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+SGraph build_sgraph(const Datapath& dp) {
+  SGraph g;
+  g.adjacency.resize(dp.registers.size());
+  for (const auto& mod : dp.modules) {
+    for (std::size_t dst : mod.dest_registers) {
+      for (const auto* port : {&mod.left_sources, &mod.right_sources}) {
+        for (std::size_t src : *port) {
+          auto& adj = g.adjacency[src];
+          if (std::find(adj.begin(), adj.end(), dst) == adj.end()) {
+            adj.push_back(dst);
+          }
+        }
+      }
+    }
+  }
+  for (auto& adj : g.adjacency) std::sort(adj.begin(), adj.end());
+  return g;
+}
+
+bool is_acyclic_without(const SGraph& g, const std::vector<bool>& removed) {
+  const std::size_t n = g.num_registers();
+  // Iterative three-color DFS.
+  std::vector<int> color(n, 0);  // 0 white, 1 gray, 2 black
+  for (std::size_t start = 0; start < n; ++start) {
+    if (removed[start] || color[start] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{start, 0}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < g.adjacency[v].size()) {
+        const std::size_t w = g.adjacency[v][next++];
+        if (removed[w]) continue;
+        if (color[w] == 1) return false;  // back edge: cycle
+        if (color[w] == 0) {
+          color[w] = 1;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Exact MFVS by iterative deepening over subset size (n <= ~20).
+std::vector<std::size_t> exact_mfvs(const SGraph& g) {
+  const std::size_t n = g.num_registers();
+  std::vector<bool> removed(n, false);
+  if (is_acyclic_without(g, removed)) return {};
+
+  // Self-loop registers must be in every feedback vertex set.
+  std::vector<std::size_t> forced;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& adj = g.adjacency[v];
+    if (std::find(adj.begin(), adj.end(), v) != adj.end()) {
+      forced.push_back(v);
+      removed[v] = true;
+    }
+  }
+  if (is_acyclic_without(g, removed)) return forced;
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!removed[v]) candidates.push_back(v);
+  }
+  for (std::size_t k = 1; k <= candidates.size(); ++k) {
+    std::vector<std::size_t> chosen;
+    std::function<bool(std::size_t)> pick = [&](std::size_t from) {
+      if (chosen.size() == k) {
+        return is_acyclic_without(g, removed);
+      }
+      for (std::size_t i = from; i < candidates.size(); ++i) {
+        removed[candidates[i]] = true;
+        chosen.push_back(candidates[i]);
+        if (pick(i + 1)) return true;
+        chosen.pop_back();
+        removed[candidates[i]] = false;
+      }
+      return false;
+    };
+    if (pick(0)) {
+      forced.insert(forced.end(), chosen.begin(), chosen.end());
+      std::sort(forced.begin(), forced.end());
+      return forced;
+    }
+  }
+  LBIST_CHECK(false, "MFVS search failed to terminate");
+  return {};
+}
+
+/// Greedy: repeatedly remove the highest-degree vertex until acyclic.
+std::vector<std::size_t> greedy_mfvs(const SGraph& g) {
+  const std::size_t n = g.num_registers();
+  std::vector<bool> removed(n, false);
+  std::vector<std::size_t> result;
+  while (!is_acyclic_without(g, removed)) {
+    std::size_t best = n;
+    std::size_t best_degree = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (removed[v]) continue;
+      std::size_t degree = g.adjacency[v].size();
+      for (std::size_t u = 0; u < n; ++u) {
+        if (removed[u]) continue;
+        const auto& adj = g.adjacency[u];
+        if (std::find(adj.begin(), adj.end(), v) != adj.end()) ++degree;
+      }
+      if (best == n || degree > best_degree) {
+        best = v;
+        best_degree = degree;
+      }
+    }
+    removed[best] = true;
+    result.push_back(best);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::size_t> minimum_feedback_vertex_set(
+    const SGraph& g, std::size_t exact_limit) {
+  return g.num_registers() <= exact_limit ? exact_mfvs(g) : greedy_mfvs(g);
+}
+
+PartialScanPlan plan_partial_scan(const Datapath& dp,
+                                  const AreaModel& model) {
+  PartialScanPlan plan;
+  plan.scanned = minimum_feedback_vertex_set(build_sgraph(dp));
+  // One 2:1 scan mux slice per bit per scanned register.
+  plan.extra_area = static_cast<double>(plan.scanned.size()) *
+                    model.mux_gates_per_bit * model.bit_width;
+  return plan;
+}
+
+}  // namespace lbist

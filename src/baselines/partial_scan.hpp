@@ -1,0 +1,64 @@
+#pragma once
+// Partial-scan baseline (the DFT alternative the paper's introduction
+// contrasts BIST against — Lee/Jha/Wolf DAC'93, Dey/Potkonjak VTS'94).
+//
+// Partial scan breaks the sequential cycles of the data path so ATPG can
+// treat it (nearly) combinationally: registers are selected for the scan
+// chain until the *S-graph* — registers as vertices, an edge r1 -> r2 when
+// some module reads r1 and writes r2 in one clock — has no cycle through
+// unscanned registers.  The classic objective is a minimum feedback vertex
+// set (MFVS) of the S-graph.
+//
+// Scan cost model: each scanned register gains a scan mux (one 2:1 slice
+// per bit) plus chain routing — far cheaper per register than a BILBO, but
+// scan needs external pattern application while BIST is autonomous; the
+// comparison lives in bench_scan.
+
+#include <vector>
+
+#include "bist/area_model.hpp"
+#include "rtl/datapath.hpp"
+
+namespace lbist {
+
+/// The register-level sequential dependency graph.
+struct SGraph {
+  /// adjacency[r] = registers written by modules that read r.
+  std::vector<std::vector<std::size_t>> adjacency;
+
+  [[nodiscard]] std::size_t num_registers() const {
+    return adjacency.size();
+  }
+};
+
+/// Builds the S-graph of a data path (self-loops included — a self-adjacent
+/// register is a 1-cycle and always needs scanning).
+[[nodiscard]] SGraph build_sgraph(const Datapath& dp);
+
+/// True if the subgraph induced by removing `removed` is acyclic.
+[[nodiscard]] bool is_acyclic_without(const SGraph& g,
+                                      const std::vector<bool>& removed);
+
+/// Minimum feedback vertex set: exact branch-and-bound for small graphs
+/// (<= `exact_limit` vertices), greedy (highest cycle-degree first)
+/// otherwise.  Returns the register indices to scan, sorted.
+[[nodiscard]] std::vector<std::size_t> minimum_feedback_vertex_set(
+    const SGraph& g, std::size_t exact_limit = 20);
+
+/// A partial-scan plan for a data path.
+struct PartialScanPlan {
+  std::vector<std::size_t> scanned;  ///< registers on the scan chain
+  double extra_area = 0.0;           ///< scan muxes, gate equivalents
+
+  [[nodiscard]] double overhead_percent(const Datapath& dp,
+                                        const AreaModel& model) const {
+    return 100.0 * extra_area / model.functional_area(dp);
+  }
+};
+
+/// Selects the MFVS of the data path's S-graph and prices the scan chain
+/// (one 2:1 mux slice per bit per scanned register).
+[[nodiscard]] PartialScanPlan plan_partial_scan(const Datapath& dp,
+                                                const AreaModel& model);
+
+}  // namespace lbist

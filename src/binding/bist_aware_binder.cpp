@@ -1,0 +1,278 @@
+#include "binding/bist_aware_binder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "binding/cbilbo_check.hpp"
+#include "binding/sharing.hpp"
+#include "graph/chordal.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+
+namespace {
+
+/// Incremental register state kept by the binder.
+struct RegState {
+  std::vector<std::size_t> members;  ///< conflict-graph vertices
+  DynBitset member_vertices;         ///< same, as a bitset over vertices
+  DynBitset var_mask;                ///< members as a bitset over VarId
+  DynBitset share_mask;              ///< union of member sharing masks
+  DynBitset src_modules;             ///< modules (+external) writing into it
+  DynBitset dst_modules;             ///< modules reading from it
+};
+
+/// Per-variable connectivity footprint used by the interconnect tie-break.
+struct VarFootprint {
+  DynBitset src;  ///< defining module, or the external-input pseudo-module
+  DynBitset dst;  ///< consuming modules
+};
+
+/// Estimated new interconnect endpoints if v joins R: sources and
+/// destinations of v that R does not already have (Section IV's merge-case
+/// reasoning, used only to break ties).
+int interconnect_cost(const RegState& reg, const VarFootprint& fp) {
+  int cost = 0;
+  for (std::size_t b : fp.src.members()) {
+    if (!reg.src_modules.test(b)) ++cost;
+  }
+  for (std::size_t b : fp.dst.members()) {
+    if (!reg.dst_modules.test(b)) ++cost;
+  }
+  return cost;
+}
+
+}  // namespace
+
+RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
+                                          const VarConflictGraph& cg,
+                                          const ModuleBinding& mb,
+                                          const BistBinderOptions& opts,
+                                          std::vector<std::string>* trace) {
+  const std::size_t n = cg.graph.num_vertices();
+  SharingAnalysis sa(dfg, mb);
+  const std::size_t m = sa.num_modules();
+
+  auto say = [&](const std::string& line) {
+    if (trace != nullptr) trace->push_back(line);
+  };
+
+  // --- 1. Structured PVES (Section III.A.1) -------------------------------
+  std::vector<std::size_t> rank(n);
+  {
+    std::vector<std::size_t> by_priority(n);
+    std::iota(by_priority.begin(), by_priority.end(), std::size_t{0});
+    if (opts.sd_ordered_pves) {
+      auto base_peo = perfect_elimination_order(cg.graph);
+      LBIST_CHECK(base_peo.has_value(), "conflict graph is not chordal");
+      auto mcs = max_clique_through_vertex(cg.graph, *base_peo);
+      std::stable_sort(by_priority.begin(), by_priority.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         const int sda = sa.sd(cg.vars[a]);
+                         const int sdb = sa.sd(cg.vars[b]);
+                         if (sda != sdb) return sda < sdb;
+                         return mcs[a] < mcs[b];
+                       });
+    }
+    for (std::size_t i = 0; i < n; ++i) rank[by_priority[i]] = i;
+  }
+  auto peo = perfect_elimination_order(cg.graph, rank);
+  LBIST_CHECK(peo.has_value(), "conflict graph is not chordal");
+  std::vector<std::size_t> color_order(peo->rbegin(), peo->rend());
+
+  // --- per-variable connectivity footprints --------------------------------
+  std::vector<VarFootprint> fp(n, VarFootprint{DynBitset(m + 1),
+                                               DynBitset(m + 1)});
+  for (std::size_t v = 0; v < n; ++v) {
+    const Variable& var = dfg.var(cg.vars[v]);
+    if (var.def.valid()) {
+      fp[v].src.set(mb.module_of(var.def).index());
+    } else {
+      fp[v].src.set(m);  // external input
+    }
+    for (OpId use : var.uses) fp[v].dst.set(mb.module_of(use).index());
+  }
+
+  // --- 2. Coloring in reverse PVES order (Section III.A.2, III.B) ---------
+  std::vector<RegState> regs;
+  auto reg_masks = [&] {
+    std::vector<DynBitset> out;
+    out.reserve(regs.size());
+    for (const auto& r : regs) out.push_back(r.var_mask);
+    return out;
+  };
+
+  auto assign = [&](std::size_t v, std::size_t r) {
+    RegState& reg = regs[r];
+    reg.members.push_back(v);
+    reg.member_vertices.set(v);
+    reg.var_mask.set(cg.vars[v].index());
+    reg.share_mask |= sa.mask(cg.vars[v]);
+    reg.src_modules |= fp[v].src;
+    reg.dst_modules |= fp[v].dst;
+  };
+
+  for (std::size_t v : color_order) {
+    const VarId var = cg.vars[v];
+    const DynBitset& vmask = sa.mask(var);
+
+    // Non-conflicting registers.
+    std::vector<std::size_t> feasible;
+    for (std::size_t r = 0; r < regs.size(); ++r) {
+      if (!cg.graph.row(v).intersects(regs[r].member_vertices)) {
+        feasible.push_back(r);
+      }
+    }
+    if (feasible.empty()) {
+      RegState fresh{{},
+                     DynBitset(n),
+                     DynBitset(dfg.num_vars()),
+                     sa.empty_mask(),
+                     DynBitset(m + 1),
+                     DynBitset(m + 1)};
+      regs.push_back(std::move(fresh));
+      assign(v, regs.size() - 1);
+      say("assign " + dfg.var(var).name + " -> R" +
+          std::to_string(regs.size()) + " (new register)");
+      continue;
+    }
+
+    // ΔSD and resulting SD for each feasible register.
+    auto delta_sd = [&](std::size_t r) {
+      DynBitset merged = regs[r].share_mask;
+      merged |= vmask;
+      return SharingAnalysis::sd_of(merged) -
+             SharingAnalysis::sd_of(regs[r].share_mask);
+    };
+    auto sd_with_v = [&](std::size_t r) {
+      DynBitset merged = regs[r].share_mask;
+      merged |= vmask;
+      return SharingAnalysis::sd_of(merged);
+    };
+    auto sd_now = [&](std::size_t r) {
+      return SharingAnalysis::sd_of(regs[r].share_mask);
+    };
+    // Preference: larger ΔSD, then larger SD(R), then cheaper interconnect,
+    // then lower index.
+    auto better = [&](std::size_t a, std::size_t b) {
+      if (delta_sd(a) != delta_sd(b)) return delta_sd(a) > delta_sd(b);
+      if (sd_now(a) != sd_now(b)) return sd_now(a) > sd_now(b);
+      const int ca = interconnect_cost(regs[a], fp[v]);
+      const int cb = interconnect_cost(regs[b], fp[v]);
+      if (ca != cb) return ca < cb;
+      return a < b;
+    };
+
+    std::size_t chosen;
+    if (!opts.delta_sd_rule) {
+      chosen = feasible.front();  // first fit (ablation arm)
+    } else {
+      const std::size_t r_i =
+          *std::min_element(feasible.begin(), feasible.end(),
+                            [&](std::size_t a, std::size_t b) {
+                              return better(a, b);
+                            });
+      chosen = r_i;
+
+      if (opts.case_overrides) {
+        // Candidate overrides per Cases 1 and 2 of Section III.A.2.
+        std::vector<std::size_t> candidates;
+        const int threshold = sd_with_v(r_i);
+        // Case 1: v is an output variable of module j and some feasible
+        // register already holds an output variable of j with
+        // SD(R_l) > SD(R_i, v).
+        for (std::size_t j = 0; j < m; ++j) {
+          if (!vmask.test(m + j)) continue;
+          for (std::size_t r : feasible) {
+            if (r == r_i) continue;
+            if (regs[r].share_mask.test(m + j) && sd_now(r) > threshold) {
+              candidates.push_back(r);
+            }
+          }
+        }
+        // Case 2: v is an input variable of module j; operators are binary,
+        // so the override needs TWO feasible registers already holding
+        // input variables of j with SD above the threshold.
+        for (std::size_t j = 0; j < m; ++j) {
+          if (!vmask.test(j)) continue;
+          std::vector<std::size_t> holders;
+          for (std::size_t r : feasible) {
+            if (r == r_i) continue;
+            if (regs[r].share_mask.test(j) && sd_now(r) > threshold) {
+              holders.push_back(r);
+            }
+          }
+          if (holders.size() >= 2) {
+            candidates.insert(candidates.end(), holders.begin(),
+                              holders.end());
+          }
+        }
+        if (!candidates.empty()) {
+          std::sort(candidates.begin(), candidates.end());
+          candidates.erase(
+              std::unique(candidates.begin(), candidates.end()),
+              candidates.end());
+          chosen = *std::min_element(candidates.begin(), candidates.end(),
+                                     [&](std::size_t a, std::size_t b) {
+                                       return better(a, b);
+                                     });
+          if (chosen != r_i) {
+            say("case override: " + dfg.var(var).name + " prefers R" +
+                std::to_string(chosen + 1) + " over R" +
+                std::to_string(r_i + 1));
+          }
+        }
+      }
+    }
+
+    // --- 3. CBILBO avoidance (Section III.B, Lemma 2) ----------------------
+    if (opts.avoid_cbilbo) {
+      auto masks = reg_masks();
+      const std::size_t baseline = forced_cbilbos(mb, masks).size();
+      auto forced_with = [&](std::size_t r) {
+        DynBitset saved = masks[r];
+        masks[r].set(var.index());
+        const std::size_t count = forced_cbilbos(mb, masks).size();
+        masks[r] = saved;
+        return count;
+      };
+      if (forced_with(chosen) > baseline) {
+        std::vector<std::size_t> ordered = feasible;
+        std::sort(ordered.begin(), ordered.end(),
+                  [&](std::size_t a, std::size_t b) { return better(a, b); });
+        for (std::size_t r : ordered) {
+          if (r == chosen) continue;
+          if (forced_with(r) <= baseline) {
+            say("CBILBO avoidance: " + dfg.var(var).name + " moved to R" +
+                std::to_string(r + 1) + " (R" + std::to_string(chosen + 1) +
+                " would force a CBILBO)");
+            chosen = r;
+            break;
+          }
+        }
+        // If no alternative avoids it, keep `chosen` — the paper allows the
+        // assignment rather than allocating an extra register.
+      }
+    }
+
+    const int gained = delta_sd(chosen);
+    assign(v, chosen);
+    say("assign " + dfg.var(var).name + " -> R" + std::to_string(chosen + 1) +
+        " (dSD=" + std::to_string(gained) + ")");
+  }
+
+  // --- materialize ----------------------------------------------------------
+  RegisterBinding rb;
+  rb.reg_of.assign(dfg.num_vars(), RegId::invalid());
+  rb.regs.resize(regs.size());
+  for (std::size_t r = 0; r < regs.size(); ++r) {
+    for (std::size_t v : regs[r].members) {
+      rb.regs[r].push_back(cg.vars[v]);
+      rb.reg_of[cg.vars[v]] = RegId{static_cast<RegId::value_type>(r)};
+    }
+  }
+  return rb;
+}
+
+}  // namespace lbist

@@ -1,0 +1,65 @@
+#include "binding/cbilbo_check.hpp"
+
+namespace lbist {
+
+namespace {
+
+/// True if `mask` contains at least one operand of every instance of m.
+bool covers_every_instance(const ModuleBinding& mb, ModuleId m,
+                           const DynBitset& mask) {
+  const std::size_t tm = mb.temporal_multiplicity(m);
+  for (std::size_t j = 0; j < tm; ++j) {
+    const DynBitset& ops = mb.instance_operands(m, j);
+    if (!ops.any()) return false;  // instance has no allocatable operand
+    if (!ops.intersects(mask)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ForcedCbilbo> forced_cbilbos(
+    const ModuleBinding& mb, const std::vector<DynBitset>& reg_masks) {
+  std::vector<ForcedCbilbo> out;
+  for (ModuleId m : mb.all_modules()) {
+    const DynBitset& outputs = mb.output_vars(m);
+    if (!outputs.any()) continue;  // no register destination to be an SA
+
+    for (std::size_t x = 0; x < reg_masks.size(); ++x) {
+      DynBitset xo = reg_masks[x];
+      xo &= outputs;
+      if (!xo.any()) continue;                       // not an output register
+      if (!covers_every_instance(mb, m, reg_masks[x])) continue;
+
+      if (outputs.subset_of(reg_masks[x])) {
+        // Case (i): R_x is the sole output register of m.
+        out.push_back(ForcedCbilbo{
+            RegId{static_cast<RegId::value_type>(x)}, m, 1, RegId::invalid()});
+        continue;
+      }
+      // Case (ii): find a partner R_y completing the outputs; report each
+      // unordered pair once (y > x).
+      for (std::size_t y = x + 1; y < reg_masks.size(); ++y) {
+        DynBitset yo = reg_masks[y];
+        yo &= outputs;
+        if (!yo.any()) continue;
+        DynBitset uni = xo;
+        uni |= yo;
+        if (!outputs.subset_of(uni)) continue;
+        if (!covers_every_instance(mb, m, reg_masks[y])) continue;
+        out.push_back(ForcedCbilbo{RegId{static_cast<RegId::value_type>(x)},
+                                   m, 2,
+                                   RegId{static_cast<RegId::value_type>(y)}});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ForcedCbilbo> forced_cbilbos(const Dfg& dfg,
+                                         const ModuleBinding& mb,
+                                         const RegisterBinding& rb) {
+  return forced_cbilbos(mb, rb.all_var_masks(dfg.num_vars()));
+}
+
+}  // namespace lbist

@@ -1,0 +1,28 @@
+#pragma once
+// Clique-partitioning register binder (extension).
+//
+// The era's alternative formulation: registers are cliques of the variable
+// *compatibility* graph (complement of the conflict graph), merged greedily
+// by affinity.  With a sharing-degree affinity this gives a second
+// testability-driven binder to compare against the paper's reverse-PVES
+// heuristic (see bench_ablation): pairs whose merged register would touch
+// many module variable sets — and which share data-path neighbours, keeping
+// interconnect down — merge first.
+//
+// Unlike the PVES binders, clique partitioning does not guarantee the
+// minimum register count (it can strand variables), which is exactly why
+// the paper builds on a PVES instead; the bench quantifies that too.
+
+#include "binding/module_binding.hpp"
+#include "binding/register_binding.hpp"
+#include "dfg/dfg.hpp"
+#include "graph/conflict.hpp"
+
+namespace lbist {
+
+/// Binds registers by weighted clique partitioning of the compatibility
+/// graph with a sharing-degree affinity.
+[[nodiscard]] RegisterBinding bind_registers_clique(
+    const Dfg& dfg, const VarConflictGraph& cg, const ModuleBinding& mb);
+
+}  // namespace lbist

@@ -1,0 +1,38 @@
+#pragma once
+// Exhaustive enumeration of register bindings.
+//
+// Section III of the paper observes that the minimum-register solution
+// space is large ("there are 108 distinct assignments of the variables in E
+// to three registers") and that "only a subset of these result in more
+// testable data paths".  This module enumerates that space exactly —
+// every partition of the conflict-graph vertices into at most `max_regs`
+// non-conflicting classes, in restricted-growth (canonical) form so color
+// permutations are not double-counted — letting benches histogram the BIST
+// overhead over ALL bindings and place the heuristic's pick in the
+// distribution (bench_binding_space).
+//
+// Feasible for small designs only (the count grows like a Bell number);
+// `enumerate_bindings` is the ground-truth oracle, not a synthesis path.
+
+#include <cstdint>
+#include <functional>
+
+#include "binding/register_binding.hpp"
+#include "dfg/dfg.hpp"
+#include "graph/conflict.hpp"
+
+namespace lbist {
+
+/// Visits every valid binding with at most `max_regs` registers.  `visit`
+/// returns false to stop early.  Returns the number of bindings visited.
+[[nodiscard]] std::size_t enumerate_bindings(
+    const Dfg& dfg, const VarConflictGraph& cg, std::size_t max_regs,
+    const std::function<bool(const RegisterBinding&)>& visit);
+
+/// Convenience: the number of valid bindings using *exactly* `num_regs`
+/// registers (the paper's "108" count for its ex1).
+[[nodiscard]] std::size_t count_bindings_exact(const Dfg& dfg,
+                                               const VarConflictGraph& cg,
+                                               std::size_t num_regs);
+
+}  // namespace lbist

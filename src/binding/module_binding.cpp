@@ -1,0 +1,131 @@
+#include "binding/module_binding.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+namespace {
+
+/// Kuhn's augmenting-path matching: op index -> module index.
+/// `compatible[o]` lists the modules op o may use, in preference order.
+bool try_augment(std::size_t o,
+                 const std::vector<std::vector<std::size_t>>& compatible,
+                 std::vector<bool>& visited,
+                 std::vector<std::size_t>& module_taken_by) {
+  for (std::size_t m : compatible[o]) {
+    if (visited[m]) continue;
+    visited[m] = true;
+    if (module_taken_by[m] == SIZE_MAX ||
+        try_augment(module_taken_by[m], compatible, visited,
+                    module_taken_by)) {
+      module_taken_by[m] = o;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ModuleBinding ModuleBinding::bind(const Dfg& dfg, const Schedule& sched,
+                                  std::vector<ModuleProto> protos) {
+  ModuleBinding b;
+  b.protos_ = std::move(protos);
+  b.module_of_.assign(dfg.num_ops(), ModuleId::invalid());
+  b.instances_.resize(b.protos_.size());
+
+  // Count of instances per (module, kind), used to prefer packing same-kind
+  // operations onto the same module across steps.
+  std::vector<std::vector<int>> kind_count(
+      b.protos_.size(), std::vector<int>(16, 0));
+
+  for (int step = 1; step <= sched.num_steps(); ++step) {
+    std::vector<OpId> ops = sched.ops_in_step(dfg, step);
+    if (ops.empty()) continue;
+
+    std::vector<std::vector<std::size_t>> compatible(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const OpKind kind = dfg.op(ops[i]).kind;
+      for (std::size_t m = 0; m < b.protos_.size(); ++m) {
+        if (b.protos_[m].supports_kind(kind)) compatible[i].push_back(m);
+      }
+      // Prefer specialized units over general ALUs, then balance load so
+      // every provisioned module is actually used (the paper's pinned
+      // assignments, e.g. "2+", intend one instance per adder), and among
+      // equally-loaded ALUs prefer one already executing this kind (fewer
+      // distinct functions per ALU).
+      std::stable_sort(
+          compatible[i].begin(), compatible[i].end(),
+          [&](std::size_t x, std::size_t y) {
+            if (b.protos_[x].supports.size() != b.protos_[y].supports.size()) {
+              return b.protos_[x].supports.size() <
+                     b.protos_[y].supports.size();
+            }
+            if (b.instances_[x].size() != b.instances_[y].size()) {
+              return b.instances_[x].size() < b.instances_[y].size();
+            }
+            const int cx = kind_count[x][static_cast<std::size_t>(kind)];
+            const int cy = kind_count[y][static_cast<std::size_t>(kind)];
+            return cx > cy;
+          });
+      LBIST_CHECK(!compatible[i].empty(),
+                  "no module supports operation " + dfg.op(ops[i]).name);
+    }
+
+    std::vector<std::size_t> module_taken_by(b.protos_.size(), SIZE_MAX);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      std::vector<bool> visited(b.protos_.size(), false);
+      LBIST_CHECK(try_augment(i, compatible, visited, module_taken_by),
+                  "module spec cannot execute step " + std::to_string(step) +
+                      " (operation " + dfg.op(ops[i]).name + " unplaced)");
+    }
+    for (std::size_t m = 0; m < b.protos_.size(); ++m) {
+      if (module_taken_by[m] == SIZE_MAX) continue;
+      const OpId op = ops[module_taken_by[m]];
+      b.module_of_[op] = ModuleId{static_cast<ModuleId::value_type>(m)};
+      b.instances_[m].push_back(op);
+      ++kind_count[m][static_cast<std::size_t>(dfg.op(op).kind)];
+    }
+  }
+
+  // Derived variable sets over allocatable variables.
+  auto allocatable = [&](VarId v) { return dfg.var(v).allocatable(); };
+  b.input_vars_.assign(b.protos_.size(), DynBitset(dfg.num_vars()));
+  b.output_vars_.assign(b.protos_.size(), DynBitset(dfg.num_vars()));
+  b.instance_operands_.resize(b.protos_.size());
+  for (std::size_t m = 0; m < b.protos_.size(); ++m) {
+    for (OpId opid : b.instances_[m]) {
+      const Operation& op = dfg.op(opid);
+      DynBitset operands(dfg.num_vars());
+      for (VarId v : {op.lhs, op.rhs}) {
+        if (allocatable(v)) {
+          b.input_vars_[m].set(v.index());
+          operands.set(v.index());
+        }
+      }
+      if (allocatable(op.result)) {
+        b.output_vars_[m].set(op.result.index());
+      }
+      b.instance_operands_[m].push_back(std::move(operands));
+    }
+  }
+  return b;
+}
+
+std::string ModuleBinding::module_name(ModuleId m) const {
+  return "M" + std::to_string(m.value() + 1) + "(" +
+         protos_[m.index()].label() + ")";
+}
+
+std::vector<ModuleId> ModuleBinding::all_modules() const {
+  std::vector<ModuleId> out;
+  out.reserve(protos_.size());
+  for (std::size_t m = 0; m < protos_.size(); ++m) {
+    out.push_back(ModuleId{static_cast<ModuleId::value_type>(m)});
+  }
+  return out;
+}
+
+}  // namespace lbist

@@ -1,0 +1,85 @@
+#include "binding/module_spec.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dfg/schedule.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+
+std::string ModuleProto::label() const {
+  if (supports.size() == 1) return std::string(symbol(supports[0]));
+  std::string out = "[";
+  for (OpKind k : supports) out += symbol(k);
+  out += "]";
+  return out;
+}
+
+std::vector<ModuleProto> parse_module_spec(std::string_view s) {
+  std::vector<ModuleProto> protos;
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  };
+  while (true) {
+    skip_ws();
+    LBIST_CHECK(i < s.size(), "empty module group in spec: " +
+                                  std::string(s));
+    // Optional count.
+    int count = 0;
+    bool has_count = false;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      count = count * 10 + (s[i] - '0');
+      has_count = true;
+      ++i;
+    }
+    if (!has_count) count = 1;
+    LBIST_CHECK(count >= 1, "module count must be positive in: " +
+                                std::string(s));
+    skip_ws();
+    // Single symbol or bracketed ALU set.
+    ModuleProto proto;
+    LBIST_CHECK(i < s.size(), "missing operator in spec: " + std::string(s));
+    if (s[i] == '[') {
+      ++i;
+      while (i < s.size() && s[i] != ']') {
+        proto.supports.push_back(kind_from_symbol(s.substr(i, 1)));
+        ++i;
+      }
+      LBIST_CHECK(i < s.size(), "unterminated '[' in spec: " +
+                                    std::string(s));
+      ++i;  // consume ']'
+      LBIST_CHECK(!proto.supports.empty(),
+                  "empty ALU set in spec: " + std::string(s));
+    } else {
+      proto.supports.push_back(kind_from_symbol(s.substr(i, 1)));
+      ++i;
+    }
+    for (int c = 0; c < count; ++c) protos.push_back(proto);
+    skip_ws();
+    if (i >= s.size()) break;
+    LBIST_CHECK(s[i] == ',', "expected ',' in spec: " + std::string(s));
+    ++i;
+  }
+  return protos;
+}
+
+std::vector<ModuleProto> minimal_module_spec(const Dfg& dfg,
+                                             const Schedule& sched) {
+  std::map<OpKind, std::map<int, int>> per_kind_step;
+  for (const auto& op : dfg.ops()) {
+    ++per_kind_step[op.kind][sched.step(op.id)];
+  }
+  std::vector<ModuleProto> protos;
+  for (const auto& [kind, steps] : per_kind_step) {
+    int needed = 0;
+    for (const auto& [step, n] : steps) needed = std::max(needed, n);
+    for (int c = 0; c < needed; ++c) {
+      protos.push_back(ModuleProto{{kind}});
+    }
+  }
+  return protos;
+}
+
+}  // namespace lbist

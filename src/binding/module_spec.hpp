@@ -1,0 +1,46 @@
+#pragma once
+// Module specification mini-language.
+//
+// The paper's experiments pin the module assignment per benchmark (column 2
+// of Table I, e.g. "1+, 3 ALUs").  A spec is a comma-separated list of
+// groups; each group is an optional count followed by either a single
+// operator symbol or a bracketed symbol set (an ALU):
+//
+//   "1+,1*"          one adder, one multiplier
+//   "1/,2*,2+,1&"    six single-function modules
+//   "1+,3[-*/&|]"    one adder and three five-function ALUs
+//
+// Operator symbols are those of dfg.hpp (`symbol(OpKind)`).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace lbist {
+
+/// A functional-unit type: the operator kinds one hardware module supports.
+struct ModuleProto {
+  std::vector<OpKind> supports;
+
+  [[nodiscard]] bool supports_kind(OpKind k) const {
+    for (OpKind s : supports) {
+      if (s == k) return true;
+    }
+    return false;
+  }
+  /// Display label, e.g. "+" or "[-*/&|]".
+  [[nodiscard]] std::string label() const;
+};
+
+/// Parses a spec string into one ModuleProto per physical module.
+/// Throws lbist::Error on malformed specs.
+[[nodiscard]] std::vector<ModuleProto> parse_module_spec(std::string_view s);
+
+/// The cheapest single-function spec able to schedule `dfg`: per operator
+/// kind, as many modules as the busiest step requires.
+[[nodiscard]] std::vector<ModuleProto> minimal_module_spec(
+    const Dfg& dfg, const class Schedule& sched);
+
+}  // namespace lbist

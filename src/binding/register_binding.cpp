@@ -1,0 +1,63 @@
+#include "binding/register_binding.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+DynBitset RegisterBinding::var_mask(RegId r, std::size_t num_vars) const {
+  DynBitset m(num_vars);
+  for (VarId v : regs[r.index()]) m.set(v.index());
+  return m;
+}
+
+std::vector<DynBitset> RegisterBinding::all_var_masks(
+    std::size_t num_vars) const {
+  std::vector<DynBitset> out;
+  out.reserve(regs.size());
+  for (std::size_t r = 0; r < regs.size(); ++r) {
+    out.push_back(var_mask(RegId{static_cast<RegId::value_type>(r)},
+                           num_vars));
+  }
+  return out;
+}
+
+void RegisterBinding::validate(
+    const Dfg& dfg, const IdMap<VarId, LiveInterval>& lifetimes) const {
+  for (const auto& v : dfg.vars()) {
+    if (v.allocatable()) {
+      LBIST_CHECK(reg_of[v.id].valid(),
+                  "allocatable variable unassigned: " + v.name);
+    } else {
+      LBIST_CHECK(!reg_of[v.id].valid(),
+                  "non-allocatable variable assigned a register: " + v.name);
+    }
+  }
+  for (const auto& members : regs) {
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        LBIST_CHECK(
+            !lifetimes[members[a]].overlaps(lifetimes[members[b]]),
+            "conflicting variables share a register: " +
+                dfg.var(members[a]).name + " and " + dfg.var(members[b]).name);
+      }
+    }
+  }
+}
+
+std::string RegisterBinding::to_string(const Dfg& dfg) const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < regs.size(); ++r) {
+    if (r > 0) os << ' ';
+    os << 'R' << (r + 1) << "={";
+    for (std::size_t i = 0; i < regs[r].size(); ++i) {
+      if (i > 0) os << ',';
+      os << dfg.var(regs[r][i]).name;
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+}  // namespace lbist

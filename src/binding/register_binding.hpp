@@ -1,0 +1,40 @@
+#pragma once
+// Register binding Π_R — a partition of the allocatable variables into
+// registers such that no register holds two conflicting variables.
+
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "dfg/lifetime.hpp"
+#include "support/dyn_bitset.hpp"
+#include "support/ids.hpp"
+
+namespace lbist {
+
+/// A complete register binding.
+struct RegisterBinding {
+  /// register -> variables assigned to it (in assignment order).
+  std::vector<std::vector<VarId>> regs;
+  /// variable -> register; invalid for non-allocatable variables.
+  IdMap<VarId, RegId> reg_of;
+
+  [[nodiscard]] std::size_t num_regs() const { return regs.size(); }
+
+  /// Bitset over VarId of the variables in register r.
+  [[nodiscard]] DynBitset var_mask(RegId r, std::size_t num_vars) const;
+
+  /// All registers' variable masks (index = register).
+  [[nodiscard]] std::vector<DynBitset> all_var_masks(
+      std::size_t num_vars) const;
+
+  /// Throws lbist::Error if two variables in one register conflict or some
+  /// allocatable variable is unassigned.
+  void validate(const Dfg& dfg,
+                const IdMap<VarId, LiveInterval>& lifetimes) const;
+
+  /// "R1={c,f,a} R2={d,g,b,h} R3={e}"
+  [[nodiscard]] std::string to_string(const Dfg& dfg) const;
+};
+
+}  // namespace lbist

@@ -1,0 +1,18 @@
+#include "binding/sharing.hpp"
+
+namespace lbist {
+
+SharingAnalysis::SharingAnalysis(const Dfg& dfg, const ModuleBinding& mb)
+    : num_modules_(mb.num_modules()), masks_(dfg.num_vars()) {
+  for (const auto& v : dfg.vars()) {
+    DynBitset m(2 * num_modules_);
+    for (std::size_t j = 0; j < num_modules_; ++j) {
+      const ModuleId mod{static_cast<ModuleId::value_type>(j)};
+      if (mb.input_vars(mod).test(v.id.index())) m.set(j);
+      if (mb.output_vars(mod).test(v.id.index())) m.set(num_modules_ + j);
+    }
+    masks_[v.id] = std::move(m);
+  }
+}
+
+}  // namespace lbist

@@ -1,0 +1,68 @@
+#include "binding/traditional_binder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/chordal.hpp"
+#include "graph/coloring.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+
+RegisterBinding bind_registers_traditional(
+    const Dfg& dfg, const VarConflictGraph& cg,
+    const IdMap<VarId, LiveInterval>& lifetimes) {
+  // Left-edge: sort by birth (ties: death, then id), pack each variable
+  // into the first register whose current occupant has already died.
+  std::vector<std::size_t> order(cg.vars.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& ia = lifetimes[cg.vars[a]];
+    const auto& ib = lifetimes[cg.vars[b]];
+    if (ia.birth != ib.birth) return ia.birth < ib.birth;
+    if (ia.death != ib.death) return ia.death < ib.death;
+    return a < b;
+  });
+
+  RegisterBinding rb;
+  rb.reg_of.assign(dfg.num_vars(), RegId::invalid());
+  std::vector<int> last_death;  // per register
+  for (std::size_t v : order) {
+    const auto& iv = lifetimes[cg.vars[v]];
+    std::size_t r = 0;
+    for (; r < last_death.size(); ++r) {
+      if (last_death[r] <= iv.birth) break;
+    }
+    if (r == last_death.size()) {
+      last_death.push_back(0);
+      rb.regs.emplace_back();
+    }
+    last_death[r] = iv.death;
+    rb.regs[r].push_back(cg.vars[v]);
+    rb.reg_of[cg.vars[v]] = RegId{static_cast<RegId::value_type>(r)};
+  }
+  return rb;
+}
+
+RegisterBinding bind_registers_reverse_peo(const Dfg& dfg,
+                                           const VarConflictGraph& cg) {
+  auto peo = perfect_elimination_order(cg.graph);
+  LBIST_CHECK(peo.has_value(),
+              "conflict graph is not chordal (loops or mutual exclusion in "
+              "the DFG?)");
+  std::vector<std::size_t> order(peo->rbegin(), peo->rend());
+  Coloring coloring = greedy_color(cg.graph, order);
+
+  RegisterBinding rb;
+  rb.reg_of.assign(dfg.num_vars(), RegId::invalid());
+  rb.regs.resize(coloring.num_colors);
+  for (std::size_t v : order) {
+    const VarId var = cg.vars[v];
+    const RegId reg{static_cast<RegId::value_type>(coloring.color[v])};
+    rb.regs[reg.index()].push_back(var);
+    rb.reg_of[var] = reg;
+  }
+  return rb;
+}
+
+}  // namespace lbist

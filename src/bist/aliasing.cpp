@@ -1,0 +1,50 @@
+#include "bist/aliasing.hpp"
+
+#include <random>
+
+#include "support/check.hpp"
+#include "support/lfsr.hpp"
+
+namespace lbist {
+
+double misr_aliasing_asymptotic(int width) {
+  return 1.0 / static_cast<double>(std::uint64_t{1} << width);
+}
+
+AliasingEstimate misr_aliasing_empirical(int width, int patterns, int trials,
+                                         std::uint64_t seed) {
+  LBIST_CHECK(patterns > 0 && trials > 0, "need positive patterns/trials");
+  std::mt19937_64 rng(seed);
+  const std::uint32_t mask =
+      width == 32 ? 0xFFFFFFFFu : ((std::uint32_t{1} << width) - 1);
+  std::uniform_int_distribution<std::uint32_t> word(0, mask);
+  std::uniform_int_distribution<int> position(0, patterns - 1);
+
+  AliasingEstimate est;
+  est.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    // A random response stream and a random non-empty error overlay.
+    Misr good(width), bad(width);
+    // Guarantee at least one corrupted word so "no error" never counts.
+    const int forced_error = position(rng);
+    for (int p = 0; p < patterns; ++p) {
+      const std::uint32_t w = word(rng);
+      std::uint32_t e = (word(rng) & word(rng) & word(rng));  // sparse-ish
+      if (p == forced_error && e == 0) e = 1;
+      good.absorb(w);
+      bad.absorb(w ^ e);
+    }
+    if (good.signature() == bad.signature()) ++est.aliases;
+  }
+  est.probability = static_cast<double>(est.aliases) / trials;
+  return est;
+}
+
+int misr_width_for_escape_probability(double target) {
+  LBIST_CHECK(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+  int width = 2;
+  while (width < 32 && misr_aliasing_asymptotic(width) >= target) ++width;
+  return width;
+}
+
+}  // namespace lbist

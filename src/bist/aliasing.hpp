@@ -1,0 +1,32 @@
+#pragma once
+// MISR aliasing analysis: the probability that a faulty response stream
+// compacts to the fault-free signature (an "escape").  For a k-bit MISR
+// with a primitive polynomial and long random error streams the asymptotic
+// escape probability is 2^-k; this module provides both the analytic value
+// and a Monte-Carlo measurement, and backs the test-length/width guidance
+// in the test-plan report.
+
+#include <cstdint>
+
+namespace lbist {
+
+/// Asymptotic aliasing probability of a `width`-bit MISR.
+[[nodiscard]] double misr_aliasing_asymptotic(int width);
+
+/// Monte-Carlo estimate: fraction of `trials` random non-zero error
+/// streams of length `patterns` that alias to the error-free signature.
+struct AliasingEstimate {
+  double probability = 0.0;
+  int trials = 0;
+  int aliases = 0;
+};
+[[nodiscard]] AliasingEstimate misr_aliasing_empirical(int width,
+                                                       int patterns,
+                                                       int trials,
+                                                       std::uint64_t seed);
+
+/// Smallest MISR width whose asymptotic escape probability is below
+/// `target` (e.g. 1e-3 -> 10 bits).
+[[nodiscard]] int misr_width_for_escape_probability(double target);
+
+}  // namespace lbist

@@ -1,0 +1,254 @@
+#include "bist/allocator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+
+#include "bist/sessions.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+
+namespace {
+
+using StateKey = std::string;  // one byte of RoleFlags per register
+
+StateKey apply_embedding(const StateKey& state, const BistEmbedding& e) {
+  StateKey next = state;
+  auto set_flags = [&](std::size_t reg, bool tpg, bool sa) {
+    RoleFlags f = RoleFlags::decode(static_cast<std::uint8_t>(next[reg]));
+    f.tpg = f.tpg || tpg;
+    f.sa = f.sa || sa;
+    next[reg] = static_cast<char>(f.encode());
+  };
+  set_flags(e.tpg_left, true, false);
+  set_flags(e.tpg_right, true, false);
+  if (e.sa.has_value()) {
+    if (e.needs_cbilbo()) {
+      RoleFlags f = RoleFlags::decode(static_cast<std::uint8_t>(next[*e.sa]));
+      f.tpg = true;
+      f.sa = true;
+      f.cbilbo = true;
+      next[*e.sa] = static_cast<char>(f.encode());
+    } else {
+      set_flags(*e.sa, false, true);
+    }
+  }
+  return next;
+}
+
+/// (extra_area, #cbilbo, #modified): the lexicographic objective.
+std::tuple<double, int, int> cost_of(const StateKey& state,
+                                     const AreaModel& model) {
+  double area = 0.0;
+  int cbilbos = 0;
+  int modified = 0;
+  for (char c : state) {
+    const BistRole role =
+        RoleFlags::decode(static_cast<std::uint8_t>(c)).role();
+    area += model.role_extra(role);
+    if (role == BistRole::Cbilbo) ++cbilbos;
+    if (role != BistRole::None) ++modified;
+  }
+  return {area, cbilbos, modified};
+}
+
+std::vector<BistRole> roles_of(const StateKey& state) {
+  std::vector<BistRole> roles;
+  roles.reserve(state.size());
+  for (char c : state) {
+    roles.push_back(RoleFlags::decode(static_cast<std::uint8_t>(c)).role());
+  }
+  return roles;
+}
+
+}  // namespace
+
+RoleCounts BistSolution::counts() const {
+  RoleCounts c;
+  for (BistRole r : roles) {
+    switch (r) {
+      case BistRole::None: break;
+      case BistRole::Tpg: ++c.tpg; break;
+      case BistRole::Sa: ++c.sa; break;
+      case BistRole::TpgSa: ++c.tpg_sa; break;
+      case BistRole::Cbilbo: ++c.cbilbo; break;
+    }
+  }
+  return c;
+}
+
+std::string RoleCounts::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  auto item = [&](int n, const char* label) {
+    if (n == 0) return;
+    if (!first) os << ", ";
+    os << n << " " << label;
+    first = false;
+  };
+  item(cbilbo, "CBILBO");
+  item(tpg_sa, "TPG/SA");
+  item(tpg, "TPG");
+  item(sa, "SA");
+  if (first) os << "none";
+  return os.str();
+}
+
+double BistSolution::overhead_percent(const Datapath& dp,
+                                      const AreaModel& model) const {
+  return 100.0 * extra_area / model.functional_area(dp);
+}
+
+std::string BistSolution::describe(const Datapath& dp) const {
+  std::ostringstream os;
+  os << "BIST solution: " << counts().to_string() << " (extra "
+     << extra_area << " gates)\n";
+  for (std::size_t r = 0; r < roles.size(); ++r) {
+    if (roles[r] == BistRole::None) continue;
+    os << "  " << dp.registers[r].name << " -> " << to_string(roles[r])
+       << "\n";
+  }
+  for (std::size_t m : untestable_modules) {
+    os << "  ! module " << dp.modules[m].name
+       << " has no feasible BIST embedding\n";
+  }
+  return os.str();
+}
+
+BistSolution BistAllocator::solve(const Datapath& dp) const {
+  const std::size_t nregs = dp.registers.size();
+
+  // Pre-enumerate embeddings; record untestable modules.
+  std::vector<std::vector<BistEmbedding>> embeddings;
+  std::vector<std::size_t> untestable;
+  for (std::size_t m = 0; m < dp.modules.size(); ++m) {
+    embeddings.push_back(use_transparent_paths
+                             ? enumerate_embeddings_extended(dp, m)
+                             : enumerate_embeddings(dp, m));
+    if (embeddings.back().empty()) untestable.push_back(m);
+  }
+
+  struct Entry {
+    StateKey state;
+    std::size_t parent = 0;                 // index into previous level
+    std::optional<BistEmbedding> chosen;    // embedding taken at this level
+  };
+  std::vector<std::vector<Entry>> levels;
+  levels.push_back({Entry{StateKey(nregs, '\0'), 0, std::nullopt}});
+
+  for (std::size_t m = 0; m < dp.modules.size(); ++m) {
+    const auto& prev = levels.back();
+    std::vector<Entry> next;
+    std::unordered_map<StateKey, std::size_t> seen;
+    if (embeddings[m].empty()) {
+      // Untestable module: states pass through unchanged.
+      for (std::size_t p = 0; p < prev.size(); ++p) {
+        if (seen.emplace(prev[p].state, next.size()).second) {
+          next.push_back(Entry{prev[p].state, p, std::nullopt});
+        }
+      }
+    } else {
+      for (std::size_t p = 0; p < prev.size(); ++p) {
+        for (const BistEmbedding& e : embeddings[m]) {
+          StateKey s = apply_embedding(prev[p].state, e);
+          if (seen.emplace(s, next.size()).second) {
+            next.push_back(Entry{std::move(s), p, e});
+            // Bail out *during* construction — a single level can exhaust
+            // memory long before it completes on large designs.
+            if (next.size() > max_frontier) return solve_greedy(dp);
+          }
+        }
+      }
+    }
+    levels.push_back(std::move(next));
+  }
+
+  // Pick the best final state.
+  const auto& final_level = levels.back();
+  LBIST_CHECK(!final_level.empty(), "BIST allocator reached no state");
+  std::size_t best = 0;
+  auto best_cost = cost_of(final_level[0].state, model_);
+  for (std::size_t i = 1; i < final_level.size(); ++i) {
+    auto c = cost_of(final_level[i].state, model_);
+    if (c < best_cost) {
+      best_cost = c;
+      best = i;
+    }
+  }
+
+  auto reconstruct = [&](std::size_t final_index) {
+    BistSolution sol;
+    sol.roles = roles_of(final_level[final_index].state);
+    sol.extra_area = std::get<0>(cost_of(final_level[final_index].state,
+                                         model_));
+    sol.untestable_modules = untestable;
+    sol.embeddings.assign(dp.modules.size(), std::nullopt);
+    std::size_t idx = final_index;
+    for (std::size_t level = levels.size() - 1; level >= 1; --level) {
+      const Entry& e = levels[level][idx];
+      sol.embeddings[level - 1] = e.chosen;
+      idx = e.parent;
+    }
+    return sol;
+  };
+
+  if (!minimize_sessions) return reconstruct(best);
+
+  // Among cost-optimal states, pick the solution with the fewest test
+  // sessions (total test time).
+  BistSolution best_sol = reconstruct(best);
+  int best_sessions =
+      schedule_test_sessions(dp, best_sol).num_sessions;
+  for (std::size_t i = 0; i < final_level.size(); ++i) {
+    if (i == best || cost_of(final_level[i].state, model_) != best_cost) {
+      continue;
+    }
+    BistSolution candidate = reconstruct(i);
+    const int sessions =
+        schedule_test_sessions(dp, candidate).num_sessions;
+    if (sessions < best_sessions) {
+      best_sessions = sessions;
+      best_sol = std::move(candidate);
+    }
+  }
+  return best_sol;
+}
+
+BistSolution BistAllocator::solve_greedy(const Datapath& dp) const {
+  const std::size_t nregs = dp.registers.size();
+  StateKey state(nregs, '\0');
+
+  BistSolution sol;
+  sol.exact = false;
+  sol.embeddings.assign(dp.modules.size(), std::nullopt);
+  for (std::size_t m = 0; m < dp.modules.size(); ++m) {
+    auto embeddings = use_transparent_paths
+                          ? enumerate_embeddings_extended(dp, m)
+                          : enumerate_embeddings(dp, m);
+    if (embeddings.empty()) {
+      sol.untestable_modules.push_back(m);
+      continue;
+    }
+    StateKey best_state;
+    std::optional<BistEmbedding> best_emb;
+    std::tuple<double, int, int> best_cost{0, 0, 0};
+    for (const BistEmbedding& e : embeddings) {
+      StateKey s = apply_embedding(state, e);
+      auto c = cost_of(s, model_);
+      if (!best_emb.has_value() || c < best_cost) {
+        best_cost = c;
+        best_state = std::move(s);
+        best_emb = e;
+      }
+    }
+    state = std::move(best_state);
+    sol.embeddings[m] = best_emb;
+  }
+  sol.roles = roles_of(state);
+  sol.extra_area = std::get<0>(cost_of(state, model_));
+  return sol;
+}
+
+}  // namespace lbist

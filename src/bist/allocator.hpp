@@ -1,0 +1,90 @@
+#pragma once
+// BIST test-resource allocation — the BITS stand-in (see DESIGN.md §2).
+//
+// Given a data path, choose one BIST embedding per module (TPG pair + SA)
+// so that the total extra area of converting registers to test registers is
+// minimal.  Modules need not be tested in the same session, so a register
+// may be TPG for one module and SA for another (a BILBO, role TpgSa); only
+// a register that is TPG and SA *for the same module* must be a CBILBO.
+//
+// `solve_exact` runs a per-module dynamic program over register role-state
+// vectors (3 bits per register: tpg, sa, cbilbo).  State count stays tiny
+// on allocation-sized designs; if the frontier ever exceeds a cap the
+// allocator falls back to the greedy solver.  Objective is lexicographic:
+// minimal extra area, then fewest CBILBOs, then fewest modified registers.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bist/area_model.hpp"
+#include "bist/roles.hpp"
+#include "rtl/datapath.hpp"
+#include "rtl/ipath.hpp"
+
+namespace lbist {
+
+/// Per-role counts of a solution (the columns of Tables II and III).
+struct RoleCounts {
+  int tpg = 0;
+  int sa = 0;
+  int tpg_sa = 0;  ///< BILBOs
+  int cbilbo = 0;
+
+  [[nodiscard]] int modified() const { return tpg + sa + tpg_sa + cbilbo; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A complete BIST resource allocation.
+struct BistSolution {
+  /// Final role of every register (index space of Datapath::registers).
+  std::vector<BistRole> roles;
+  /// Chosen embedding per module, in module order; nullopt for untestable
+  /// modules.
+  std::vector<std::optional<BistEmbedding>> embeddings;
+  /// Modules with no feasible embedding (e.g. one register feeds both
+  /// input ports).
+  std::vector<std::size_t> untestable_modules;
+  /// Total extra gates of the register conversions.
+  double extra_area = 0.0;
+  /// True when produced by the exact DP; false for greedy (including the
+  /// frontier-cap fallback, where a larger embedding space can paradoxically
+  /// yield a worse solution).
+  bool exact = true;
+
+  [[nodiscard]] RoleCounts counts() const;
+  /// Overhead as percentage of functional area (the paper's "% BIST area").
+  [[nodiscard]] double overhead_percent(const Datapath& dp,
+                                        const AreaModel& model) const;
+  [[nodiscard]] std::string describe(const Datapath& dp) const;
+};
+
+/// Minimal-area BIST allocation.
+class BistAllocator {
+ public:
+  explicit BistAllocator(AreaModel model) : model_(model) {}
+
+  /// Exact DP solver; falls back to greedy beyond `max_frontier` states.
+  [[nodiscard]] BistSolution solve(const Datapath& dp) const;
+
+  /// Greedy: modules in order, each takes its locally cheapest embedding.
+  [[nodiscard]] BistSolution solve_greedy(const Datapath& dp) const;
+
+  /// Frontier cap for the exact DP (states per module level).
+  std::size_t max_frontier = 500000;
+
+  /// Also consider TPG paths through modules held in an identity mode
+  /// (extension; widens the embedding space at zero area cost — see
+  /// rtl/ipath.hpp and bench_transparency).
+  bool use_transparent_paths = false;
+
+  /// Among area-minimal solutions, prefer the one needing the fewest test
+  /// sessions (shorter total test time).  Evaluates the session count of
+  /// every area-optimal final state, so leave off for very large designs.
+  bool minimize_sessions = false;
+
+ private:
+  AreaModel model_;
+};
+
+}  // namespace lbist

@@ -1,0 +1,69 @@
+#include "bist/area_model.hpp"
+
+#include <algorithm>
+
+namespace lbist {
+
+double AreaModel::mux_area(std::size_t k_inputs) const {
+  if (k_inputs <= 1) return 0.0;
+  return static_cast<double>(k_inputs - 1) * mux_gates_per_bit * bit_width;
+}
+
+double AreaModel::module_area(const ModuleProto& proto) const {
+  const double n = bit_width;
+  auto kind_area = [&](OpKind k) {
+    switch (k) {
+      case OpKind::Add: return add_gates_per_bit * n;
+      case OpKind::Sub: return sub_gates_per_bit * n;
+      case OpKind::Mul: return mul_gates_per_bit2 * n * n;
+      case OpKind::Div: return div_gates_per_bit2 * n * n;
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::Xor: return logic_gates_per_bit * n;
+      case OpKind::Lt:
+      case OpKind::Gt: return cmp_gates_per_bit * n;
+    }
+    return 0.0;
+  };
+  double largest = 0.0;
+  double total_rest = 0.0;
+  for (OpKind k : proto.supports) {
+    const double a = kind_area(k);
+    if (a > largest) {
+      total_rest += largest;
+      largest = a;
+    } else {
+      total_rest += a;
+    }
+  }
+  return largest + alu_extra_kind_factor * total_rest;
+}
+
+double AreaModel::role_extra(BistRole role) const {
+  const double n = bit_width;
+  switch (role) {
+    case BistRole::None: return 0.0;
+    case BistRole::Tpg: return tpg_extra_per_bit * n;
+    case BistRole::Sa: return sa_extra_per_bit * n;
+    case BistRole::TpgSa: return bilbo_extra_per_bit * n;
+    case BistRole::Cbilbo: return cbilbo_extra_per_bit * n;
+  }
+  return 0.0;
+}
+
+double AreaModel::functional_area(const Datapath& dp) const {
+  double area = 0.0;
+  for (const auto& reg : dp.registers) {
+    area += register_area();
+    area += mux_area(reg.source_modules.size() +
+                     (reg.external_source ? 1u : 0u));
+  }
+  for (const auto& mod : dp.modules) {
+    area += module_area(mod.proto);
+    area += mux_area(mod.left_sources.size());
+    area += mux_area(mod.right_sources.size());
+  }
+  return area;
+}
+
+}  // namespace lbist

@@ -1,0 +1,63 @@
+#pragma once
+// Gate-equivalent area model.
+//
+// Stand-in for the USC BITS register library (see DESIGN.md §2): the paper
+// reports BIST overhead as a percentage of the functional gate count, so
+// only the *ratios* between register, test-register and functional-unit
+// areas matter for reproducing the comparison shape.  Defaults follow
+// common gate-equivalent estimates of the era: a D-FF ≈ 6 gates, a 2:1 mux
+// slice ≈ 3 gates, ripple adder ≈ 10 gates/bit, array multiplier ≈ 9 n²,
+// and — per the paper's Section II — a CBILBO approximately doubles the
+// register (extra ≈ 6 gates/bit), while single-mode LFSR/MISR conversions
+// are much cheaper.
+
+#include "binding/module_spec.hpp"
+#include "bist/roles.hpp"
+#include "rtl/datapath.hpp"
+
+namespace lbist {
+
+/// Parameterized gate-equivalent areas; all figures are "gate equivalents".
+struct AreaModel {
+  /// Default word width.  4 bits calibrates the functional/test-register
+  /// area ratio to the paper's reported overhead range (10-18% for the
+  /// traditional designs of Table I); widen for wider datapaths — the
+  /// comparisons in this library only ever use one model for both arms.
+  int bit_width = 4;
+
+  // Storage and steering, per bit.
+  double reg_gates_per_bit = 6.0;
+  double mux_gates_per_bit = 3.0;  ///< per 2:1 mux slice
+
+  // BIST conversion extras, per bit.
+  double tpg_extra_per_bit = 2.5;     ///< register -> LFSR
+  double sa_extra_per_bit = 2.5;      ///< register -> MISR
+  double bilbo_extra_per_bit = 4.0;   ///< register -> BILBO (TPG/SA modes)
+  double cbilbo_extra_per_bit = 6.0;  ///< register -> CBILBO (~2x register)
+
+  // Functional units: linear kinds are gates/bit; mul/div are gates/bit².
+  double add_gates_per_bit = 10.0;
+  double sub_gates_per_bit = 11.0;
+  double logic_gates_per_bit = 1.5;  ///< and/or/xor
+  double cmp_gates_per_bit = 7.0;    ///< lt/gt
+  double mul_gates_per_bit2 = 9.0;
+  double div_gates_per_bit2 = 12.0;
+  /// A multi-function ALU costs its most expensive kind plus this fraction
+  /// of each additional kind's stand-alone area (shared-datapath discount).
+  double alu_extra_kind_factor = 0.3;
+
+  [[nodiscard]] double register_area() const {
+    return reg_gates_per_bit * bit_width;
+  }
+  /// Area of a k-input mux = (k-1) 2:1 slices per bit.
+  [[nodiscard]] double mux_area(std::size_t k_inputs) const;
+  [[nodiscard]] double module_area(const ModuleProto& proto) const;
+  /// Extra gates to convert one register to the given role.
+  [[nodiscard]] double role_extra(BistRole role) const;
+
+  /// Total functional (pre-BIST) area of a data path: registers (including
+  /// dedicated input registers), functional units and all muxes.
+  [[nodiscard]] double functional_area(const Datapath& dp) const;
+};
+
+}  // namespace lbist

@@ -1,0 +1,59 @@
+#include "bist/sessions.hpp"
+
+#include <algorithm>
+
+namespace lbist {
+
+TestSessionPlan schedule_test_sessions(const Datapath& dp,
+                                       const BistSolution& solution) {
+  const std::size_t n = dp.modules.size();
+  TestSessionPlan plan;
+  plan.session_of.assign(n, -1);
+
+  auto conflicts = [&](std::size_t a, std::size_t b) {
+    const auto& ea = solution.embeddings[a];
+    const auto& eb = solution.embeddings[b];
+    if (!ea.has_value() || !eb.has_value()) return false;
+    auto uses = [](const BistEmbedding& e, std::size_t reg) {
+      return e.tpg_left == reg || e.tpg_right == reg ||
+             (e.sa.has_value() && *e.sa == reg) ||
+             (e.left_via.has_value() && *e.left_via == reg) ||
+             (e.right_via.has_value() && *e.right_via == reg);
+    };
+    // SA registers compact exactly one module's responses at a time, and a
+    // register shuttling a transparent pattern stream (via) is equally
+    // spoken for.
+    for (auto sa_like : {ea->sa, ea->left_via, ea->right_via}) {
+      if (sa_like.has_value() && uses(*eb, *sa_like)) return true;
+    }
+    for (auto sa_like : {eb->sa, eb->left_via, eb->right_via}) {
+      if (sa_like.has_value() && uses(*ea, *sa_like)) return true;
+    }
+    // A module serving as a transparent wire cannot be under test itself.
+    for (auto through : {ea->left_through, ea->right_through}) {
+      if (through.has_value() && *through == b) return true;
+    }
+    for (auto through : {eb->left_through, eb->right_through}) {
+      if (through.has_value() && *through == a) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t m = 0; m < n; ++m) {
+    if (!solution.embeddings[m].has_value()) continue;
+    std::vector<bool> used(static_cast<std::size_t>(plan.num_sessions) + 1,
+                           false);
+    for (std::size_t other = 0; other < m; ++other) {
+      if (plan.session_of[other] >= 0 && conflicts(m, other)) {
+        used[static_cast<std::size_t>(plan.session_of[other])] = true;
+      }
+    }
+    int s = 0;
+    while (used[static_cast<std::size_t>(s)]) ++s;
+    plan.session_of[m] = s;
+    plan.num_sessions = std::max(plan.num_sessions, s + 1);
+  }
+  return plan;
+}
+
+}  // namespace lbist

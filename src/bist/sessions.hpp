@@ -1,0 +1,32 @@
+#pragma once
+// Test-session scheduling (extension; the paper only notes that modules
+// need not be tested in one session).
+//
+// Two modules can share a test session unless a register's duties clash:
+// an SA/CBILBO compacts exactly one module's responses at a time, so a
+// register acting as SA for module A conflicts with any use (SA or TPG with
+// reseeding) of the same register by module B in the same session.  A
+// register acting as TPG only can drive any number of modules at once.
+// Minimal session count is computed by greedy coloring of the module
+// conflict graph (exact for the small designs here is not needed; the count
+// is reported, not optimized over).
+
+#include <vector>
+
+#include "bist/allocator.hpp"
+#include "rtl/datapath.hpp"
+
+namespace lbist {
+
+/// A partition of testable modules into concurrent test sessions.
+struct TestSessionPlan {
+  /// session index per module; -1 for untestable modules.
+  std::vector<int> session_of;
+  int num_sessions = 0;
+};
+
+/// Schedules the modules of `dp` under the chosen `solution` embeddings.
+[[nodiscard]] TestSessionPlan schedule_test_sessions(
+    const Datapath& dp, const BistSolution& solution);
+
+}  // namespace lbist

@@ -1,0 +1,38 @@
+#pragma once
+// Coverage-driven test-length selection.
+//
+// The paper fixes the BIST style; how *long* each session must run is a
+// test-engineering decision: more patterns catch more faults until the
+// TPG period exhausts the sequence.  This utility searches (galloping +
+// binary search over the fault simulator) for the smallest pattern count
+// reaching a target port-fault coverage for a module, and for a whole
+// data path, giving the test plan a principled per-session budget.
+
+#include "bist/fault_sim.hpp"
+#include "rtl/datapath.hpp"
+
+namespace lbist {
+
+/// Smallest pattern count whose coverage reaches `target` (0..1], or the
+/// TPG period if the target is unreachable (check the returned coverage).
+struct TestLength {
+  int patterns = 0;
+  CoverageResult coverage;
+  bool target_met = false;
+};
+
+[[nodiscard]] TestLength find_test_length(const ModuleProto& proto,
+                                          int width, double target);
+
+/// Per-module budgets for a data path; the plan budget is the maximum
+/// (sessions run whole).
+struct DatapathTestLength {
+  std::vector<TestLength> per_module;
+  int recommended_patterns = 0;  ///< max over testable modules
+  bool all_targets_met = true;
+};
+
+[[nodiscard]] DatapathTestLength find_test_lengths(const Datapath& dp,
+                                                   int width, double target);
+
+}  // namespace lbist

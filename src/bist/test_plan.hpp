@@ -1,0 +1,45 @@
+#pragma once
+// Full BIST test plan: the allocator's embeddings + the session schedule +
+// fault-simulated coverage, assembled into the self-test program a chip
+// would run.  (Extension beyond the paper, which stops at resource
+// selection; this is what the USC BITS back end produced downstream.)
+
+#include <string>
+#include <vector>
+
+#include "bist/allocator.hpp"
+#include "bist/fault_sim.hpp"
+#include "bist/sessions.hpp"
+#include "rtl/datapath.hpp"
+
+namespace lbist {
+
+/// One module's slice of the plan.
+struct ModuleTestReport {
+  std::size_t module = 0;
+  int session = -1;  ///< -1 when the module is untestable
+  BistEmbedding embedding;
+  int patterns = 0;
+  CoverageResult coverage;
+};
+
+/// The assembled plan.
+struct TestPlan {
+  std::vector<ModuleTestReport> modules;
+  int num_sessions = 0;
+  /// Test application time in clocks: sessions run sequentially, modules
+  /// within a session concurrently.
+  int total_clocks = 0;
+  double min_coverage = 1.0;
+  double avg_coverage = 1.0;
+
+  [[nodiscard]] std::string describe(const Datapath& dp) const;
+};
+
+/// Builds the plan for an allocated data path: schedules sessions, then
+/// fault-simulates every testable module for `patterns_per_module` clocks.
+[[nodiscard]] TestPlan build_test_plan(const Datapath& dp,
+                                       const BistSolution& solution,
+                                       int patterns_per_module, int width);
+
+}  // namespace lbist

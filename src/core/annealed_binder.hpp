@@ -1,0 +1,47 @@
+#pragma once
+// Simulated-annealing register binder (extension; ground-truth-chasing).
+//
+// The paper's heuristic optimizes *proxies* (sharing degrees, the Lemma-2
+// conditions); this binder optimizes the real objective directly — the
+// extra gates of the minimal-area BIST solution plus the mux area of the
+// resulting data path — by annealing over valid bindings (moves: reassign
+// one variable to another compatible register).  Each candidate is priced
+// by running interconnect construction and the exact BIST allocator, so
+// it is slow; its role is to bound how much the fast heuristic leaves on
+// the table (bench_binding_space), echoing the paper's remark that "in a
+// globally minimal BIST area overhead solution, a register might be
+// modified into a CBILBO even though it is not necessary to do so".
+
+#include <cstdint>
+
+#include "binding/module_binding.hpp"
+#include "binding/register_binding.hpp"
+#include "bist/area_model.hpp"
+#include "dfg/dfg.hpp"
+#include "graph/conflict.hpp"
+
+namespace lbist {
+
+/// Annealing schedule knobs.  Deterministic for a given seed.
+struct AnnealOptions {
+  std::uint64_t seed = 1;
+  int iterations = 3000;
+  double initial_temperature = 20.0;
+  double cooling = 0.998;
+  /// Never exceed the starting binding's register count.
+  bool keep_register_count = true;
+};
+
+/// The real objective the annealer minimizes: BIST conversion gates plus
+/// total mux gates of the built data path.
+[[nodiscard]] double binding_cost(const Dfg& dfg, const ModuleBinding& mb,
+                                  const RegisterBinding& rb,
+                                  const AreaModel& model);
+
+/// Anneals from the BIST-aware heuristic's binding.  Never returns a
+/// worse-than-start binding (the best-so-far is kept).
+[[nodiscard]] RegisterBinding bind_registers_annealed(
+    const Dfg& dfg, const VarConflictGraph& cg, const ModuleBinding& mb,
+    const AreaModel& model, const AnnealOptions& opts = {});
+
+}  // namespace lbist

@@ -1,0 +1,92 @@
+#include "core/chip.hpp"
+
+#include <sstream>
+
+#include "bist/verilog_bist.hpp"
+#include "dfg/parse.hpp"
+#include "rtl/simulate.hpp"
+#include "rtl/testbench.hpp"
+#include "rtl/verilog.hpp"
+#include "rtl/verilog_controller.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+
+SelfTestingChip synthesize_chip(const Dfg& dfg, const Schedule& sched,
+                                const std::vector<ModuleProto>& protos,
+                                const ChipOptions& opts) {
+  SynthesisOptions sopts = opts.synthesis;
+  sopts.area.bit_width = opts.bit_width;
+
+  SelfTestingChip chip{
+      Synthesizer(sopts).run(dfg, sched, protos), Controller{}, {}, {},
+      "",  "", "", ""};
+  chip.controller = Controller::generate(dfg, sched,
+                                         chip.synthesis.registers,
+                                         chip.synthesis.datapath,
+                                         chip.synthesis.lifetimes);
+
+  // Safety net: the data path must compute the behaviour.  Deterministic
+  // stimulus (input i gets i+1).
+  IdMap<VarId, std::uint32_t> inputs(dfg.num_vars(), 0);
+  std::uint32_t next = 1;
+  for (const auto& v : dfg.vars()) {
+    if (v.is_input()) inputs[v.id] = next++;
+  }
+  const SimResult sim =
+      simulate_datapath(dfg, chip.synthesis.datapath, chip.controller,
+                        inputs, opts.bit_width);
+  LBIST_CHECK(sim.ok(),
+              "functional cross-check failed — binder/interconnect bug");
+
+  chip.plan = build_test_plan(chip.synthesis.datapath, chip.synthesis.bist,
+                              opts.patterns, opts.bit_width);
+  chip.selftest = run_self_test(chip.synthesis.datapath,
+                                chip.synthesis.bist, opts.patterns,
+                                opts.bit_width);
+
+  chip.datapath_verilog =
+      emit_verilog(chip.synthesis.datapath, opts.bit_width);
+  chip.controller_verilog =
+      emit_controller_verilog(chip.synthesis.datapath, chip.controller);
+  chip.testbench_verilog =
+      emit_testbench(dfg, chip.synthesis.datapath, chip.controller, inputs,
+                     sim, opts.bit_width);
+  // Transparency-extended plans cannot be emitted; the default allocator
+  // does not produce them, but a custom SynthesisOptions could.
+  bool transparent = false;
+  for (const auto& e : chip.synthesis.bist.embeddings) {
+    transparent = transparent || (e.has_value() && e->uses_transparency());
+  }
+  if (!transparent) {
+    chip.bist_verilog =
+        emit_bist_verilog(chip.synthesis.datapath, chip.synthesis.bist,
+                          chip.selftest, opts.patterns, opts.bit_width);
+  }
+  return chip;
+}
+
+SelfTestingChip synthesize_chip(const std::string& dfg_text,
+                                const std::string& module_spec,
+                                const ChipOptions& opts) {
+  ParsedDfg design = parse_dfg(dfg_text);
+  LBIST_CHECK(design.schedule.has_value(),
+              "synthesize_chip needs a scheduled design (@step annotations)");
+  return synthesize_chip(design.dfg, *design.schedule,
+                         parse_module_spec(module_spec), opts);
+}
+
+std::string SelfTestingChip::summary(const Dfg& dfg) const {
+  std::ostringstream os;
+  os << synthesis.describe(dfg);
+  os << plan.describe(synthesis.datapath);
+  os << "chip-level self-test: " << selftest.faults_detected << "/"
+     << selftest.faults_injected << " port faults detected\n";
+  os << "artifacts: " << datapath_verilog.size() << "B datapath, "
+     << controller_verilog.size() << "B controller, "
+     << testbench_verilog.size() << "B testbench, " << bist_verilog.size()
+     << "B self-testing RTL\n";
+  return os.str();
+}
+
+}  // namespace lbist

@@ -1,0 +1,55 @@
+#pragma once
+// One-call facade: behaviour in, self-testing chip out.
+//
+// Wraps the whole stack — parse/schedule checks, synthesis, controller
+// generation, a functional-simulation cross-check, the fault-simulated
+// test plan, and every RTL artifact (functional data path, controller FSM,
+// self-checking testbench, self-testing BIST version with golden
+// signatures).  What a downstream user calls when they do not care about
+// the intermediate representations.
+
+#include <string>
+
+#include "bist/selftest.hpp"
+#include "bist/test_plan.hpp"
+#include "core/synthesizer.hpp"
+#include "rtl/controller.hpp"
+
+namespace lbist {
+
+/// Everything the flow produces.
+struct SelfTestingChip {
+  SynthesisResult synthesis;
+  Controller controller;
+  TestPlan plan;
+  SelfTestResult selftest;
+
+  std::string datapath_verilog;
+  std::string controller_verilog;
+  std::string testbench_verilog;
+  std::string bist_verilog;
+
+  /// Short human-readable summary of the whole chip.
+  [[nodiscard]] std::string summary(const Dfg& dfg) const;
+};
+
+/// Flow knobs beyond SynthesisOptions.
+struct ChipOptions {
+  SynthesisOptions synthesis{};
+  int bit_width = 8;       ///< RTL/fault-sim width (area model follows)
+  int patterns = 250;      ///< BIST session length (period-capped)
+};
+
+/// Runs the full flow on a scheduled DFG.  Throws lbist::Error if the
+/// functional simulation cross-check fails (it cannot, unless a binder
+/// invariant is broken — this is the flow's safety net).
+[[nodiscard]] SelfTestingChip synthesize_chip(
+    const Dfg& dfg, const Schedule& sched,
+    const std::vector<ModuleProto>& protos, const ChipOptions& opts = {});
+
+/// Convenience: parse the textual format (must carry @steps) and run.
+[[nodiscard]] SelfTestingChip synthesize_chip(
+    const std::string& dfg_text, const std::string& module_spec,
+    const ChipOptions& opts = {});
+
+}  // namespace lbist

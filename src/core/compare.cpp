@@ -1,0 +1,37 @@
+#include "core/compare.hpp"
+
+namespace lbist {
+
+ComparisonRow compare_benchmark(const Benchmark& bench,
+                                const AreaModel& model) {
+  LBIST_CHECK(bench.design.schedule.has_value(),
+              "benchmark must carry a schedule");
+  const auto protos = parse_module_spec(bench.module_spec);
+
+  SynthesisOptions trad_opts;
+  trad_opts.binder = BinderKind::Traditional;
+  trad_opts.area = model;
+
+  SynthesisOptions test_opts;
+  test_opts.binder = BinderKind::BistAware;
+  test_opts.area = model;
+
+  ComparisonRow row;
+  row.name = bench.name;
+  row.module_spec = bench.module_spec;
+  row.traditional = Synthesizer(trad_opts).run(
+      bench.design.dfg, *bench.design.schedule, protos);
+  row.testable = Synthesizer(test_opts).run(bench.design.dfg,
+                                            *bench.design.schedule, protos);
+  return row;
+}
+
+std::vector<ComparisonRow> compare_paper_benchmarks(const AreaModel& model) {
+  std::vector<ComparisonRow> rows;
+  for (const Benchmark& bench : paper_benchmarks()) {
+    rows.push_back(compare_benchmark(bench, model));
+  }
+  return rows;
+}
+
+}  // namespace lbist

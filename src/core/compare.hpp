@@ -1,0 +1,39 @@
+#pragma once
+// Side-by-side comparison driver: runs the Traditional and BIST-aware
+// pipelines on one benchmark and assembles the quantities reported in the
+// paper's Tables I and II.
+
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.hpp"
+#include "dfg/benchmarks.hpp"
+
+namespace lbist {
+
+/// One benchmark's worth of Table I + Table II data.
+struct ComparisonRow {
+  std::string name;
+  std::string module_spec;
+
+  SynthesisResult traditional;
+  SynthesisResult testable;
+
+  /// Percentage reduction in BIST area overhead (last column of Table I).
+  [[nodiscard]] double reduction_percent() const {
+    if (traditional.overhead_percent == 0.0) return 0.0;
+    return 100.0 *
+           (traditional.overhead_percent - testable.overhead_percent) /
+           traditional.overhead_percent;
+  }
+};
+
+/// Runs both arms on one benchmark.
+[[nodiscard]] ComparisonRow compare_benchmark(const Benchmark& bench,
+                                              const AreaModel& model = {});
+
+/// Runs both arms on every paper benchmark (the full Table I/II).
+[[nodiscard]] std::vector<ComparisonRow> compare_paper_benchmarks(
+    const AreaModel& model = {});
+
+}  // namespace lbist

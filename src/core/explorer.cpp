@@ -1,0 +1,124 @@
+#include "core/explorer.hpp"
+
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace lbist {
+
+namespace {
+
+const char* binder_name(BinderKind kind) {
+  switch (kind) {
+    case BinderKind::Traditional: return "traditional";
+    case BinderKind::BistAware: return "bist-aware";
+    case BinderKind::Ralloc: return "ralloc";
+    case BinderKind::Syntest: return "syntest";
+    case BinderKind::CliquePartition: return "clique";
+  }
+  return "?";
+}
+
+DesignPoint synthesize_point(const Dfg& dfg, const Schedule& sched,
+                             const std::vector<ModuleProto>& protos,
+                             const std::string& label, BinderKind binder,
+                             const AreaModel& model) {
+  SynthesisOptions opts;
+  opts.binder = binder;
+  opts.area = model;
+  SynthesisResult result = Synthesizer(opts).run(dfg, sched, protos);
+
+  DesignPoint point;
+  point.label = label;
+  point.binder = binder;
+  point.latency = sched.num_steps();
+  point.num_registers = result.num_registers();
+  point.num_mux = result.num_mux();
+  point.functional_area = result.functional_area;
+  point.bist_extra = result.bist.extra_area;
+  point.overhead_percent = result.overhead_percent;
+  return point;
+}
+
+}  // namespace
+
+std::vector<DesignPoint> explore_module_specs(
+    const Dfg& dfg, const Schedule& sched,
+    const std::vector<std::string>& specs, const ExplorerOptions& opts) {
+  std::vector<DesignPoint> points;
+  for (const std::string& spec : specs) {
+    const auto protos = parse_module_spec(spec);
+    for (BinderKind binder : opts.binders) {
+      points.push_back(
+          synthesize_point(dfg, sched, protos, spec, binder, opts.area));
+    }
+  }
+  return points;
+}
+
+std::vector<DesignPoint> explore_resource_budgets(
+    const Dfg& dfg, const std::vector<ResourceLimits>& budgets,
+    const ExplorerOptions& opts) {
+  std::vector<DesignPoint> points;
+  for (const ResourceLimits& budget : budgets) {
+    Schedule sched = list_schedule(dfg, budget);
+    const auto protos = minimal_module_spec(dfg, sched);
+    std::ostringstream label;
+    bool first = true;
+    for (const auto& [kind, count] : budget) {
+      label << (first ? "" : ",") << count << symbol(kind);
+      first = false;
+    }
+    label << " @" << sched.num_steps();
+    for (BinderKind binder : opts.binders) {
+      points.push_back(synthesize_point(dfg, sched, protos, label.str(),
+                                        binder, opts.area));
+    }
+  }
+  return points;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<DesignPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      const bool no_worse =
+          points[j].functional_area <= points[i].functional_area &&
+          points[j].bist_extra <= points[i].bist_extra;
+      const bool better =
+          points[j].functional_area < points[i].functional_area ||
+          points[j].bist_extra < points[i].bist_extra;
+      if (no_worse && better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::string describe_points(const std::vector<DesignPoint>& points) {
+  TextTable t({"point", "binder", "latency", "#reg", "#mux", "func area",
+               "BIST extra", "% overhead", "total"});
+  const auto front = pareto_front(points);
+  auto on_front = [&](std::size_t i) {
+    for (std::size_t f : front) {
+      if (f == i) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DesignPoint& p = points[i];
+    t.add_row({p.label + (on_front(i) ? " *" : ""), binder_name(p.binder),
+               std::to_string(p.latency), std::to_string(p.num_registers),
+               std::to_string(p.num_mux), fmt_double(p.functional_area, 0),
+               fmt_double(p.bist_extra, 0),
+               fmt_double(p.overhead_percent), fmt_double(p.total_area(), 0)});
+  }
+  return t.str() + "(* = on the (functional area, BIST extra) Pareto front)\n";
+}
+
+}  // namespace lbist

@@ -1,0 +1,62 @@
+#pragma once
+// Design-space exploration (extension): the paper argues that considering
+// testability early lets synthesis explore the testable design space; this
+// module actually walks that space.  Given a behaviour, it sweeps resource
+// budgets (which change the schedule), module specs and binder styles, and
+// reports every point's functional area, BIST overhead and register/mux
+// counts, with a Pareto filter over (functional area, BIST extra area).
+
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.hpp"
+#include "sched/list_sched.hpp"
+
+namespace lbist {
+
+/// One synthesized design point.
+struct DesignPoint {
+  std::string label;
+  BinderKind binder = BinderKind::BistAware;
+  int latency = 0;
+  int num_registers = 0;
+  int num_mux = 0;
+  double functional_area = 0.0;
+  double bist_extra = 0.0;
+  double overhead_percent = 0.0;
+
+  [[nodiscard]] double total_area() const {
+    return functional_area + bist_extra;
+  }
+};
+
+/// Sweep configuration.
+struct ExplorerOptions {
+  /// Binder styles to try at each point.
+  std::vector<BinderKind> binders = {BinderKind::Traditional,
+                                     BinderKind::BistAware};
+  AreaModel area{};
+};
+
+/// Explores a *scheduled* design across module specs (each spec string is
+/// one point, labelled by the spec).
+[[nodiscard]] std::vector<DesignPoint> explore_module_specs(
+    const Dfg& dfg, const Schedule& sched,
+    const std::vector<std::string>& specs, const ExplorerOptions& opts = {});
+
+/// Explores an *unscheduled* design across resource budgets: each budget is
+/// list-scheduled, the minimal spec derived, and the point synthesized.
+[[nodiscard]] std::vector<DesignPoint> explore_resource_budgets(
+    const Dfg& dfg, const std::vector<ResourceLimits>& budgets,
+    const ExplorerOptions& opts = {});
+
+/// Indices of the points not dominated on (functional_area, bist_extra) —
+/// smaller is better in both.
+[[nodiscard]] std::vector<std::size_t> pareto_front(
+    const std::vector<DesignPoint>& points);
+
+/// Renders the sweep as an aligned table.
+[[nodiscard]] std::string describe_points(
+    const std::vector<DesignPoint>& points);
+
+}  // namespace lbist

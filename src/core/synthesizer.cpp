@@ -1,0 +1,78 @@
+#include "core/synthesizer.hpp"
+
+#include <sstream>
+
+#include "baselines/ralloc.hpp"
+#include "baselines/syntest.hpp"
+#include "binding/clique_binder.hpp"
+#include "binding/loop_binder.hpp"
+#include "binding/traditional_binder.hpp"
+#include "graph/conflict.hpp"
+
+namespace lbist {
+
+SynthesisResult Synthesizer::run(const Dfg& dfg, const Schedule& sched,
+                                 const std::vector<ModuleProto>& protos)
+    const {
+  SynthesisResult result;
+  result.modules = ModuleBinding::bind(dfg, sched, protos);
+  result.lifetimes = compute_lifetimes(dfg, sched, opts_.lifetime);
+  const VarConflictGraph cg = build_conflict_graph(dfg, result.lifetimes);
+
+  switch (opts_.binder) {
+    case BinderKind::Traditional:
+      result.registers = bind_registers_traditional(dfg, cg, result.lifetimes);
+      break;
+    case BinderKind::BistAware:
+      result.registers = bind_registers_bist_aware(dfg, cg, result.modules,
+                                                   opts_.bist_binder);
+      break;
+    case BinderKind::Ralloc:
+      result.registers = bind_registers_ralloc(dfg, cg, result.modules);
+      break;
+    case BinderKind::Syntest:
+      result.registers = bind_registers_syntest(dfg, cg, result.modules);
+      break;
+    case BinderKind::CliquePartition:
+      result.registers = bind_registers_clique(dfg, cg, result.modules);
+      break;
+    case BinderKind::LoopAware:
+      result.registers = bind_registers_loop_aware(dfg, result.lifetimes);
+      break;
+  }
+  result.registers.validate(dfg, result.lifetimes);
+
+  result.datapath = build_datapath(dfg, result.modules, result.registers,
+                                   opts_.interconnect);
+
+  switch (opts_.binder) {
+    case BinderKind::Ralloc:
+      result.bist = ralloc_bist_labelling(result.datapath, opts_.area);
+      break;
+    case BinderKind::Syntest:
+      result.bist = syntest_bist_labelling(result.datapath, opts_.area);
+      break;
+    default: {
+      const BistAllocator allocator(opts_.area);
+      result.bist = allocator.solve(result.datapath);
+      break;
+    }
+  }
+
+  result.functional_area = opts_.area.functional_area(result.datapath);
+  result.overhead_percent =
+      result.bist.overhead_percent(result.datapath, opts_.area);
+  return result;
+}
+
+std::string SynthesisResult::describe(const Dfg& dfg) const {
+  std::ostringstream os;
+  os << "register binding: " << registers.to_string(dfg) << "\n";
+  os << datapath.describe();
+  os << bist.describe(datapath);
+  os << "functional area: " << functional_area << " gates, BIST overhead: "
+     << overhead_percent << "%\n";
+  return os.str();
+}
+
+}  // namespace lbist

@@ -1,0 +1,77 @@
+#pragma once
+// End-to-end synthesis pipeline: scheduled DFG -> module binding ->
+// register binding -> interconnect -> data path -> minimal-area BIST
+// solution.  This is the library's main entry point.
+
+#include <string>
+#include <vector>
+
+#include "binding/bist_aware_binder.hpp"
+#include "binding/module_binding.hpp"
+#include "binding/register_binding.hpp"
+#include "bist/allocator.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/lifetime.hpp"
+#include "dfg/schedule.hpp"
+#include "interconnect/build_datapath.hpp"
+#include "rtl/datapath.hpp"
+
+namespace lbist {
+
+/// Which register-binding strategy the pipeline uses.
+enum class BinderKind {
+  Traditional,      ///< left-edge minimum binding, no testability
+  BistAware,        ///< the paper's algorithm (Section III)
+  Ralloc,           ///< Avra-style baseline (self-adjacency minimizing)
+  Syntest,          ///< Papachristou-style baseline (self-testable template)
+  CliquePartition,  ///< SD-weighted clique partitioning (extension)
+  LoopAware,        ///< honors Dfg::loop_ties() (extension; loops are out
+                    ///< of the paper's scope)
+};
+
+/// Pipeline configuration.
+struct SynthesisOptions {
+  BinderKind binder = BinderKind::BistAware;
+  BistBinderOptions bist_binder{};
+  InterconnectOptions interconnect{};
+  LifetimeOptions lifetime{};
+  AreaModel area{};
+};
+
+/// Everything the pipeline produced, with the headline metrics.
+struct SynthesisResult {
+  ModuleBinding modules;
+  RegisterBinding registers;
+  IdMap<VarId, LiveInterval> lifetimes;
+  Datapath datapath;
+  BistSolution bist;
+
+  double functional_area = 0.0;
+  double overhead_percent = 0.0;  ///< the paper's "% BIST area"
+
+  [[nodiscard]] int num_registers() const {
+    return static_cast<int>(registers.num_regs());
+  }
+  [[nodiscard]] int num_mux() const { return datapath.mux_count(); }
+
+  /// Multi-line report: binding, data path structure, BIST solution.
+  [[nodiscard]] std::string describe(const Dfg& dfg) const;
+};
+
+/// Runs the pipeline.
+class Synthesizer {
+ public:
+  explicit Synthesizer(SynthesisOptions opts = {}) : opts_(opts) {}
+
+  /// Synthesizes `dfg` under `sched` with the pinned module prototypes.
+  [[nodiscard]] SynthesisResult run(const Dfg& dfg, const Schedule& sched,
+                                    const std::vector<ModuleProto>& protos)
+      const;
+
+  [[nodiscard]] const SynthesisOptions& options() const { return opts_; }
+
+ private:
+  SynthesisOptions opts_;
+};
+
+}  // namespace lbist

@@ -1,0 +1,215 @@
+#include "dfg/dfg.hpp"
+
+#include <unordered_set>
+
+#include "support/dot.hpp"
+
+namespace lbist {
+
+std::string_view to_string(OpKind k) {
+  switch (k) {
+    case OpKind::Add: return "add";
+    case OpKind::Sub: return "sub";
+    case OpKind::Mul: return "mul";
+    case OpKind::Div: return "div";
+    case OpKind::And: return "and";
+    case OpKind::Or: return "or";
+    case OpKind::Xor: return "xor";
+    case OpKind::Lt: return "lt";
+    case OpKind::Gt: return "gt";
+  }
+  return "?";
+}
+
+std::string_view symbol(OpKind k) {
+  switch (k) {
+    case OpKind::Add: return "+";
+    case OpKind::Sub: return "-";
+    case OpKind::Mul: return "*";
+    case OpKind::Div: return "/";
+    case OpKind::And: return "&";
+    case OpKind::Or: return "|";
+    case OpKind::Xor: return "^";
+    case OpKind::Lt: return "<";
+    case OpKind::Gt: return ">";
+  }
+  return "?";
+}
+
+OpKind kind_from_symbol(std::string_view sym) {
+  if (sym == "+") return OpKind::Add;
+  if (sym == "-") return OpKind::Sub;
+  if (sym == "*") return OpKind::Mul;
+  if (sym == "/") return OpKind::Div;
+  if (sym == "&") return OpKind::And;
+  if (sym == "|") return OpKind::Or;
+  if (sym == "^") return OpKind::Xor;
+  if (sym == "<") return OpKind::Lt;
+  if (sym == ">") return OpKind::Gt;
+  throw Error("unknown operator symbol: '" + std::string(sym) + "'");
+}
+
+bool is_commutative(OpKind k) {
+  switch (k) {
+    case OpKind::Add:
+    case OpKind::Mul:
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor:
+      return true;
+    case OpKind::Sub:
+    case OpKind::Div:
+    case OpKind::Lt:
+    case OpKind::Gt:
+      return false;
+  }
+  return false;
+}
+
+VarId Dfg::add_input(std::string var_name, bool port_resident) {
+  LBIST_CHECK(!find_var(var_name).has_value(),
+              "duplicate variable name: " + var_name);
+  VarId id{static_cast<VarId::value_type>(vars_.size())};
+  Variable v;
+  v.id = id;
+  v.name = std::move(var_name);
+  v.port_resident = port_resident;
+  vars_.push_back(std::move(v));
+  return id;
+}
+
+VarId Dfg::add_op(OpKind kind, VarId lhs, VarId rhs, std::string result_name,
+                  std::string op_name) {
+  LBIST_CHECK(lhs.valid() && lhs.index() < vars_.size(), "bad lhs operand");
+  LBIST_CHECK(rhs.valid() && rhs.index() < vars_.size(), "bad rhs operand");
+  LBIST_CHECK(!find_var(result_name).has_value(),
+              "duplicate variable name: " + result_name);
+
+  OpId oid{static_cast<OpId::value_type>(ops_.size())};
+  if (op_name.empty()) {
+    op_name = std::string(to_string(kind)) + std::to_string(ops_.size());
+  }
+  LBIST_CHECK(!find_op(op_name).has_value(),
+              "duplicate operation name: " + op_name);
+
+  VarId rid{static_cast<VarId::value_type>(vars_.size())};
+  Variable result;
+  result.id = rid;
+  result.name = std::move(result_name);
+  result.def = oid;
+  vars_.push_back(std::move(result));
+
+  Operation op;
+  op.id = oid;
+  op.name = std::move(op_name);
+  op.kind = kind;
+  op.lhs = lhs;
+  op.rhs = rhs;
+  op.result = rid;
+  ops_.push_back(std::move(op));
+
+  vars_[lhs.index()].uses.push_back(oid);
+  if (rhs != lhs) {
+    vars_[rhs.index()].uses.push_back(oid);
+  }
+  return rid;
+}
+
+void Dfg::mark_output(VarId v) {
+  LBIST_CHECK(v.valid() && v.index() < vars_.size(), "bad variable id");
+  vars_[v.index()].is_output = true;
+}
+
+void Dfg::mark_control_only(VarId v) {
+  LBIST_CHECK(v.valid() && v.index() < vars_.size(), "bad variable id");
+  LBIST_CHECK(vars_[v.index()].def.valid(),
+              "only operation results can be control-only");
+  vars_[v.index()].control_only = true;
+}
+
+void Dfg::tie_loop(VarId carried, VarId init) {
+  LBIST_CHECK(carried.valid() && carried.index() < vars_.size() &&
+                  init.valid() && init.index() < vars_.size(),
+              "bad variable id in loop tie");
+  const Variable& out = vars_[carried.index()];
+  const Variable& in = vars_[init.index()];
+  LBIST_CHECK(out.def.valid() && out.is_output,
+              "carried variable must be an operation result marked output: " +
+                  out.name);
+  LBIST_CHECK(in.is_input() && in.allocatable(),
+              "loop init must be an allocatable primary input: " + in.name);
+  for (const auto& [c, i] : loop_ties_) {
+    LBIST_CHECK(c != carried && i != init,
+                "variable appears in two loop ties");
+  }
+  loop_ties_.emplace_back(carried, init);
+}
+
+std::optional<VarId> Dfg::find_var(std::string_view vname) const {
+  for (const auto& v : vars_) {
+    if (v.name == vname) return v.id;
+  }
+  return std::nullopt;
+}
+
+std::optional<OpId> Dfg::find_op(std::string_view oname) const {
+  for (const auto& o : ops_) {
+    if (o.name == oname) return o.id;
+  }
+  return std::nullopt;
+}
+
+void Dfg::validate() const {
+  std::unordered_set<std::string> names;
+  for (const auto& v : vars_) {
+    LBIST_CHECK(names.insert(v.name).second,
+                "duplicate variable name: " + v.name);
+    if (!v.is_output && !v.control_only && v.def.valid()) {
+      LBIST_CHECK(!v.uses.empty(),
+                  "dead operation result (no uses, not an output): " + v.name);
+    }
+    LBIST_CHECK(!(v.control_only && v.is_output),
+                "control-only variables are routed to the controller, not to "
+                "a primary output: " +
+                    v.name);
+    LBIST_CHECK(!(v.port_resident && v.def.valid()),
+                "only primary inputs can be port-resident: " + v.name);
+  }
+  for (const auto& o : ops_) {
+    LBIST_CHECK(!vars_[o.lhs.index()].control_only &&
+                    !vars_[o.rhs.index()].control_only,
+                "control-only variables cannot be datapath operands: " +
+                    o.name);
+  }
+}
+
+std::string Dfg::to_dot() const {
+  DotWriter dot(name_, /*directed=*/true);
+  for (const auto& o : ops_) {
+    dot.add_node(o.name, {"label=\"" + std::string(symbol(o.kind)) + " (" +
+                              o.name + ")\"",
+                          "shape=circle"});
+  }
+  for (const auto& v : vars_) {
+    if (v.is_input()) {
+      dot.add_node(v.name, {"shape=plaintext"});
+      for (OpId u : v.uses) {
+        dot.add_edge(v.name, ops_[u.index()].name,
+                     {"label=\"" + v.name + "\""});
+      }
+    } else {
+      for (OpId u : v.uses) {
+        dot.add_edge(ops_[v.def.index()].name, ops_[u.index()].name,
+                     {"label=\"" + v.name + "\""});
+      }
+      if (v.is_output) {
+        dot.add_node("out_" + v.name, {"shape=plaintext",
+                                       "label=\"" + v.name + "\""});
+        dot.add_edge(ops_[v.def.index()].name, "out_" + v.name);
+      }
+    }
+  }
+  return dot.str();
+}
+
+}  // namespace lbist

@@ -1,0 +1,144 @@
+#pragma once
+// Scheduled data-flow graph (DFG) model — the behavioural input to the
+// allocation algorithms of Parulkar/Gupta/Breuer (DAC'95), Section III.
+//
+// A DFG G = (V, E) has operations V and variables E (operands and results).
+// All operators are binary (the paper's assumption); non-commutative kinds
+// are supported and constrain interconnect port assignment.  Variables come
+// in three flavours that matter to allocation:
+//
+//  * ordinary datapath variables — register-allocated (colored),
+//  * `port_resident` primary inputs — held in dedicated, pre-existing input
+//    registers outside the allocation (used for the Paulin benchmark, whose
+//    published register counts exclude the architectural input registers),
+//  * `control_only` results — 1-bit conditions routed to the controller and
+//    never stored in a datapath register (e.g. the `<` in the diff-eq loop).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/ids.hpp"
+
+namespace lbist {
+
+/// Operator kinds appearing in the benchmark DFGs.
+enum class OpKind {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  And,
+  Or,
+  Xor,
+  Lt,
+  Gt,
+};
+
+/// Human-readable name, e.g. "add".
+[[nodiscard]] std::string_view to_string(OpKind k);
+/// Operator symbol used in the textual DFG format, e.g. "+".
+[[nodiscard]] std::string_view symbol(OpKind k);
+/// Parses an operator symbol; throws lbist::Error on unknown symbols.
+[[nodiscard]] OpKind kind_from_symbol(std::string_view sym);
+/// True for operators where swapping the operands preserves the result.
+[[nodiscard]] bool is_commutative(OpKind k);
+
+/// A variable (an edge of the DFG): either a primary input or the result of
+/// exactly one operation; used by zero or more operations.
+struct Variable {
+  VarId id;
+  std::string name;
+  /// Defining operation; invalid for primary inputs.
+  OpId def;
+  /// Operations reading this variable.
+  std::vector<OpId> uses;
+  /// Primary output of the behaviour (held live to the end of the schedule).
+  bool is_output = false;
+  /// Result consumed only by the controller; excluded from register binding.
+  bool control_only = false;
+  /// Primary input kept in a dedicated input register outside the binding.
+  bool port_resident = false;
+
+  [[nodiscard]] bool is_input() const { return !def.valid(); }
+  /// True if this variable participates in register allocation.
+  [[nodiscard]] bool allocatable() const {
+    return !control_only && !port_resident;
+  }
+};
+
+/// An operation (a vertex of the DFG).  Always binary.
+struct Operation {
+  OpId id;
+  std::string name;
+  OpKind kind = OpKind::Add;
+  VarId lhs;
+  VarId rhs;
+  VarId result;
+};
+
+/// A data-flow graph under construction or analysis.  Build with
+/// `add_input`/`add_op`/`mark_output`, then `validate()`.
+class Dfg {
+ public:
+  explicit Dfg(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a primary input variable.
+  VarId add_input(std::string var_name, bool port_resident = false);
+
+  /// Adds a binary operation computing `result_name = lhs kind rhs` and
+  /// returns the result variable.  `op_name` defaults to
+  /// "<kind><ordinal>", e.g. "mul3".
+  VarId add_op(OpKind kind, VarId lhs, VarId rhs, std::string result_name,
+               std::string op_name = "");
+
+  /// Marks a variable as a primary output.
+  void mark_output(VarId v);
+  /// Marks an operation result as controller-consumed (not allocated).
+  void mark_control_only(VarId v);
+
+  /// Declares a loop-carried dependence: output `carried` becomes input
+  /// `init` on the next iteration, so the two must share a register.  The
+  /// paper's algorithms assume loop-free behaviours (interval conflict
+  /// graphs); ties are consumed by the loop-aware binder extension
+  /// (binding/loop_binder.hpp).
+  void tie_loop(VarId carried, VarId init);
+  [[nodiscard]] const std::vector<std::pair<VarId, VarId>>& loop_ties()
+      const {
+    return loop_ties_;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_ops() const { return ops_.size(); }
+  [[nodiscard]] std::size_t num_vars() const { return vars_.size(); }
+  [[nodiscard]] const Operation& op(OpId id) const { return ops_[id.index()]; }
+  [[nodiscard]] const Variable& var(VarId id) const {
+    return vars_[id.index()];
+  }
+  [[nodiscard]] const std::vector<Operation>& ops() const { return ops_; }
+  [[nodiscard]] const std::vector<Variable>& vars() const { return vars_; }
+
+  /// Finds a variable by name; returns nullopt if absent.
+  [[nodiscard]] std::optional<VarId> find_var(std::string_view vname) const;
+  /// Finds an operation by name; returns nullopt if absent.
+  [[nodiscard]] std::optional<OpId> find_op(std::string_view oname) const;
+
+  /// Checks structural sanity: every non-output, non-control variable is
+  /// used at least once; names are unique; operands exist.  Throws
+  /// lbist::Error on violations.
+  void validate() const;
+
+  /// Graphviz rendering of the DFG (operations as circles, variables as
+  /// edge labels) — used to reproduce paper Fig. 2.
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  std::string name_;
+  std::vector<Operation> ops_;
+  std::vector<Variable> vars_;
+  std::vector<std::pair<VarId, VarId>> loop_ties_;
+};
+
+}  // namespace lbist

@@ -1,0 +1,53 @@
+#include "dfg/lifetime.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+IdMap<VarId, LiveInterval> compute_lifetimes(const Dfg& dfg,
+                                             const Schedule& sched,
+                                             const LifetimeOptions& opts) {
+  IdMap<VarId, LiveInterval> out(dfg.num_vars());
+  for (const auto& v : dfg.vars()) {
+    LiveInterval iv;
+    if (v.is_input()) {
+      LBIST_CHECK(!v.uses.empty(), "unused primary input: " + v.name);
+      int first_use = sched.num_steps() + 1;
+      for (OpId u : v.uses) first_use = std::min(first_use, sched.step(u));
+      iv.birth = first_use - 1;
+    } else {
+      iv.birth = sched.step(v.def);
+    }
+    iv.death = iv.birth + 1;  // every stored value lives at least one step
+    for (OpId u : v.uses) iv.death = std::max(iv.death, sched.step(u));
+    if (v.is_output && opts.hold_outputs_to_end) {
+      iv.death = std::max(iv.death, sched.num_steps() + 1);
+    }
+    out[v.id] = iv;
+  }
+  return out;
+}
+
+int max_live(const Dfg& dfg, const IdMap<VarId, LiveInterval>& lifetimes) {
+  int best = 0;
+  // Live counts only change at step boundaries; sample each step t by
+  // counting intervals with birth < t <= death.
+  int horizon = 0;
+  for (const auto& v : dfg.vars()) {
+    horizon = std::max(horizon, lifetimes[v.id].death);
+  }
+  for (int t = 1; t <= horizon; ++t) {
+    int live = 0;
+    for (const auto& v : dfg.vars()) {
+      if (!v.allocatable()) continue;
+      const auto& iv = lifetimes[v.id];
+      if (iv.birth < t && t <= iv.death) ++live;
+    }
+    best = std::max(best, live);
+  }
+  return best;
+}
+
+}  // namespace lbist

@@ -1,0 +1,60 @@
+#pragma once
+// Variable lifetime analysis over a scheduled DFG.
+//
+// Convention (documented in DESIGN.md §5): a variable defined at control
+// step s is written into its register at the *end* of s; it is live over the
+// half-open interval (birth, death] where
+//
+//   birth(v) = S(def(v))                for operation results,
+//   birth(v) = min over uses S(u) - 1   for primary inputs (the input is
+//                                       loaded just before its first use —
+//                                       "lazy" arrival, the usual assumption
+//                                       in DAC-era allocation papers),
+//   death(v) = max over uses S(u), and at least birth+1,
+//   death(v) = num_steps + 1            for primary outputs (held until the
+//                                       behaviour completes).
+//
+// Two variables conflict (need distinct registers) iff their intervals
+// overlap: u.birth < v.death && v.birth < u.death.  With straight-line
+// scheduled DFGs this produces an interval (hence chordal) conflict graph,
+// the property Section III of the paper relies on.
+
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "dfg/schedule.hpp"
+#include "support/ids.hpp"
+
+namespace lbist {
+
+/// Live range (birth, death] in control-step units.
+struct LiveInterval {
+  int birth = 0;
+  int death = 0;
+
+  /// True if the two half-open intervals intersect.
+  [[nodiscard]] bool overlaps(const LiveInterval& other) const {
+    return birth < other.death && other.birth < death;
+  }
+};
+
+/// Options controlling lifetime computation.
+struct LifetimeOptions {
+  /// If true, primary outputs stay live until one step past the schedule
+  /// end; if false they are held for one step past their definition (or
+  /// until their last internal use).
+  bool hold_outputs_to_end = true;
+};
+
+/// Computes live intervals for every variable.  Control-only and
+/// port-resident variables still get intervals (used for reporting), but
+/// callers building conflict graphs should skip non-`allocatable()` ones.
+[[nodiscard]] IdMap<VarId, LiveInterval> compute_lifetimes(
+    const Dfg& dfg, const Schedule& sched, const LifetimeOptions& opts = {});
+
+/// Maximum number of simultaneously-live allocatable variables — a lower
+/// bound (and, for interval graphs, the exact minimum) on register count.
+[[nodiscard]] int max_live(const Dfg& dfg,
+                           const IdMap<VarId, LiveInterval>& lifetimes);
+
+}  // namespace lbist

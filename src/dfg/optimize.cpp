@@ -1,0 +1,119 @@
+#include "dfg/optimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+namespace {
+
+/// Rebuilds a DFG keeping only ops for which keep(op) is true; uses of a
+/// dropped op's result are redirected via `replacement` (old result var ->
+/// old surviving var).  Inputs that end up unused are dropped too.
+OptimizedDfg rebuild(const Dfg& src,
+                     const IdMap<OpId, char>& keep,
+                     const IdMap<VarId, VarId>& replacement) {
+  // Resolve replacement chains (a -> b -> c).
+  auto resolve = [&](VarId v) {
+    while (replacement[v].valid()) v = replacement[v];
+    return v;
+  };
+
+  // Which inputs are still referenced by surviving ops?
+  IdMap<VarId, char> input_used(src.num_vars(), 0);
+  for (const auto& op : src.ops()) {
+    if (keep[op.id] == 0) continue;
+    for (VarId operand : {op.lhs, op.rhs}) {
+      const VarId r = resolve(operand);
+      if (src.var(r).is_input()) input_used[r] = 1;
+    }
+  }
+
+  OptimizedDfg out{Dfg(src.name()), {}};
+  IdMap<VarId, VarId> new_of(src.num_vars(), VarId::invalid());
+  for (const auto& v : src.vars()) {
+    if (v.is_input() && input_used[v.id] != 0) {
+      new_of[v.id] = out.dfg.add_input(v.name, v.port_resident);
+    }
+  }
+  for (const auto& op : src.ops()) {
+    if (keep[op.id] == 0) {
+      out.removed_ops.push_back(op.name);
+      continue;
+    }
+    const VarId lhs = new_of[resolve(op.lhs)];
+    const VarId rhs = new_of[resolve(op.rhs)];
+    LBIST_CHECK(lhs.valid() && rhs.valid(),
+                "operand of surviving op was removed: " + op.name);
+    new_of[op.result] = out.dfg.add_op(op.kind, lhs, rhs,
+                                       src.var(op.result).name, op.name);
+  }
+  for (const auto& v : src.vars()) {
+    const VarId nv = new_of[resolve(v.id)];
+    if (!nv.valid()) continue;
+    if (v.is_output) out.dfg.mark_output(nv);
+    if (v.control_only) out.dfg.mark_control_only(nv);
+  }
+  out.dfg.validate();
+  return out;
+}
+
+}  // namespace
+
+OptimizedDfg eliminate_common_subexpressions(const Dfg& src) {
+  IdMap<OpId, char> keep(src.num_ops(), 1);
+  IdMap<VarId, VarId> replacement(src.num_vars(), VarId::invalid());
+
+  auto resolve = [&](VarId v) {
+    while (replacement[v].valid()) v = replacement[v];
+    return v;
+  };
+
+  // Single forward pass reaches the fixed point: ops are in dependency
+  // order, so by the time an op is visited its operands are final.
+  using Key = std::tuple<OpKind, VarId, VarId>;
+  std::map<Key, OpId> seen;
+  for (const auto& op : src.ops()) {
+    VarId a = resolve(op.lhs);
+    VarId b = resolve(op.rhs);
+    if (is_commutative(op.kind) && b < a) std::swap(a, b);
+    const Key key{op.kind, a, b};
+    auto [it, inserted] = seen.emplace(key, op.id);
+    if (!inserted) {
+      const OpId survivor = it->second;
+      // A datapath value and a control-only value cannot share a variable.
+      if (src.var(op.result).control_only !=
+          src.var(src.op(survivor).result).control_only) {
+        continue;
+      }
+      keep[op.id] = 0;
+      replacement[op.result] = src.op(survivor).result;
+      // Output/control markings migrate in rebuild() via resolve().
+    }
+  }
+  return rebuild(src, keep, replacement);
+}
+
+OptimizedDfg remove_dead_code(const Dfg& src) {
+  // Backward liveness from outputs and control results.
+  IdMap<VarId, char> live(src.num_vars(), 0);
+  for (const auto& v : src.vars()) {
+    if (v.is_output || v.control_only) live[v.id] = 1;
+  }
+  const auto& ops = src.ops();
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    if (live[it->result] == 0) continue;
+    live[it->lhs] = 1;
+    live[it->rhs] = 1;
+  }
+
+  IdMap<OpId, char> keep(src.num_ops(), 1);
+  for (const auto& op : src.ops()) keep[op.id] = live[op.result];
+  IdMap<VarId, VarId> replacement(src.num_vars(), VarId::invalid());
+  return rebuild(src, keep, replacement);
+}
+
+}  // namespace lbist

@@ -1,0 +1,37 @@
+#pragma once
+// Behaviour-level clean-up passes (HLS front-end substrate).
+//
+// The paper takes its DFGs as given — including redundancy: the HAL
+// differential-equation benchmark computes u*dx twice, and synthesis
+// tools of the era bound both instances.  These passes let a user choose:
+//
+//  * `eliminate_common_subexpressions` merges operations with identical
+//    (kind, operands) — operands order-normalized for commutative kinds,
+//  * `remove_dead_code` drops operations whose results can never reach a
+//    primary output or the controller.
+//
+// Both return a fresh DFG (schedules refer to operation ids and are
+// invalidated; reschedule afterwards).  Reference semantics are preserved:
+// every surviving output computes the same function of the inputs
+// (property-tested against evaluate_dfg on random vectors).
+
+#include "dfg/dfg.hpp"
+
+namespace lbist {
+
+/// Result of a rewrite: the new graph plus name-based bookkeeping.
+struct OptimizedDfg {
+  Dfg dfg;
+  /// Operations removed by the pass (names from the input DFG).
+  std::vector<std::string> removed_ops;
+};
+
+/// Merges duplicate operations.  Runs to a fixed point (merging two ops
+/// can make their consumers identical).
+[[nodiscard]] OptimizedDfg eliminate_common_subexpressions(const Dfg& dfg);
+
+/// Removes operations (and then-unused inputs) that cannot influence any
+/// primary output or control result.
+[[nodiscard]] OptimizedDfg remove_dead_code(const Dfg& dfg);
+
+}  // namespace lbist

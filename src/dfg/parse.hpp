@@ -1,0 +1,41 @@
+#pragma once
+// Textual DFG format — human-writable serialization used by the examples and
+// the benchmark library.
+//
+//   # comment
+//   dfg ex1
+//   input a b c e          # register-allocated primary inputs
+//   portinput x dx         # port-resident inputs (dedicated input registers)
+//   op add1 + a b -> d @1  # name, symbol, operands, result, control step
+//   op mul2 * d g -> h @4
+//   output h               # primary outputs
+//   control c              # control-only results (not register-allocated)
+//
+// The `@step` annotations are optional but all-or-nothing: either every
+// operation carries one (a scheduled DFG) or none does (schedule separately
+// with the `sched` library).
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dfg/dfg.hpp"
+#include "dfg/schedule.hpp"
+
+namespace lbist {
+
+/// Result of parsing: the graph plus its schedule when steps were given.
+struct ParsedDfg {
+  Dfg dfg;
+  std::optional<Schedule> schedule;
+};
+
+/// Parses the textual format; throws lbist::Error with a line number on
+/// malformed input.
+[[nodiscard]] ParsedDfg parse_dfg(std::string_view text);
+
+/// Serializes a DFG (and optional schedule) back to the textual format.
+[[nodiscard]] std::string print_dfg(const Dfg& dfg,
+                                    const Schedule* sched = nullptr);
+
+}  // namespace lbist

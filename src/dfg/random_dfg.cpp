@@ -1,0 +1,72 @@
+#include "dfg/random_dfg.hpp"
+
+#include <random>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+RandomDfg make_random_dfg(const RandomDfgOptions& opts) {
+  LBIST_CHECK(opts.num_steps >= 1, "need at least one step");
+  LBIST_CHECK(opts.ops_per_step >= 1, "need at least one op per step");
+  LBIST_CHECK(opts.num_inputs >= 2, "need at least two inputs");
+  LBIST_CHECK(!opts.kinds.empty(), "need at least one op kind");
+
+  std::mt19937_64 rng(opts.seed);
+  Dfg dfg("random_s" + std::to_string(opts.seed));
+
+  std::vector<VarId> inputs;
+  for (int i = 0; i < opts.num_inputs; ++i) {
+    inputs.push_back(dfg.add_input("in" + std::to_string(i)));
+  }
+
+  // Values defined strictly before the step being generated.
+  std::vector<VarId> defined;
+  IdMap<OpId, int> steps;
+
+  auto pick = [&rng](const std::vector<VarId>& pool) {
+    std::uniform_int_distribution<std::size_t> d(0, pool.size() - 1);
+    return pool[d(rng)];
+  };
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  int var_counter = 0;
+  for (int step = 1; step <= opts.num_steps; ++step) {
+    std::vector<VarId> produced;
+    for (int k = 0; k < opts.ops_per_step; ++k) {
+      auto pick_operand = [&]() {
+        const bool reuse =
+            !defined.empty() && coin(rng) < opts.reuse_probability;
+        return reuse ? pick(defined) : pick(inputs);
+      };
+      VarId a = pick_operand();
+      VarId b = pick_operand();
+      std::uniform_int_distribution<std::size_t> dk(0, opts.kinds.size() - 1);
+      VarId r = dfg.add_op(opts.kinds[dk(rng)], a, b,
+                           "t" + std::to_string(var_counter++));
+      produced.push_back(r);
+      steps.push_back(step);
+    }
+    defined.insert(defined.end(), produced.begin(), produced.end());
+  }
+
+  // Anything never consumed becomes a primary output so the DFG validates;
+  // unused primary inputs are consumed by an extra final-step op.
+  for (const auto& v : dfg.vars()) {
+    if (!v.is_input() && v.uses.empty()) dfg.mark_output(v.id);
+  }
+  for (const auto& v : dfg.vars()) {
+    if (v.is_input() && v.uses.empty()) {
+      VarId r = dfg.add_op(OpKind::Add, v.id, v.id,
+                           "t" + std::to_string(var_counter++));
+      steps.push_back(opts.num_steps + 1);
+      dfg.mark_output(r);
+    }
+  }
+  dfg.validate();
+
+  Schedule sched(dfg, std::move(steps));
+  return RandomDfg{std::move(dfg), std::move(sched)};
+}
+
+}  // namespace lbist

@@ -1,0 +1,39 @@
+#pragma once
+// Random scheduled-DFG generator for property tests and scaling experiments.
+//
+// Produces straight-line scheduled DFGs layer by layer: operations in step s
+// draw operands from variables produced in earlier steps (or fresh primary
+// inputs), so every generated design is a valid scheduled DFG whose conflict
+// graph is an interval graph — the same class the paper's algorithms target.
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "dfg/schedule.hpp"
+
+namespace lbist {
+
+/// Knobs for the generator.  Defaults give mid-sized designs similar in
+/// shape to the paper's benchmarks.
+struct RandomDfgOptions {
+  std::uint64_t seed = 1;
+  int num_steps = 6;
+  int ops_per_step = 3;       ///< exact number of operations per control step
+  int num_inputs = 4;         ///< pool of primary inputs operands may use
+  double reuse_probability = 0.6;  ///< chance an operand reuses a live value
+  std::vector<OpKind> kinds = {OpKind::Add, OpKind::Mul, OpKind::Sub,
+                               OpKind::And};
+};
+
+/// A generated design.
+struct RandomDfg {
+  Dfg dfg;
+  Schedule schedule;
+};
+
+/// Generates a random scheduled DFG.  Deterministic for a given options
+/// struct (same seed => same design).
+[[nodiscard]] RandomDfg make_random_dfg(const RandomDfgOptions& opts);
+
+}  // namespace lbist

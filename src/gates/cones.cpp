@@ -1,0 +1,55 @@
+#include "gates/cones.hpp"
+
+#include <algorithm>
+
+#include "support/dyn_bitset.hpp"
+
+namespace lbist {
+
+std::vector<std::size_t> cone_sizes(const GateNetlist& nl) {
+  // Forward propagation of structural input supports; nodes are in
+  // topological order by construction, inputs numbered in creation order.
+  const std::size_t n = nl.num_nodes();
+  const std::size_t num_inputs = nl.num_inputs();
+  std::vector<DynBitset> support(n, DynBitset(num_inputs));
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const GateNode& node = nl.node(i);
+    switch (node.kind) {
+      case GateKind::Input:
+        support[i].set(next_input++);
+        break;
+      case GateKind::Const0:
+      case GateKind::Const1:
+        break;
+      default:
+        support[i] |= support[static_cast<std::size_t>(node.fanin0)];
+        if (node.fanin1 >= 0) {
+          support[i] |= support[static_cast<std::size_t>(node.fanin1)];
+        }
+    }
+  }
+  std::vector<std::size_t> sizes;
+  sizes.reserve(nl.outputs().size());
+  for (int o : nl.outputs()) {
+    sizes.push_back(support[static_cast<std::size_t>(o)].count());
+  }
+  return sizes;
+}
+
+ConeProfile cone_profile(const GateNetlist& nl) {
+  const auto sizes = cone_sizes(nl);
+  ConeProfile p;
+  if (sizes.empty()) return p;
+  p.max_cone = *std::max_element(sizes.begin(), sizes.end());
+  p.min_cone = *std::min_element(sizes.begin(), sizes.end());
+  double sum = 0;
+  for (std::size_t s : sizes) sum += static_cast<double>(s);
+  p.avg_cone = sum / static_cast<double>(sizes.size());
+  p.pseudo_exhaustive_patterns =
+      p.max_cone >= 63 ? (~std::uint64_t{0} >> 1)
+                       : (std::uint64_t{1} << p.max_cone);
+  return p;
+}
+
+}  // namespace lbist

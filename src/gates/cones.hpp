@@ -1,0 +1,34 @@
+#pragma once
+// Output-cone analysis of gate netlists, and the pseudo-exhaustive test
+// criterion.
+//
+// Pseudo-exhaustive testing (McCluskey) applies all 2^k patterns to every
+// output cone of at most k inputs, guaranteeing detection of every
+// combinational fault inside the cone without fault simulation.  The cone
+// profile of a module therefore bounds how long exhaustive-quality BIST
+// would take — and shows why pseudo-random testing is the practical choice
+// for arithmetic units: a ripple adder's MSB cone spans the entire operand
+// width, so 2^(2w) patterns would be needed.
+
+#include <vector>
+
+#include "gates/gate_netlist.hpp"
+
+namespace lbist {
+
+/// Per-output input-support sizes of a netlist, in output order.
+[[nodiscard]] std::vector<std::size_t> cone_sizes(const GateNetlist& nl);
+
+/// Cone profile summary.
+struct ConeProfile {
+  std::size_t max_cone = 0;   ///< widest output support
+  std::size_t min_cone = 0;   ///< narrowest output support
+  double avg_cone = 0.0;
+  /// Patterns for pseudo-exhaustive coverage = 2^max_cone (capped at
+  /// 2^63 - 1 to stay representable).
+  std::uint64_t pseudo_exhaustive_patterns = 0;
+};
+
+[[nodiscard]] ConeProfile cone_profile(const GateNetlist& nl);
+
+}  // namespace lbist

@@ -1,0 +1,32 @@
+#pragma once
+// Gate-level stuck-at fault simulation under the BIST configuration:
+// maximal-length LFSRs drive both operand ports, a MISR compacts the
+// outputs, and every internal gate node is graded stuck-at-0/1.
+//
+// Complements bist/fault_sim.hpp (port faults): the port model is
+// implementation-independent (the paper's working assumption), the gate
+// model validates that assumption on concrete ripple/array structures.
+
+#include "bist/fault_sim.hpp"
+#include "gates/module_builders.hpp"
+
+namespace lbist {
+
+/// All 2*N stuck-at faults on the netlist's non-source nodes (gate outputs
+/// and primary inputs; constants are skipped — they are untestable ties).
+struct GateFault {
+  int node = 0;
+  bool stuck_one = false;
+};
+[[nodiscard]] std::vector<GateFault> enumerate_gate_faults(
+    const GateNetlist& netlist);
+
+/// Fault-simulates pseudo-random BIST of a gate-level module: LFSR
+/// patterns on A and B (distinct seeds unless `independent_tpgs` is
+/// false), MISR signature per run.  `patterns` is capped at one LFSR
+/// period.  Returns detected/total over all gate faults.
+[[nodiscard]] CoverageResult simulate_gate_bist(const ModuleNetlist& module,
+                                                int patterns,
+                                                bool independent_tpgs = true);
+
+}  // namespace lbist

@@ -1,0 +1,122 @@
+#include "gates/gate_netlist.hpp"
+
+namespace lbist {
+
+int GateNetlist::add_input() {
+  nodes_.push_back(GateNode{GateKind::Input, -1, -1});
+  ++num_inputs_;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int GateNetlist::add_const(bool one) {
+  nodes_.push_back(
+      GateNode{one ? GateKind::Const1 : GateKind::Const0, -1, -1});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int GateNetlist::add_gate(GateKind kind, int a, int b) {
+  const int self = static_cast<int>(nodes_.size());
+  LBIST_CHECK(kind != GateKind::Input && kind != GateKind::Const0 &&
+                  kind != GateKind::Const1,
+              "use add_input/add_const for source nodes");
+  LBIST_CHECK(a >= 0 && a < self, "fanin out of range");
+  const bool unary = (kind == GateKind::Buf || kind == GateKind::Not);
+  if (unary) {
+    LBIST_CHECK(b < 0, "unary gate takes one fanin");
+  } else {
+    LBIST_CHECK(b >= 0 && b < self, "fanin out of range");
+  }
+  nodes_.push_back(GateNode{kind, a, b});
+  return self;
+}
+
+void GateNetlist::mark_output(int node) {
+  LBIST_CHECK(node >= 0 && node < static_cast<int>(nodes_.size()),
+              "output node out of range");
+  outputs_.push_back(node);
+}
+
+std::size_t GateNetlist::gate_count() const {
+  std::size_t count = 0;
+  for (const auto& n : nodes_) {
+    switch (n.kind) {
+      case GateKind::Input:
+      case GateKind::Const0:
+      case GateKind::Const1:
+      case GateKind::Buf:
+        break;
+      default:
+        ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::uint64_t> GateNetlist::eval(
+    const std::vector<std::uint64_t>& input_words, int fault_node,
+    bool fault_value) const {
+  LBIST_CHECK(input_words.size() == num_inputs_,
+              "input word count must match input count");
+  std::vector<std::uint64_t> value(nodes_.size(), 0);
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const GateNode& n = nodes_[i];
+    std::uint64_t v = 0;
+    switch (n.kind) {
+      case GateKind::Input: v = input_words[next_input++]; break;
+      case GateKind::Const0: v = 0; break;
+      case GateKind::Const1: v = ~std::uint64_t{0}; break;
+      case GateKind::Buf: v = value[static_cast<std::size_t>(n.fanin0)];
+        break;
+      case GateKind::Not:
+        v = ~value[static_cast<std::size_t>(n.fanin0)];
+        break;
+      case GateKind::And:
+        v = value[static_cast<std::size_t>(n.fanin0)] &
+            value[static_cast<std::size_t>(n.fanin1)];
+        break;
+      case GateKind::Or:
+        v = value[static_cast<std::size_t>(n.fanin0)] |
+            value[static_cast<std::size_t>(n.fanin1)];
+        break;
+      case GateKind::Xor:
+        v = value[static_cast<std::size_t>(n.fanin0)] ^
+            value[static_cast<std::size_t>(n.fanin1)];
+        break;
+      case GateKind::Nand:
+        v = ~(value[static_cast<std::size_t>(n.fanin0)] &
+              value[static_cast<std::size_t>(n.fanin1)]);
+        break;
+      case GateKind::Nor:
+        v = ~(value[static_cast<std::size_t>(n.fanin0)] |
+              value[static_cast<std::size_t>(n.fanin1)]);
+        break;
+    }
+    if (fault_node == static_cast<int>(i)) {
+      v = fault_value ? ~std::uint64_t{0} : 0;
+    }
+    value[i] = v;
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(outputs_.size());
+  for (int o : outputs_) out.push_back(value[static_cast<std::size_t>(o)]);
+  return out;
+}
+
+std::vector<std::uint64_t> ModuleNetlist::eval(
+    const std::vector<std::uint64_t>& a_bits,
+    const std::vector<std::uint64_t>& b_bits, int fault_node,
+    bool fault_value) const {
+  LBIST_CHECK(static_cast<int>(a_bits.size()) == width &&
+                  static_cast<int>(b_bits.size()) == width,
+              "operand bit-vectors must match the module width");
+  // Interleave into the netlist's input order: inputs were created A first
+  // then B (see module_builders.cpp).
+  std::vector<std::uint64_t> inputs;
+  inputs.reserve(netlist.num_inputs());
+  inputs.insert(inputs.end(), a_bits.begin(), a_bits.end());
+  inputs.insert(inputs.end(), b_bits.begin(), b_bits.end());
+  return netlist.eval(inputs, fault_node, fault_value);
+}
+
+}  // namespace lbist

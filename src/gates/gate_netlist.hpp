@@ -1,0 +1,95 @@
+#pragma once
+// Gate-level netlists — the layer below the RTL operator modules.
+//
+// The paper's premise (Section II) is that mapping registers to TPGs/SAs is
+// "independent of the function and the gate-level implementation of the
+// operator modules".  This library makes that claim testable: it provides
+// actual gate netlists for the operator kinds (ripple-carry adders, array
+// multipliers, borrow-chain comparators, ...) and a stuck-at fault
+// simulator over *internal* gate nodes, so BIST coverage can be graded
+// against real structure instead of only port faults.
+//
+// Evaluation is 64-way bit-parallel: every node value is a 64-bit word
+// carrying 64 independent patterns, which makes exhaustive and
+// pseudo-random fault grading cheap.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+/// Supported gate kinds.  Input nodes carry stimulus; Const nodes are tied.
+enum class GateKind : std::uint8_t {
+  Input,
+  Const0,
+  Const1,
+  Buf,
+  Not,
+  And,
+  Or,
+  Xor,
+  Nand,
+  Nor,
+};
+
+/// One node of the netlist (gates reference earlier nodes only, so the
+/// vector order is a topological order).
+struct GateNode {
+  GateKind kind = GateKind::Input;
+  int fanin0 = -1;
+  int fanin1 = -1;
+};
+
+/// A combinational gate netlist.
+class GateNetlist {
+ public:
+  /// Adds a primary input node; returns its index.
+  int add_input();
+  /// Adds a constant node.
+  int add_const(bool one);
+  /// Adds a one- or two-input gate over existing nodes.
+  int add_gate(GateKind kind, int a, int b = -1);
+  /// Marks a node as a primary output (order of calls = output order).
+  void mark_output(int node);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] const GateNode& node(std::size_t i) const {
+    return nodes_[i];
+  }
+  [[nodiscard]] std::size_t num_inputs() const { return num_inputs_; }
+  [[nodiscard]] const std::vector<int>& outputs() const { return outputs_; }
+  /// Gate count excluding inputs, constants and buffers (area proxy).
+  [[nodiscard]] std::size_t gate_count() const;
+
+  /// Evaluates 64 patterns at once: `input_words[i]` carries input i's 64
+  /// values (bit p = pattern p).  `fault_node >= 0` forces that node to
+  /// `fault_value` (stuck-at injection).  Returns one word per output.
+  [[nodiscard]] std::vector<std::uint64_t> eval(
+      const std::vector<std::uint64_t>& input_words, int fault_node = -1,
+      bool fault_value = false) const;
+
+ private:
+  std::vector<GateNode> nodes_;
+  std::vector<int> outputs_;
+  std::size_t num_inputs_ = 0;
+};
+
+/// A gate netlist packaged as a binary operator module: bit indices of the
+/// two operand ports and the result port.
+struct ModuleNetlist {
+  GateNetlist netlist;
+  std::vector<int> a;  ///< operand A input nodes, LSB first
+  std::vector<int> b;  ///< operand B input nodes, LSB first
+  int width = 0;
+
+  /// Evaluates the module on 64 (a, b) pattern pairs packed per bit.
+  [[nodiscard]] std::vector<std::uint64_t> eval(
+      const std::vector<std::uint64_t>& a_bits,
+      const std::vector<std::uint64_t>& b_bits, int fault_node = -1,
+      bool fault_value = false) const;
+};
+
+}  // namespace lbist

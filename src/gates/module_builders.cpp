@@ -1,0 +1,189 @@
+#include "gates/module_builders.hpp"
+
+namespace lbist {
+
+namespace {
+
+/// Skeleton with the A and B input columns created (A first, then B —
+/// ModuleNetlist::eval relies on this order).
+ModuleNetlist make_ports(int width) {
+  LBIST_CHECK(width >= 1, "width must be positive");
+  ModuleNetlist m;
+  m.width = width;
+  for (int i = 0; i < width; ++i) m.a.push_back(m.netlist.add_input());
+  for (int i = 0; i < width; ++i) m.b.push_back(m.netlist.add_input());
+  return m;
+}
+
+/// Full adder: returns {sum, carry}.
+std::pair<int, int> full_adder(GateNetlist& nl, int a, int b, int cin) {
+  const int axb = nl.add_gate(GateKind::Xor, a, b);
+  const int sum = nl.add_gate(GateKind::Xor, axb, cin);
+  const int ab = nl.add_gate(GateKind::And, a, b);
+  const int cx = nl.add_gate(GateKind::And, axb, cin);
+  const int cout = nl.add_gate(GateKind::Or, ab, cx);
+  return {sum, cout};
+}
+
+/// Sum-only adder cell for the most significant position: real truncated
+/// hardware never builds the dead carry-out (it would be unobservable, and
+/// would show up as untestable faults in grading).
+int sum_only_adder(GateNetlist& nl, int a, int b, int cin) {
+  const int axb = nl.add_gate(GateKind::Xor, a, b);
+  return nl.add_gate(GateKind::Xor, axb, cin);
+}
+
+}  // namespace
+
+ModuleNetlist build_adder(int width) {
+  ModuleNetlist m = make_ports(width);
+  int carry = m.netlist.add_const(false);
+  for (int i = 0; i < width; ++i) {
+    const int a = m.a[static_cast<std::size_t>(i)];
+    const int b = m.b[static_cast<std::size_t>(i)];
+    if (i + 1 == width) {
+      m.netlist.mark_output(sum_only_adder(m.netlist, a, b, carry));
+    } else {
+      auto [sum, cout] = full_adder(m.netlist, a, b, carry);
+      m.netlist.mark_output(sum);
+      carry = cout;
+    }
+  }
+  return m;
+}
+
+ModuleNetlist build_subtractor(int width) {
+  // a - b = a + ~b + 1.
+  ModuleNetlist m = make_ports(width);
+  int carry = m.netlist.add_const(true);
+  for (int i = 0; i < width; ++i) {
+    const int nb = m.netlist.add_gate(GateKind::Not,
+                                      m.b[static_cast<std::size_t>(i)]);
+    const int a = m.a[static_cast<std::size_t>(i)];
+    if (i + 1 == width) {
+      m.netlist.mark_output(sum_only_adder(m.netlist, a, nb, carry));
+    } else {
+      auto [sum, cout] = full_adder(m.netlist, a, nb, carry);
+      m.netlist.mark_output(sum);
+      carry = cout;
+    }
+  }
+  return m;
+}
+
+ModuleNetlist build_comparator(int width, bool less_than) {
+  // Borrow chain of a - b: borrow_{i+1} = (~a_i & b_i) | (~(a_i ^ b_i) &
+  // borrow_i); final borrow = (a < b).  Result is bit 0; upper bits 0.
+  ModuleNetlist m = make_ports(width);
+  GateNetlist& nl = m.netlist;
+  int borrow = nl.add_const(false);
+  for (int i = 0; i < width; ++i) {
+    const int a = m.a[static_cast<std::size_t>(i)];
+    const int b = m.b[static_cast<std::size_t>(i)];
+    const int na = nl.add_gate(GateKind::Not, a);
+    const int nab = nl.add_gate(GateKind::And, na, b);
+    const int axb = nl.add_gate(GateKind::Xor, a, b);
+    const int eq = nl.add_gate(GateKind::Not, axb);
+    const int keep = nl.add_gate(GateKind::And, eq, borrow);
+    borrow = nl.add_gate(GateKind::Or, nab, keep);
+  }
+  if (less_than) {
+    nl.mark_output(borrow);  // a < b
+  } else {
+    // a > b  ==  b < a  ==  borrow of (b - a); recompute with swapped
+    // roles: equivalently a > b = ~(a < b) & ~(a == b).  Build equality.
+    int eq_all = nl.add_const(true);
+    for (int i = 0; i < width; ++i) {
+      const int axb = nl.add_gate(GateKind::Xor,
+                                  m.a[static_cast<std::size_t>(i)],
+                                  m.b[static_cast<std::size_t>(i)]);
+      const int eq = nl.add_gate(GateKind::Not, axb);
+      eq_all = nl.add_gate(GateKind::And, eq_all, eq);
+    }
+    const int nlt = nl.add_gate(GateKind::Not, borrow);
+    const int neq = nl.add_gate(GateKind::Not, eq_all);
+    nl.mark_output(nl.add_gate(GateKind::And, nlt, neq));
+  }
+  const int zero = nl.add_const(false);
+  for (int i = 1; i < width; ++i) nl.mark_output(zero);
+  return m;
+}
+
+ModuleNetlist build_bitwise(OpKind kind, int width) {
+  GateKind gate = GateKind::And;
+  switch (kind) {
+    case OpKind::And: gate = GateKind::And; break;
+    case OpKind::Or: gate = GateKind::Or; break;
+    case OpKind::Xor: gate = GateKind::Xor; break;
+    default: throw Error("build_bitwise: not a bitwise kind");
+  }
+  ModuleNetlist m = make_ports(width);
+  for (int i = 0; i < width; ++i) {
+    m.netlist.mark_output(m.netlist.add_gate(
+        gate, m.a[static_cast<std::size_t>(i)],
+        m.b[static_cast<std::size_t>(i)]));
+  }
+  return m;
+}
+
+ModuleNetlist build_multiplier(int width) {
+  // Truncated array multiplier: accumulate (a & b_j) << j row by row with
+  // ripple adders, keeping only the low `width` bits.
+  ModuleNetlist m = make_ports(width);
+  GateNetlist& nl = m.netlist;
+  const int zero = nl.add_const(false);
+
+  // Row 0: partial products a_i & b_0.
+  std::vector<int> acc(static_cast<std::size_t>(width), zero);
+  for (int i = 0; i < width; ++i) {
+    acc[static_cast<std::size_t>(i)] =
+        nl.add_gate(GateKind::And, m.a[static_cast<std::size_t>(i)],
+                    m.b[0]);
+  }
+  // Rows 1..width-1: acc += (a & b_j) << j (truncated).
+  for (int j = 1; j < width; ++j) {
+    int carry = zero;
+    for (int i = j; i < width; ++i) {
+      const int pp = nl.add_gate(GateKind::And,
+                                 m.a[static_cast<std::size_t>(i - j)],
+                                 m.b[static_cast<std::size_t>(j)]);
+      if (i + 1 == width) {
+        acc[static_cast<std::size_t>(i)] =
+            sum_only_adder(nl, acc[static_cast<std::size_t>(i)], pp, carry);
+      } else {
+        auto [sum, cout] =
+            full_adder(nl, acc[static_cast<std::size_t>(i)], pp, carry);
+        acc[static_cast<std::size_t>(i)] = sum;
+        carry = cout;
+      }
+    }
+  }
+  for (int i = 0; i < width; ++i) {
+    nl.mark_output(acc[static_cast<std::size_t>(i)]);
+  }
+  return m;
+}
+
+bool has_gate_level_model(OpKind kind) {
+  return kind != OpKind::Div;
+}
+
+ModuleNetlist build_module(OpKind kind, int width) {
+  switch (kind) {
+    case OpKind::Add: return build_adder(width);
+    case OpKind::Sub: return build_subtractor(width);
+    case OpKind::Mul: return build_multiplier(width);
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor: return build_bitwise(kind, width);
+    case OpKind::Lt: return build_comparator(width, true);
+    case OpKind::Gt: return build_comparator(width, false);
+    case OpKind::Div:
+      throw Error(
+          "no combinational gate-level divider model; use the port-level "
+          "fault model for OpKind::Div");
+  }
+  throw Error("unknown kind");
+}
+
+}  // namespace lbist

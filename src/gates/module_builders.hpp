@@ -1,0 +1,33 @@
+#pragma once
+// Gate-level builders for the operator-module kinds.
+//
+//  * Add  — ripple-carry adder (5 gates/bit: 2 XOR, 2 AND, 1 OR)
+//  * Sub  — two's-complement ripple subtractor (invert + carry-in 1)
+//  * Lt/Gt — borrow-chain magnitude comparator (1-bit result)
+//  * And/Or/Xor — one gate per bit
+//  * Mul  — truncated array multiplier (AND partial products + ripple
+//           adder rows), the classic structure behind the area model's
+//           quadratic term
+//
+// Division has no compact combinational netlist (restoring dividers are
+// sequential); `build_module` rejects OpKind::Div — the port-level fault
+// model (bist/fault_sim.hpp) covers it instead.
+
+#include "dfg/dfg.hpp"
+#include "gates/gate_netlist.hpp"
+
+namespace lbist {
+
+[[nodiscard]] ModuleNetlist build_adder(int width);
+[[nodiscard]] ModuleNetlist build_subtractor(int width);
+[[nodiscard]] ModuleNetlist build_comparator(int width, bool less_than);
+[[nodiscard]] ModuleNetlist build_bitwise(OpKind kind, int width);
+[[nodiscard]] ModuleNetlist build_multiplier(int width);
+
+/// Dispatch by operator kind; throws for OpKind::Div.
+[[nodiscard]] ModuleNetlist build_module(OpKind kind, int width);
+
+/// True if a gate-level builder exists for the kind.
+[[nodiscard]] bool has_gate_level_model(OpKind kind);
+
+}  // namespace lbist

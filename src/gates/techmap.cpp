@@ -1,0 +1,57 @@
+#include "gates/techmap.hpp"
+
+#include "gates/module_builders.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+
+TechMapped map_to_nand(const GateNetlist& src) {
+  TechMapped out;
+  GateNetlist& nl = out.netlist;
+  std::vector<int> new_of(src.num_nodes(), -1);
+
+  auto nand = [&](int a, int b) { return nl.add_gate(GateKind::Nand, a, b); };
+  auto inv = [&](int a) { return nand(a, a); };
+
+  for (std::size_t i = 0; i < src.num_nodes(); ++i) {
+    const GateNode& n = src.node(i);
+    const int a = n.fanin0 >= 0 ? new_of[static_cast<std::size_t>(n.fanin0)]
+                                : -1;
+    const int b = n.fanin1 >= 0 ? new_of[static_cast<std::size_t>(n.fanin1)]
+                                : -1;
+    int mapped = -1;
+    switch (n.kind) {
+      case GateKind::Input: mapped = nl.add_input(); break;
+      case GateKind::Const0: mapped = nl.add_const(false); break;
+      case GateKind::Const1: mapped = nl.add_const(true); break;
+      case GateKind::Buf: mapped = a; break;  // wire, no cell
+      case GateKind::Not: mapped = inv(a); break;
+      case GateKind::Nand: mapped = nand(a, b); break;
+      case GateKind::And: mapped = inv(nand(a, b)); break;
+      case GateKind::Or:
+        // a | b = NAND(~a, ~b)
+        mapped = nand(inv(a), inv(b));
+        break;
+      case GateKind::Nor: mapped = inv(nand(inv(a), inv(b))); break;
+      case GateKind::Xor: {
+        // a ^ b = NAND(NAND(a, t), NAND(b, t)) with t = NAND(a, b).
+        const int t = nand(a, b);
+        mapped = nand(nand(a, t), nand(b, t));
+        break;
+      }
+    }
+    LBIST_CHECK(mapped >= 0, "technology mapping produced no node");
+    new_of[i] = mapped;
+  }
+  for (int o : src.outputs()) {
+    nl.mark_output(new_of[static_cast<std::size_t>(o)]);
+  }
+  out.nand_count = nl.gate_count();
+  return out;
+}
+
+std::size_t nand_cells(OpKind kind, int width) {
+  return map_to_nand(build_module(kind, width).netlist).nand_count;
+}
+
+}  // namespace lbist

@@ -1,0 +1,29 @@
+#pragma once
+// NAND-only technology mapping.
+//
+// Every gate-level model can be lowered to 2-input NANDs (the universal
+// cell of the era's gate arrays); the mapper rewrites a netlist and the
+// parallel evaluator proves equivalence.  Gives the fault simulator a
+// second, finer-grained fault universe (every NAND output a site) and the
+// area model a sanity anchor in "real" gate-array cells.
+
+#include "dfg/dfg.hpp"
+#include "gates/gate_netlist.hpp"
+
+namespace lbist {
+
+/// Result of lowering: the NAND-only netlist plus cell statistics.
+struct TechMapped {
+  GateNetlist netlist;
+  std::size_t nand_count = 0;
+};
+
+/// Rewrites `src` using only Input/Const/Nand nodes (inverters become
+/// single-input-tied NANDs: NAND(a, a)).  Output order is preserved.
+[[nodiscard]] TechMapped map_to_nand(const GateNetlist& src);
+
+/// Convenience: NAND cell count of a module kind at `width` (an area
+/// figure in universal cells, cf. AreaModel's gate equivalents).
+[[nodiscard]] std::size_t nand_cells(OpKind kind, int width);
+
+}  // namespace lbist

@@ -1,0 +1,22 @@
+#pragma once
+// Maximum clique for general (non-chordal) graphs — Bron-Kerbosch with
+// pivoting.  Chordal graphs get their clique number from the PVES
+// machinery; loop-carried allocation units produce non-interval conflict
+// graphs, where this gives the exact register-count lower bound the
+// loop-aware binder is measured against.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/undirected_graph.hpp"
+
+namespace lbist {
+
+/// Size of a maximum clique (exact; exponential worst case — intended for
+/// allocation-sized graphs).
+[[nodiscard]] std::size_t max_clique_size(const UndirectedGraph& g);
+
+/// One maximum clique's vertices, sorted.
+[[nodiscard]] std::vector<std::size_t> max_clique(const UndirectedGraph& g);
+
+}  // namespace lbist

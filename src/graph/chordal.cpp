@@ -1,0 +1,88 @@
+#include "graph/chordal.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+bool is_simplicial(const UndirectedGraph& g, std::size_t v,
+                   const DynBitset& removed) {
+  // Alive neighbourhood of v.
+  DynBitset nv = g.row(v);
+  for (std::size_t i = 0; i < g.num_vertices(); ++i) {
+    if (removed.test(i)) nv.reset(i);
+  }
+  // Every pair of alive neighbours must be adjacent: (nv \ {u}) ⊆ N(u).
+  for (std::size_t u : nv.members()) {
+    DynBitset rest = nv;
+    rest.reset(u);
+    if (!rest.subset_of(g.row(u))) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::size_t>> perfect_elimination_order(
+    const UndirectedGraph& g, const std::vector<std::size_t>& priority_rank) {
+  const std::size_t n = g.num_vertices();
+  LBIST_CHECK(priority_rank.empty() || priority_rank.size() == n,
+              "priority_rank must cover every vertex");
+  auto rank = [&](std::size_t v) {
+    return priority_rank.empty() ? v : priority_rank[v];
+  };
+
+  DynBitset removed(n);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (removed.test(v)) continue;
+      if (!is_simplicial(g, v, removed)) continue;
+      if (best == n || rank(v) < rank(best) ||
+          (rank(v) == rank(best) && v < best)) {
+        best = v;
+      }
+    }
+    if (best == n) return std::nullopt;  // no simplicial vertex: not chordal
+    order.push_back(best);
+    removed.set(best);
+  }
+  return order;
+}
+
+bool is_chordal(const UndirectedGraph& g) {
+  return perfect_elimination_order(g).has_value();
+}
+
+std::vector<std::vector<std::size_t>> elimination_cliques(
+    const UndirectedGraph& g, const std::vector<std::size_t>& order) {
+  const std::size_t n = g.num_vertices();
+  LBIST_CHECK(order.size() == n, "order must cover every vertex");
+  DynBitset removed(n);
+  std::vector<std::vector<std::size_t>> cliques;
+  cliques.reserve(n);
+  for (std::size_t v : order) {
+    std::vector<std::size_t> clique{v};
+    for (std::size_t u : g.neighbors(v)) {
+      if (!removed.test(u)) clique.push_back(u);
+    }
+    std::sort(clique.begin(), clique.end());
+    cliques.push_back(std::move(clique));
+    removed.set(v);
+  }
+  return cliques;
+}
+
+std::vector<std::size_t> max_clique_through_vertex(
+    const UndirectedGraph& g, const std::vector<std::size_t>& order) {
+  std::vector<std::size_t> mcs(g.num_vertices(), 0);
+  for (const auto& clique : elimination_cliques(g, order)) {
+    for (std::size_t v : clique) {
+      mcs[v] = std::max(mcs[v], clique.size());
+    }
+  }
+  return mcs;
+}
+
+}  // namespace lbist

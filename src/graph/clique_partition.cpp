@@ -1,0 +1,69 @@
+#include "graph/clique_partition.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+CliquePartition clique_partition(const UndirectedGraph& compat,
+                                 const CliqueWeight& weight) {
+  const std::size_t n = compat.num_vertices();
+  std::vector<std::vector<std::size_t>> groups(n);
+  for (std::size_t v = 0; v < n; ++v) groups[v] = {v};
+  std::vector<bool> alive(n, true);
+
+  auto mergeable = [&](std::size_t a, std::size_t b) {
+    for (std::size_t u : groups[a]) {
+      for (std::size_t v : groups[b]) {
+        if (!compat.adjacent(u, v)) return false;
+      }
+    }
+    return true;
+  };
+  auto score = [&](std::size_t a, std::size_t b) {
+    double s = 0.0;
+    for (std::size_t u : groups[a]) {
+      for (std::size_t v : groups[b]) {
+        s += weight(u, v);
+      }
+    }
+    return s;
+  };
+
+  while (true) {
+    bool found = false;
+    std::size_t best_a = 0, best_b = 0;
+    double best_score = 0.0;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (!alive[a]) continue;
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (!alive[b] || !mergeable(a, b)) continue;
+        const double s = score(a, b);
+        if (!found || s > best_score) {
+          found = true;
+          best_score = s;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (!found) break;
+    groups[best_a].insert(groups[best_a].end(), groups[best_b].begin(),
+                          groups[best_b].end());
+    groups[best_b].clear();
+    alive[best_b] = false;
+  }
+
+  CliquePartition out;
+  out.clique_of.assign(n, 0);
+  for (std::size_t g = 0; g < n; ++g) {
+    if (!alive[g]) continue;
+    std::sort(groups[g].begin(), groups[g].end());
+    for (std::size_t v : groups[g]) out.clique_of[v] = out.cliques.size();
+    out.cliques.push_back(std::move(groups[g]));
+  }
+  return out;
+}
+
+}  // namespace lbist

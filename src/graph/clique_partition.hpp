@@ -1,0 +1,35 @@
+#pragma once
+// Weighted clique partitioning (Tseng/Siewiorek style) — the classical
+// allocation engine of the era's HLS tools and the formulation the paper
+// cites for connectivity binding (Pangrle's double clique partition).
+//
+// Greedy super-node merging: repeatedly merge the two groups joined by the
+// highest total edge weight whose union still induces a clique of the
+// compatibility graph.  Deterministic (ties broken by lowest indices).
+
+#include <functional>
+#include <vector>
+
+#include "graph/undirected_graph.hpp"
+
+namespace lbist {
+
+/// A partition of the vertices into cliques of the compatibility graph.
+struct CliquePartition {
+  std::vector<std::vector<std::size_t>> cliques;
+  /// vertex -> clique index.
+  std::vector<std::size_t> clique_of;
+};
+
+/// Pairwise merge-affinity; higher is merged earlier.
+using CliqueWeight =
+    std::function<double(std::size_t, std::size_t)>;
+
+/// Partitions `compat` into cliques.  `weight(u, v)` scores merging the
+/// vertices u and v (group scores are summed over cross pairs); merges with
+/// negative total score are still taken (fewest-cliques objective), merges
+/// that violate compatibility never are.
+[[nodiscard]] CliquePartition clique_partition(const UndirectedGraph& compat,
+                                               const CliqueWeight& weight);
+
+}  // namespace lbist

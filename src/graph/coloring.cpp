@@ -1,0 +1,51 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+
+#include "graph/chordal.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+
+Coloring greedy_color(const UndirectedGraph& g,
+                      const std::vector<std::size_t>& order) {
+  const std::size_t n = g.num_vertices();
+  LBIST_CHECK(order.size() == n, "order must cover every vertex");
+  Coloring result;
+  result.color.assign(n, SIZE_MAX);
+  for (std::size_t v : order) {
+    std::vector<bool> used(result.num_colors + 1, false);
+    for (std::size_t u : g.neighbors(v)) {
+      if (result.color[u] != SIZE_MAX && result.color[u] < used.size()) {
+        used[result.color[u]] = true;
+      }
+    }
+    std::size_t c = 0;
+    while (c < used.size() && used[c]) ++c;
+    result.color[v] = c;
+    result.num_colors = std::max(result.num_colors, c + 1);
+  }
+  return result;
+}
+
+bool is_proper_coloring(const UndirectedGraph& g, const Coloring& c) {
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    if (c.color[v] >= c.num_colors) return false;
+    for (std::size_t u : g.neighbors(v)) {
+      if (c.color[u] == c.color[v]) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t chordal_clique_number(const UndirectedGraph& g) {
+  auto order = perfect_elimination_order(g);
+  LBIST_CHECK(order.has_value(), "graph is not chordal");
+  std::size_t best = 0;
+  for (const auto& clique : elimination_cliques(g, *order)) {
+    best = std::max(best, clique.size());
+  }
+  return best;
+}
+
+}  // namespace lbist

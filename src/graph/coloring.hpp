@@ -1,0 +1,32 @@
+#pragma once
+// Greedy graph coloring used for register binding.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/undirected_graph.hpp"
+
+namespace lbist {
+
+/// A proper vertex coloring: color[v] in [0, num_colors).
+struct Coloring {
+  std::vector<std::size_t> color;
+  std::size_t num_colors = 0;
+};
+
+/// First-fit greedy coloring visiting vertices in `order`.  When `order` is
+/// the reverse of a PVES, the result is an optimal coloring for chordal
+/// graphs — this is the "traditional HLS" register binder of the paper's
+/// comparison arm.
+[[nodiscard]] Coloring greedy_color(const UndirectedGraph& g,
+                                    const std::vector<std::size_t>& order);
+
+/// Checks that no edge is monochromatic.
+[[nodiscard]] bool is_proper_coloring(const UndirectedGraph& g,
+                                      const Coloring& c);
+
+/// Size of the largest clique found over elimination orders — for chordal
+/// graphs this equals the chromatic number.
+[[nodiscard]] std::size_t chordal_clique_number(const UndirectedGraph& g);
+
+}  // namespace lbist

@@ -1,0 +1,25 @@
+#include "graph/conflict.hpp"
+
+namespace lbist {
+
+VarConflictGraph build_conflict_graph(
+    const Dfg& dfg, const IdMap<VarId, LiveInterval>& lifetimes) {
+  VarConflictGraph out;
+  out.vertex_of.assign(dfg.num_vars(), -1);
+  for (const auto& v : dfg.vars()) {
+    if (!v.allocatable()) continue;
+    out.vertex_of[v.id] = static_cast<int>(out.vars.size());
+    out.vars.push_back(v.id);
+  }
+  out.graph = UndirectedGraph(out.vars.size());
+  for (std::size_t a = 0; a < out.vars.size(); ++a) {
+    for (std::size_t b = a + 1; b < out.vars.size(); ++b) {
+      if (lifetimes[out.vars[a]].overlaps(lifetimes[out.vars[b]])) {
+        out.graph.add_edge(a, b);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lbist

@@ -1,0 +1,28 @@
+#include "graph/undirected_graph.hpp"
+
+namespace lbist {
+
+UndirectedGraph::UndirectedGraph(std::size_t n) : rows_(n, DynBitset(n)) {}
+
+void UndirectedGraph::add_edge(std::size_t a, std::size_t b) {
+  LBIST_CHECK(a < rows_.size() && b < rows_.size(), "vertex out of range");
+  LBIST_CHECK(a != b, "self loops not allowed");
+  if (!rows_[a].test(b)) {
+    rows_[a].set(b);
+    rows_[b].set(a);
+    ++num_edges_;
+  }
+}
+
+UndirectedGraph UndirectedGraph::complement() const {
+  const std::size_t n = num_vertices();
+  UndirectedGraph g(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (!adjacent(a, b)) g.add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+}  // namespace lbist

@@ -1,0 +1,50 @@
+#pragma once
+// Dense undirected graph over vertices 0..n-1 with bitset adjacency rows.
+// Serves as the variable-conflict graph (edge = overlapping lifetimes) and
+// the input-register compatibility graph of the interconnect binder.
+
+#include <cstddef>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/dyn_bitset.hpp"
+
+namespace lbist {
+
+/// Simple undirected graph; no self loops.
+class UndirectedGraph {
+ public:
+  UndirectedGraph() = default;
+  explicit UndirectedGraph(std::size_t n);
+
+  [[nodiscard]] std::size_t num_vertices() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds edge {a, b}; idempotent.  Self loops are rejected.
+  void add_edge(std::size_t a, std::size_t b);
+
+  [[nodiscard]] bool adjacent(std::size_t a, std::size_t b) const {
+    return rows_[a].test(b);
+  }
+
+  /// Adjacency row of `v` as a bitset (useful for clique tests).
+  [[nodiscard]] const DynBitset& row(std::size_t v) const { return rows_[v]; }
+
+  [[nodiscard]] std::size_t degree(std::size_t v) const {
+    return rows_[v].count();
+  }
+
+  /// Neighbors of `v` in increasing order.
+  [[nodiscard]] std::vector<std::size_t> neighbors(std::size_t v) const {
+    return rows_[v].members();
+  }
+
+  /// The complement graph (edges where this graph has none).
+  [[nodiscard]] UndirectedGraph complement() const;
+
+ private:
+  std::vector<DynBitset> rows_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace lbist

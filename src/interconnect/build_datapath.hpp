@@ -1,0 +1,32 @@
+#pragma once
+// Data-path netlist construction: module binding + register binding +
+// port assignment -> structural RTL (rtl/datapath.hpp).
+//
+// Follows the paper's flow: interconnect is assigned last, minimally, and
+// (optionally) weighted so that registers with high sharing degrees land in
+// IR^LR where they have the best chance of being selected as TPGs.
+
+#include <string>
+
+#include "binding/module_binding.hpp"
+#include "binding/register_binding.hpp"
+#include "dfg/dfg.hpp"
+#include "rtl/datapath.hpp"
+
+namespace lbist {
+
+/// Options for interconnect assignment.
+struct InterconnectOptions {
+  /// Weight IR^LR promotion by register sharing degree (Section IV); turn
+  /// off for the ablation arm.
+  bool weight_by_sd = true;
+};
+
+/// Builds the complete data path.  Port-resident primary inputs get
+/// dedicated input registers appended after the allocated ones.
+[[nodiscard]] Datapath build_datapath(const Dfg& dfg, const ModuleBinding& mb,
+                                      const RegisterBinding& rb,
+                                      const InterconnectOptions& opts = {},
+                                      std::string name = "");
+
+}  // namespace lbist

@@ -1,0 +1,73 @@
+#pragma once
+// Controller generation: turns a bound, scheduled design into the per-step
+// control words (register enables, mux selects, ALU opcodes) that drive the
+// structural data path.  The paper leaves the controller out of scope; we
+// generate it so the allocation results can be *executed* — the simulator
+// (rtl/simulate.hpp) runs these words against the netlist and checks the
+// data path computes exactly what the DFG specifies.
+
+#include <vector>
+
+#include "binding/module_binding.hpp"
+#include "binding/register_binding.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/lifetime.hpp"
+#include "dfg/schedule.hpp"
+#include "rtl/datapath.hpp"
+
+namespace lbist {
+
+/// Control of one register for one step.
+struct RegControl {
+  bool enable = false;
+  /// Index into the register's source list (sorted source modules, then
+  /// the external input port); -1 when disabled.
+  int select = -1;
+  /// The variable written this step (for tracing); invalid when disabled.
+  VarId var;
+};
+
+/// Control of one module for one step.
+struct ModuleControl {
+  bool active = false;
+  /// Index into the sorted left/right source-register lists; -1 if idle.
+  int left_select = -1;
+  int right_select = -1;
+  OpKind op = OpKind::Add;
+  /// The DFG operation executing (for tracing); invalid when idle.
+  OpId instance;
+};
+
+/// One step's worth of control.
+struct ControlWord {
+  std::vector<RegControl> regs;
+  std::vector<ModuleControl> modules;
+};
+
+/// The control program: word 0 performs the initial input loads (values
+/// live before step 1); word s (1-based) drives control step s, with its
+/// register writes taking effect at the end of the step.
+class Controller {
+ public:
+  static Controller generate(const Dfg& dfg, const Schedule& sched,
+                             const RegisterBinding& rb, const Datapath& dp,
+                             const IdMap<VarId, LiveInterval>& lifetimes);
+
+  /// Number of control steps (words run 0..num_steps inclusive).
+  [[nodiscard]] int num_steps() const {
+    return static_cast<int>(words_.size()) - 1;
+  }
+  [[nodiscard]] const ControlWord& word(int s) const {
+    return words_[static_cast<std::size_t>(s)];
+  }
+
+  /// Source list of register r as the controller sees it: sorted source
+  /// module indices, then (if present) the external input port.
+  [[nodiscard]] static std::vector<int> register_sources(const Datapath& dp,
+                                                         std::size_t r);
+
+ private:
+  std::vector<ControlWord> words_;
+};
+
+}  // namespace lbist

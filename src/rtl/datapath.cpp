@@ -1,0 +1,101 @@
+#include "rtl/datapath.hpp"
+
+#include <sstream>
+
+#include "support/dot.hpp"
+
+namespace lbist {
+
+int Datapath::mux_count() const {
+  // One multiplexer *unit* per destination with two or more sources — the
+  // counting convention of the paper's "# Mux" column.  (The area model
+  // separately charges (k-1) 2:1 slices for a k-input mux.)
+  int muxes = 0;
+  auto cost = [](std::size_t k) { return k > 1 ? 1 : 0; };
+  for (const auto& m : modules) {
+    muxes += cost(m.left_sources.size());
+    muxes += cost(m.right_sources.size());
+  }
+  for (const auto& r : registers) {
+    muxes += cost(r.source_modules.size() + (r.external_source ? 1u : 0u));
+  }
+  return muxes;
+}
+
+std::vector<std::size_t> Datapath::self_adjacent_registers() const {
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < registers.size(); ++r) {
+    bool self_adjacent = false;
+    for (const auto& m : modules) {
+      const bool is_source = m.left_sources.count(r) > 0 ||
+                             m.right_sources.count(r) > 0;
+      const bool is_dest = m.dest_registers.count(r) > 0;
+      if (is_source && is_dest) {
+        self_adjacent = true;
+        break;
+      }
+    }
+    if (self_adjacent) out.push_back(r);
+  }
+  return out;
+}
+
+std::string Datapath::describe() const {
+  std::ostringstream os;
+  os << "datapath " << name << ": " << num_allocated << " register(s)";
+  if (registers.size() > num_allocated) {
+    os << " (+" << registers.size() - num_allocated
+       << " dedicated input register(s))";
+  }
+  os << ", " << modules.size() << " module(s), " << mux_count()
+     << " mux(es)\n";
+  for (const auto& m : modules) {
+    os << "  " << m.name << "  L<-{";
+    bool first = true;
+    for (std::size_t r : m.left_sources) {
+      os << (first ? "" : ",") << registers[r].name;
+      first = false;
+    }
+    os << "}  R<-{";
+    first = true;
+    for (std::size_t r : m.right_sources) {
+      os << (first ? "" : ",") << registers[r].name;
+      first = false;
+    }
+    os << "}  ->{";
+    first = true;
+    for (std::size_t r : m.dest_registers) {
+      os << (first ? "" : ",") << registers[r].name;
+      first = false;
+    }
+    os << "}";
+    if (m.drives_control) os << " +ctrl";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Datapath::to_dot() const {
+  DotWriter dot(name, /*directed=*/true);
+  for (const auto& r : registers) {
+    dot.add_node(r.name,
+                 {"shape=box", r.dedicated_input
+                                   ? std::string("style=dashed")
+                                   : std::string("style=solid")});
+  }
+  for (const auto& m : modules) {
+    dot.add_node(m.name, {"shape=trapezium"});
+    for (std::size_t r : m.left_sources) {
+      dot.add_edge(registers[r].name, m.name, {"label=\"L\""});
+    }
+    for (std::size_t r : m.right_sources) {
+      dot.add_edge(registers[r].name, m.name, {"label=\"R\""});
+    }
+    for (std::size_t r : m.dest_registers) {
+      dot.add_edge(m.name, registers[r].name);
+    }
+  }
+  return dot.str();
+}
+
+}  // namespace lbist

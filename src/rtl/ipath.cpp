@@ -1,0 +1,157 @@
+#include "rtl/ipath.hpp"
+
+namespace lbist {
+
+std::vector<SimpleIPath> simple_ipaths(const Datapath& dp) {
+  std::vector<SimpleIPath> out;
+  for (std::size_t m = 0; m < dp.modules.size(); ++m) {
+    const DpModule& mod = dp.modules[m];
+    for (std::size_t r : mod.left_sources) {
+      out.push_back(SimpleIPath{r, m, IPathPort::Left});
+    }
+    for (std::size_t r : mod.right_sources) {
+      out.push_back(SimpleIPath{r, m, IPathPort::Right});
+    }
+    for (std::size_t r : mod.dest_registers) {
+      out.push_back(SimpleIPath{r, m, IPathPort::Out});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// A TPG option for one port: the generator register, and the module held
+/// transparent on the way (nullopt for a direct connection).
+struct TpgOption {
+  std::size_t reg = 0;
+  std::optional<std::size_t> through;
+  std::optional<std::size_t> via;
+};
+
+std::vector<BistEmbedding> embeddings_from_options(
+    const Datapath& dp, std::size_t m,
+    const std::vector<TpgOption>& left, const std::vector<TpgOption>& right) {
+  const DpModule& mod = dp.modules[m];
+  std::vector<BistEmbedding> out;
+  for (const TpgOption& tl : left) {
+    for (const TpgOption& tr : right) {
+      if (tl.reg == tr.reg) continue;  // need two independent generators
+      // A module cannot be a transparent wire for its own test.
+      if ((tl.through.has_value() && *tl.through == m) ||
+          (tr.through.has_value() && *tr.through == m)) {
+        continue;
+      }
+      // A via register is overwritten by the pattern stream every cycle:
+      // it cannot simultaneously be the other port's generator, and two
+      // distinct streams cannot share one via register.
+      if (tl.via.has_value() && *tl.via == tr.reg) continue;
+      if (tr.via.has_value() && *tr.via == tl.reg) continue;
+      if (tl.via.has_value() && tr.via.has_value() && *tl.via == *tr.via) {
+        continue;
+      }
+      BistEmbedding e;
+      e.module = m;
+      e.tpg_left = tl.reg;
+      e.tpg_right = tr.reg;
+      e.left_through = tl.through;
+      e.right_through = tr.through;
+      e.left_via = tl.via;
+      e.right_via = tr.via;
+      if (mod.dest_registers.empty()) {
+        e.sa = std::nullopt;  // observed at a primary output/control pin
+        out.push_back(e);
+      } else {
+        for (std::size_t sa : mod.dest_registers) {
+          // A via register cannot compact while shuttling patterns.
+          if ((tl.via.has_value() && *tl.via == sa) ||
+              (tr.via.has_value() && *tr.via == sa)) {
+            continue;
+          }
+          e.sa = sa;
+          out.push_back(e);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TpgOption> direct_options(const std::set<std::size_t>& sources) {
+  std::vector<TpgOption> out;
+  for (std::size_t r : sources) {
+    out.push_back(TpgOption{r, std::nullopt, std::nullopt});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BistEmbedding> enumerate_embeddings(const Datapath& dp,
+                                                std::size_t m) {
+  const DpModule& mod = dp.modules[m];
+  return embeddings_from_options(dp, m, direct_options(mod.left_sources),
+                                 direct_options(mod.right_sources));
+}
+
+std::vector<BistEmbedding> enumerate_embeddings_extended(const Datapath& dp,
+                                                         std::size_t m) {
+  const DpModule& mod = dp.modules[m];
+  std::vector<TpgOption> left = direct_options(mod.left_sources);
+  std::vector<TpgOption> right = direct_options(mod.right_sources);
+
+  // One-hop transparent extensions: from_reg -> t(identity) -> to_reg,
+  // where to_reg already feeds the port.  Skip options whose generator is
+  // already a direct source (no benefit, larger search).
+  const auto paths = transparent_ipaths(dp);
+  auto extend = [&](const std::set<std::size_t>& sources,
+                    std::vector<TpgOption>& options) {
+    for (const TransparentIPath& p : paths) {
+      if (p.through_module == m) continue;
+      if (sources.count(p.to_reg) == 0) continue;
+      if (sources.count(p.from_reg) > 0) continue;
+      options.push_back(TpgOption{p.from_reg, p.through_module, p.to_reg});
+    }
+  };
+  extend(mod.left_sources, left);
+  extend(mod.right_sources, right);
+  return embeddings_from_options(dp, m, left, right);
+}
+
+bool has_identity_mode(const ModuleProto& proto) {
+  for (OpKind k : proto.supports) {
+    switch (k) {
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Div:
+      case OpKind::And:
+      case OpKind::Or:
+      case OpKind::Xor:
+        return true;  // 0, 1, or all-ones identity exists
+      case OpKind::Lt:
+      case OpKind::Gt:
+        break;  // comparison outputs are 1-bit; no transparency
+    }
+  }
+  return false;
+}
+
+std::vector<TransparentIPath> transparent_ipaths(const Datapath& dp) {
+  std::vector<TransparentIPath> out;
+  for (std::size_t m = 0; m < dp.modules.size(); ++m) {
+    const DpModule& mod = dp.modules[m];
+    if (!has_identity_mode(mod.proto)) continue;
+    for (std::size_t to : mod.dest_registers) {
+      for (std::size_t from : mod.left_sources) {
+        out.push_back(TransparentIPath{from, m, IPathPort::Left, to});
+      }
+      for (std::size_t from : mod.right_sources) {
+        out.push_back(TransparentIPath{from, m, IPathPort::Right, to});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lbist

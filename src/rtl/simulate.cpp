@@ -1,0 +1,136 @@
+#include "rtl/simulate.hpp"
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+namespace {
+std::uint32_t width_mask(int width) {
+  return width == 32 ? 0xFFFFFFFFu : ((std::uint32_t{1} << width) - 1);
+}
+}  // namespace
+
+std::uint32_t eval_op(OpKind kind, std::uint32_t a, std::uint32_t b,
+                      int width) {
+  const std::uint32_t mask = width_mask(width);
+  a &= mask;
+  b &= mask;
+  switch (kind) {
+    case OpKind::Add: return (a + b) & mask;
+    case OpKind::Sub: return (a - b) & mask;
+    case OpKind::Mul: return (a * b) & mask;
+    case OpKind::Div: return b == 0 ? 0 : (a / b) & mask;
+    case OpKind::And: return a & b;
+    case OpKind::Or: return a | b;
+    case OpKind::Xor: return a ^ b;
+    case OpKind::Lt: return a < b ? 1 : 0;
+    case OpKind::Gt: return a > b ? 1 : 0;
+  }
+  return 0;
+}
+
+IdMap<VarId, std::uint32_t> evaluate_dfg(
+    const Dfg& dfg, const IdMap<VarId, std::uint32_t>& inputs, int width) {
+  IdMap<VarId, std::uint32_t> values(dfg.num_vars(), 0);
+  for (const auto& v : dfg.vars()) {
+    if (v.is_input()) values[v.id] = inputs[v.id] & width_mask(width);
+  }
+  // Operations were appended in dependency order.
+  for (const auto& op : dfg.ops()) {
+    values[op.result] =
+        eval_op(op.kind, values[op.lhs], values[op.rhs], width);
+  }
+  return values;
+}
+
+SimResult simulate_datapath(const Dfg& dfg, const Datapath& dp,
+                            const Controller& ctl,
+                            const IdMap<VarId, std::uint32_t>& inputs,
+                            int width) {
+  const auto reference = evaluate_dfg(dfg, inputs, width);
+
+  SimResult result;
+  result.observed.assign(dfg.num_vars(), 0);
+
+  std::vector<std::uint32_t> reg_value(dp.registers.size(), 0);
+
+  auto external_value_of = [&](VarId var) {
+    LBIST_CHECK(dfg.var(var).is_input(),
+                "external load of a non-input variable");
+    return inputs[var] & width_mask(width);
+  };
+
+  for (int step = 0; step <= ctl.num_steps(); ++step) {
+    const ControlWord& word = ctl.word(step);
+
+    // Combinational phase: modules read current register values.
+    std::vector<std::uint32_t> module_out(dp.modules.size(), 0);
+    for (std::size_t m = 0; m < dp.modules.size(); ++m) {
+      const ModuleControl& mc = word.modules[m];
+      if (!mc.active) continue;
+      const DpModule& mod = dp.modules[m];
+      auto source_at = [&](const std::set<std::size_t>& sources, int index) {
+        int i = 0;
+        for (std::size_t r : sources) {
+          if (i == index) return reg_value[r];
+          ++i;
+        }
+        throw Error("mux select out of range on " + mod.name);
+      };
+      const std::uint32_t a = source_at(mod.left_sources, mc.left_select);
+      const std::uint32_t b = source_at(mod.right_sources, mc.right_select);
+      module_out[m] = eval_op(mc.op, a, b, width);
+
+      // Control-only results never reach a register; record them here.
+      const Operation& op = dfg.op(mc.instance);
+      if (dfg.var(op.result).control_only) {
+        result.observed[op.result] = module_out[m];
+      }
+    }
+
+    // Sequential phase: all enabled registers latch simultaneously.
+    std::vector<std::uint32_t> next = reg_value;
+    for (std::size_t r = 0; r < dp.registers.size(); ++r) {
+      const RegControl& rc = word.regs[r];
+      if (!rc.enable) continue;
+      const auto sources = Controller::register_sources(dp, r);
+      LBIST_CHECK(rc.select >= 0 &&
+                      rc.select < static_cast<int>(sources.size()),
+                  "register mux select out of range");
+      const int src = sources[static_cast<std::size_t>(rc.select)];
+      const std::uint32_t value =
+          src < 0 ? external_value_of(rc.var)
+                  : module_out[static_cast<std::size_t>(src)];
+      next[r] = value;
+      result.observed[rc.var] = value;
+    }
+    reg_value = std::move(next);
+    result.reg_trace.push_back(reg_value);
+  }
+
+  for (const auto& v : dfg.vars()) {
+    if (result.observed[v.id] != reference[v.id]) {
+      result.mismatches.push_back(v.id);
+    }
+  }
+  return result;
+}
+
+std::vector<SimResult> simulate_datapath_loop(
+    const Dfg& dfg, const Datapath& dp, const Controller& ctl,
+    const IdMap<VarId, std::uint32_t>& initial_inputs, int width,
+    int iterations) {
+  LBIST_CHECK(iterations >= 1, "need at least one iteration");
+  std::vector<SimResult> results;
+  IdMap<VarId, std::uint32_t> inputs = initial_inputs;
+  for (int it = 0; it < iterations; ++it) {
+    results.push_back(simulate_datapath(dfg, dp, ctl, inputs, width));
+    const SimResult& r = results.back();
+    for (const auto& [carried, init] : dfg.loop_ties()) {
+      inputs[init] = r.observed[carried];
+    }
+  }
+  return results;
+}
+
+}  // namespace lbist

@@ -1,0 +1,19 @@
+#pragma once
+// VCD (value change dump) writer: turns a data-path simulation trace into
+// a waveform file any viewer (GTKWave & co.) can open.  One signal per
+// register; values change at the end of each control word, one timestep
+// per clock.
+
+#include <string>
+
+#include "rtl/datapath.hpp"
+#include "rtl/simulate.hpp"
+
+namespace lbist {
+
+/// Renders the simulation's register trace as VCD.  `width` must match the
+/// simulation's bit width.
+[[nodiscard]] std::string emit_vcd(const Datapath& dp, const SimResult& sim,
+                                   int width);
+
+}  // namespace lbist

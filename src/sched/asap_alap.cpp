@@ -1,0 +1,53 @@
+#include "sched/asap_alap.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+IdMap<OpId, int> asap_steps(const Dfg& dfg) {
+  IdMap<OpId, int> step(dfg.num_ops(), 0);
+  // Operations were appended in dependency order (operands must exist when
+  // add_op is called), so a single forward pass suffices.
+  for (const auto& op : dfg.ops()) {
+    int earliest = 1;
+    for (VarId v : {op.lhs, op.rhs}) {
+      const auto& var = dfg.var(v);
+      if (var.def.valid()) earliest = std::max(earliest, step[var.def] + 1);
+    }
+    step[op.id] = earliest;
+  }
+  return step;
+}
+
+int critical_path_length(const Dfg& dfg) {
+  auto asap = asap_steps(dfg);
+  int len = 0;
+  for (const auto& op : dfg.ops()) len = std::max(len, asap[op.id]);
+  return len;
+}
+
+IdMap<OpId, int> alap_steps(const Dfg& dfg, int deadline) {
+  LBIST_CHECK(deadline >= critical_path_length(dfg),
+              "deadline shorter than the critical path");
+  IdMap<OpId, int> step(dfg.num_ops(), deadline);
+  // Reverse pass: an op must finish before the earliest consumer of its
+  // result.
+  const auto& ops = dfg.ops();
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    int latest = deadline;
+    const auto& result = dfg.var(it->result);
+    for (OpId user : result.uses) {
+      latest = std::min(latest, step[user] - 1);
+    }
+    step[it->id] = latest;
+  }
+  return step;
+}
+
+Schedule asap_schedule(const Dfg& dfg) {
+  return Schedule(dfg, asap_steps(dfg));
+}
+
+}  // namespace lbist

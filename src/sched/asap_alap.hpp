@@ -1,0 +1,27 @@
+#pragma once
+// As-soon-as-possible / as-late-as-possible scheduling.  The paper takes a
+// scheduled DFG as input; these schedulers let users (and our FIR/random
+// workloads) produce one, and feed the mobility ranges of the force-directed
+// scheduler.
+
+#include "dfg/dfg.hpp"
+#include "dfg/schedule.hpp"
+#include "support/ids.hpp"
+
+namespace lbist {
+
+/// Earliest feasible step per operation (every op takes one step; operands
+/// must be produced in strictly earlier steps).
+[[nodiscard]] IdMap<OpId, int> asap_steps(const Dfg& dfg);
+
+/// Latest feasible step per operation under a total latency of `deadline`
+/// steps.  Throws if the critical path exceeds the deadline.
+[[nodiscard]] IdMap<OpId, int> alap_steps(const Dfg& dfg, int deadline);
+
+/// Convenience: the ASAP schedule itself.
+[[nodiscard]] Schedule asap_schedule(const Dfg& dfg);
+
+/// Length of the critical path in steps (= latency of the ASAP schedule).
+[[nodiscard]] int critical_path_length(const Dfg& dfg);
+
+}  // namespace lbist

@@ -1,0 +1,149 @@
+#include "sched/force_directed.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "sched/asap_alap.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+
+namespace {
+
+struct Frames {
+  IdMap<OpId, int> earliest;
+  IdMap<OpId, int> latest;
+};
+
+/// ASAP/ALAP ranges honoring already-fixed operations (fixed[op] != 0 pins
+/// the op to that step).
+Frames compute_frames(const Dfg& dfg, int latency,
+                      const IdMap<OpId, int>& fixed) {
+  Frames f{IdMap<OpId, int>(dfg.num_ops(), 1),
+           IdMap<OpId, int>(dfg.num_ops(), latency)};
+  for (const auto& op : dfg.ops()) {
+    int e = 1;
+    for (VarId v : {op.lhs, op.rhs}) {
+      const auto& var = dfg.var(v);
+      if (var.def.valid()) e = std::max(e, f.earliest[var.def] + 1);
+    }
+    if (fixed[op.id] != 0) e = fixed[op.id];
+    f.earliest[op.id] = e;
+  }
+  const auto& ops = dfg.ops();
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    int l = latency;
+    for (OpId user : dfg.var(it->result).uses) {
+      l = std::min(l, f.latest[user] - 1);
+    }
+    if (fixed[it->id] != 0) l = fixed[it->id];
+    f.latest[it->id] = l;
+    LBIST_CHECK(f.earliest[it->id] <= l,
+                "infeasible frame for op " + it->name);
+  }
+  return f;
+}
+
+/// Distribution graphs: expected number of kind-k operations in each step.
+std::map<OpKind, std::vector<double>> distribution_graphs(
+    const Dfg& dfg, int latency, const Frames& f) {
+  std::map<OpKind, std::vector<double>> dg;
+  for (const auto& op : dfg.ops()) {
+    auto& row = dg[op.kind];
+    if (row.empty()) row.assign(static_cast<std::size_t>(latency) + 1, 0.0);
+    const int e = f.earliest[op.id];
+    const int l = f.latest[op.id];
+    const double p = 1.0 / static_cast<double>(l - e + 1);
+    for (int t = e; t <= l; ++t) row[static_cast<std::size_t>(t)] += p;
+  }
+  return dg;
+}
+
+/// Self force of placing `op` at `t` given distribution `row` and frame
+/// [e, l]: DG(t) minus the mean DG over the frame.
+double self_force(const std::vector<double>& row, int e, int l, int t) {
+  double mean = 0.0;
+  for (int j = e; j <= l; ++j) mean += row[static_cast<std::size_t>(j)];
+  mean /= static_cast<double>(l - e + 1);
+  return row[static_cast<std::size_t>(t)] - mean;
+}
+
+}  // namespace
+
+Schedule force_directed_schedule(const Dfg& dfg, int latency) {
+  LBIST_CHECK(latency >= critical_path_length(dfg),
+              "latency below critical path");
+  IdMap<OpId, int> fixed(dfg.num_ops(), 0);
+
+  for (std::size_t fixed_count = 0; fixed_count < dfg.num_ops();
+       ++fixed_count) {
+    Frames f = compute_frames(dfg, latency, fixed);
+    auto dg = distribution_graphs(dfg, latency, f);
+
+    double best_force = std::numeric_limits<double>::infinity();
+    OpId best_op;
+    int best_t = 0;
+    for (const auto& op : dfg.ops()) {
+      if (fixed[op.id] != 0) continue;
+      const int e = f.earliest[op.id];
+      const int l = f.latest[op.id];
+      for (int t = e; t <= l; ++t) {
+        double force = self_force(dg[op.kind], e, l, t);
+        // Implied restriction of immediate predecessors (must end < t) and
+        // successors (must start > t): add their self forces under the
+        // tightened frames.
+        for (VarId v : {op.lhs, op.rhs}) {
+          const auto& var = dfg.var(v);
+          if (!var.def.valid() || fixed[var.def] != 0) continue;
+          const auto& p = dfg.op(var.def);
+          const int pe = f.earliest[p.id];
+          const int pl = std::min(f.latest[p.id], t - 1);
+          if (pl >= pe && pl < f.latest[p.id]) {
+            // Mean-shift charge: average DG over the tightened frame minus
+            // over the old frame.
+            double old_mean = 0.0, new_mean = 0.0;
+            for (int j = pe; j <= f.latest[p.id]; ++j) {
+              old_mean += dg[p.kind][static_cast<std::size_t>(j)];
+            }
+            old_mean /= static_cast<double>(f.latest[p.id] - pe + 1);
+            for (int j = pe; j <= pl; ++j) {
+              new_mean += dg[p.kind][static_cast<std::size_t>(j)];
+            }
+            new_mean /= static_cast<double>(pl - pe + 1);
+            force += new_mean - old_mean;
+          }
+        }
+        for (OpId user : dfg.var(op.result).uses) {
+          if (fixed[user] != 0) continue;
+          const auto& s = dfg.op(user);
+          const int se = std::max(f.earliest[s.id], t + 1);
+          const int sl = f.latest[s.id];
+          if (se <= sl && se > f.earliest[s.id]) {
+            double old_mean = 0.0, new_mean = 0.0;
+            for (int j = f.earliest[s.id]; j <= sl; ++j) {
+              old_mean += dg[s.kind][static_cast<std::size_t>(j)];
+            }
+            old_mean /= static_cast<double>(sl - f.earliest[s.id] + 1);
+            for (int j = se; j <= sl; ++j) {
+              new_mean += dg[s.kind][static_cast<std::size_t>(j)];
+            }
+            new_mean /= static_cast<double>(sl - se + 1);
+            force += new_mean - old_mean;
+          }
+        }
+        if (force < best_force - 1e-12) {
+          best_force = force;
+          best_op = op.id;
+          best_t = t;
+        }
+      }
+    }
+    LBIST_CHECK(best_op.valid(), "force-directed scheduler found no move");
+    fixed[best_op] = best_t;
+  }
+  return Schedule(dfg, std::move(fixed));
+}
+
+}  // namespace lbist

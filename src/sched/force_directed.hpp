@@ -1,0 +1,16 @@
+#pragma once
+// Force-directed scheduling (Paulin & Knight, 1989) — the scheduler behind
+// the paper's "Paulin" benchmark.  Minimizes the expected concurrency of
+// each operator kind under a fixed latency bound, which tends to minimize
+// functional-unit count before binding.
+
+#include "dfg/dfg.hpp"
+#include "dfg/schedule.hpp"
+
+namespace lbist {
+
+/// Schedules `dfg` into exactly `latency` steps (must be >= the critical
+/// path).  Deterministic: ties are broken by operation id.
+[[nodiscard]] Schedule force_directed_schedule(const Dfg& dfg, int latency);
+
+}  // namespace lbist

@@ -1,0 +1,56 @@
+#include "sched/list_sched.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/asap_alap.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+
+Schedule list_schedule(const Dfg& dfg, const ResourceLimits& limits) {
+  const int cp = critical_path_length(dfg);
+  // A generous deadline for slack computation; actual latency may exceed cp
+  // because of resource limits, so recompute ALAP lazily is not needed —
+  // slack ordering only guides priority.
+  auto alap = alap_steps(dfg, cp);
+
+  IdMap<OpId, int> step(dfg.num_ops(), 0);
+  std::size_t remaining = dfg.num_ops();
+  int current = 0;
+  while (remaining > 0) {
+    ++current;
+    LBIST_CHECK(current <= static_cast<int>(dfg.num_ops()) + cp + 1,
+                "list scheduler failed to converge");
+    // Ready: unscheduled ops whose operands are all produced before now.
+    std::vector<OpId> ready;
+    for (const auto& op : dfg.ops()) {
+      if (step[op.id] != 0) continue;
+      bool ok = true;
+      for (VarId v : {op.lhs, op.rhs}) {
+        const auto& var = dfg.var(v);
+        if (var.def.valid() &&
+            (step[var.def] == 0 || step[var.def] >= current)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(op.id);
+    }
+    std::stable_sort(ready.begin(), ready.end(), [&](OpId a, OpId b) {
+      return alap[a] < alap[b];  // least slack first
+    });
+    std::map<OpKind, int> used;
+    for (OpId id : ready) {
+      const OpKind kind = dfg.op(id).kind;
+      auto limit = limits.find(kind);
+      if (limit != limits.end() && used[kind] >= limit->second) continue;
+      step[id] = current;
+      ++used[kind];
+      --remaining;
+    }
+  }
+  return Schedule(dfg, std::move(step));
+}
+
+}  // namespace lbist

@@ -1,0 +1,20 @@
+#pragma once
+// Resource-constrained list scheduling.
+
+#include <map>
+
+#include "dfg/dfg.hpp"
+#include "dfg/schedule.hpp"
+
+namespace lbist {
+
+/// Per-kind functional unit limits, e.g. {{Mul, 2}, {Add, 1}}.  Kinds not
+/// listed are unlimited.
+using ResourceLimits = std::map<OpKind, int>;
+
+/// Classic list scheduling: ready operations are prioritized by ALAP slack
+/// (most urgent first) and issued while per-kind unit limits allow.
+[[nodiscard]] Schedule list_schedule(const Dfg& dfg,
+                                     const ResourceLimits& limits);
+
+}  // namespace lbist

@@ -1,0 +1,77 @@
+#include "sched/pressure.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sched/asap_alap.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+
+Schedule min_pressure_schedule(const Dfg& dfg, const ResourceLimits& limits) {
+  const int cp = critical_path_length(dfg);
+  auto alap = alap_steps(dfg, cp);
+
+  IdMap<OpId, int> step(dfg.num_ops(), 0);
+  // Remaining use counts per variable (a value dies when this hits zero).
+  IdMap<VarId, int> remaining_uses(dfg.num_vars(), 0);
+  for (const auto& v : dfg.vars()) {
+    remaining_uses[v.id] = static_cast<int>(v.uses.size());
+  }
+
+  std::size_t scheduled = 0;
+  int current = 0;
+  while (scheduled < dfg.num_ops()) {
+    ++current;
+    LBIST_CHECK(current <= static_cast<int>(dfg.num_ops()) + cp + 1,
+                "pressure scheduler failed to converge");
+    std::vector<OpId> ready;
+    for (const auto& op : dfg.ops()) {
+      if (step[op.id] != 0) continue;
+      bool ok = true;
+      for (VarId v : {op.lhs, op.rhs}) {
+        const auto& var = dfg.var(v);
+        if (var.def.valid() &&
+            (step[var.def] == 0 || step[var.def] >= current)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(op.id);
+    }
+
+    // Net pressure effect of issuing op now: +1 for the new value, -1 for
+    // every operand this op kills.  Prefer pressure-reducing ops, then the
+    // urgent ones (least ALAP slack).
+    auto pressure_delta = [&](OpId id) {
+      const Operation& op = dfg.op(id);
+      int delta = 1;
+      if (remaining_uses[op.lhs] == 1) --delta;
+      if (op.rhs != op.lhs && remaining_uses[op.rhs] == 1) --delta;
+      return delta;
+    };
+    std::stable_sort(ready.begin(), ready.end(), [&](OpId a, OpId b) {
+      const int da = pressure_delta(a);
+      const int db = pressure_delta(b);
+      if (da != db) return da < db;
+      return alap[a] < alap[b];
+    });
+
+    std::map<OpKind, int> used;
+    for (OpId id : ready) {
+      const OpKind kind = dfg.op(id).kind;
+      auto limit = limits.find(kind);
+      if (limit != limits.end() && used[kind] >= limit->second) continue;
+      step[id] = current;
+      ++used[kind];
+      ++scheduled;
+      const Operation& op = dfg.op(id);
+      --remaining_uses[op.lhs];
+      if (op.rhs != op.lhs) --remaining_uses[op.rhs];
+    }
+  }
+  return Schedule(dfg, std::move(step));
+}
+
+}  // namespace lbist

@@ -1,0 +1,40 @@
+#pragma once
+// Error handling for lowbist.
+//
+// Library invariants and user-input validation both throw `lbist::Error`
+// (per C++ Core Guidelines E.2: throw to signal that a function can't do its
+// job).  `LBIST_CHECK` is used for conditions that depend on caller input;
+// it is always on, in release builds too, because allocation problems are
+// small and validation cost is negligible next to the search itself.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lbist {
+
+/// Exception thrown for invalid inputs or broken invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace lbist
+
+/// Validate `cond`; on failure throw lbist::Error with location context.
+#define LBIST_CHECK(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::lbist::detail::fail(#cond, __FILE__, __LINE__, (msg));        \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,44 @@
+#include "support/dot.hpp"
+
+#include <sstream>
+
+namespace lbist {
+
+namespace {
+std::string join_attrs(const std::vector<std::string>& attrs) {
+  if (attrs.empty()) return "";
+  std::ostringstream os;
+  os << " [";
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attrs[i];
+  }
+  os << "]";
+  return os.str();
+}
+}  // namespace
+
+DotWriter::DotWriter(std::string name, bool directed)
+    : name_(std::move(name)), directed_(directed) {}
+
+void DotWriter::add_node(const std::string& id,
+                         std::vector<std::string> attrs) {
+  lines_.push_back("  \"" + id + "\"" + join_attrs(attrs) + ";");
+}
+
+void DotWriter::add_edge(const std::string& from, const std::string& to,
+                         std::vector<std::string> attrs) {
+  const char* arrow = directed_ ? " -> " : " -- ";
+  lines_.push_back("  \"" + from + "\"" + arrow + "\"" + to + "\"" +
+                   join_attrs(attrs) + ";");
+}
+
+std::string DotWriter::str() const {
+  std::ostringstream os;
+  os << (directed_ ? "digraph " : "graph ") << name_ << " {\n";
+  for (const auto& l : lines_) os << l << '\n';
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lbist

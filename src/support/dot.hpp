@@ -1,0 +1,33 @@
+#pragma once
+// Minimal Graphviz DOT emitter.  Used to dump DFGs, conflict graphs and RTL
+// netlists for inspection (paper Figs. 2, 4, 5 are reproduced as DOT + text).
+
+#include <string>
+#include <vector>
+
+namespace lbist {
+
+/// Builder for a DOT graph description.  Node/edge attributes are passed as
+/// preformatted `key=value` strings and joined with commas.
+class DotWriter {
+ public:
+  /// `directed` selects digraph vs graph syntax.
+  explicit DotWriter(std::string name, bool directed);
+
+  /// Adds a node with optional attributes, e.g. {"label=\"a\"", "shape=box"}.
+  void add_node(const std::string& id, std::vector<std::string> attrs = {});
+
+  /// Adds an edge; uses `->` or `--` depending on directedness.
+  void add_edge(const std::string& from, const std::string& to,
+                std::vector<std::string> attrs = {});
+
+  /// Renders the accumulated graph.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string name_;
+  bool directed_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace lbist

@@ -1,0 +1,94 @@
+#pragma once
+// Fixed-capacity dynamic bitset over 64-bit words.  Used for adjacency rows
+// of conflict/compatibility graphs (n is at most a few hundred in HLS
+// allocation problems, so dense rows are both simplest and fastest).
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lbist {
+
+/// A set of small integers [0, size) with constant-time membership and
+/// word-parallel intersection/subset queries.
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void set(std::size_t i) { words_[i / 64] |= (std::uint64_t{1} << (i % 64)); }
+  void reset(std::size_t i) {
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (auto w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// True if this set intersects `other`.
+  [[nodiscard]] bool intersects(const DynBitset& other) const {
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  /// True if every member of this set is also in `other`.
+  [[nodiscard]] bool subset_of(const DynBitset& other) const {
+    const std::size_t n = words_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t ow = i < other.words_.size() ? other.words_[i] : 0;
+      if (words_[i] & ~ow) return false;
+    }
+    return true;
+  }
+
+  DynBitset& operator|=(const DynBitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+    return *this;
+  }
+
+  DynBitset& operator&=(const DynBitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= other.words_[i];
+    }
+    return *this;
+  }
+
+  friend bool operator==(const DynBitset&, const DynBitset&) = default;
+
+  /// Members in increasing order.
+  [[nodiscard]] std::vector<std::size_t> members() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (test(i)) out.push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lbist

@@ -1,0 +1,92 @@
+#pragma once
+// Strong index types used across the library.
+//
+// Every entity in a design (operation, variable, module, register, net, ...)
+// is identified by a dense 0-based index.  Raw `int` indices invite mixing a
+// variable id with a register id; the `Id` template below makes each entity's
+// id a distinct type while keeping the cost of a plain integer.
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+namespace lbist {
+
+/// A strongly-typed dense index.  `Tag` is a phantom type that distinguishes
+/// id families (e.g. `Id<struct OpTag>` vs `Id<struct VarTag>`).
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::int32_t;
+
+  /// Constructs an invalid id.  `valid()` is false and `value()` must not be
+  /// used for indexing.
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : v_(v) {}
+
+  /// Underlying integer value.  Only meaningful when `valid()`.
+  [[nodiscard]] constexpr value_type value() const { return v_; }
+  /// Convenience for indexing into std::vector.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(v_);
+  }
+  [[nodiscard]] constexpr bool valid() const { return v_ >= 0; }
+
+  /// Sentinel invalid id (also what a default-constructed Id holds).
+  [[nodiscard]] static constexpr Id invalid() { return Id{}; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  value_type v_ = -1;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+// Id families used throughout the library.
+using OpId = Id<struct OpTag>;         ///< DFG operation
+using VarId = Id<struct VarTag>;       ///< DFG variable (edge)
+using ModuleId = Id<struct ModuleTag>; ///< functional module (hardware unit)
+using RegId = Id<struct RegTag>;       ///< register (color of conflict graph)
+using NodeId = Id<struct NodeTag>;     ///< RTL netlist node
+using NetId = Id<struct NetTag>;       ///< RTL netlist net
+
+/// A dense map from a strong id to `V`, backed by std::vector.
+template <typename IdT, typename V>
+class IdMap {
+ public:
+  IdMap() = default;
+  explicit IdMap(std::size_t n, const V& init = V{}) : data_(n, init) {}
+
+  [[nodiscard]] V& operator[](IdT id) { return data_[id.index()]; }
+  [[nodiscard]] const V& operator[](IdT id) const { return data_[id.index()]; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  void assign(std::size_t n, const V& init) { data_.assign(n, init); }
+  void resize(std::size_t n) { data_.resize(n); }
+  void push_back(V v) { data_.push_back(std::move(v)); }
+
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+ private:
+  std::vector<V> data_;
+};
+
+}  // namespace lbist
+
+template <typename Tag>
+struct std::hash<lbist::Id<Tag>> {
+  std::size_t operator()(lbist::Id<Tag> id) const noexcept {
+    return std::hash<typename lbist::Id<Tag>::value_type>{}(id.value());
+  }
+};

@@ -1,0 +1,114 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+Json& Json::push_back(Json v) {
+  auto* arr = std::get_if<Array>(&value_);
+  LBIST_CHECK(arr != nullptr, "push_back on a non-array JSON value");
+  arr->items.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  auto* obj = std::get_if<Object>(&value_);
+  LBIST_CHECK(obj != nullptr, "set on a non-object JSON value");
+  for (auto& [k, existing] : obj->members) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj->members.emplace_back(key, std::move(v));
+  return *this;
+}
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(std::string& out, double d) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    out += std::to_string(static_cast<long long>(d));
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", d);
+    out += buf;
+  }
+}
+
+std::string indent_of(int n) { return std::string(static_cast<std::size_t>(n), ' '); }
+
+}  // namespace
+
+void Json::write(std::string& out, int indent) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    write_number(out, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    write_escaped(out, *s);
+  } else if (const auto* arr = std::get_if<Array>(&value_)) {
+    if (arr->items.empty()) {
+      out += "[]";
+      return;
+    }
+    out += "[\n";
+    for (std::size_t i = 0; i < arr->items.size(); ++i) {
+      out += indent_of(indent + 2);
+      arr->items[i].write(out, indent + 2);
+      if (i + 1 < arr->items.size()) out += ',';
+      out += '\n';
+    }
+    out += indent_of(indent) + "]";
+  } else if (const auto* obj = std::get_if<Object>(&value_)) {
+    if (obj->members.empty()) {
+      out += "{}";
+      return;
+    }
+    out += "{\n";
+    for (std::size_t i = 0; i < obj->members.size(); ++i) {
+      out += indent_of(indent + 2);
+      write_escaped(out, obj->members[i].first);
+      out += ": ";
+      obj->members[i].second.write(out, indent + 2);
+      if (i + 1 < obj->members.size()) out += ',';
+      out += '\n';
+    }
+    out += indent_of(indent) + "}";
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(out, 0);
+  return out;
+}
+
+}  // namespace lbist

@@ -1,0 +1,63 @@
+#pragma once
+// Minimal JSON emitter (no external dependencies): enough to serialize the
+// library's reports for downstream tooling.  Writer only — the library
+// never consumes JSON.
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lbist {
+
+/// A JSON value tree.  Build with the static factories, render with dump().
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+
+  static Json null() { return Json(); }
+  static Json boolean(bool b) { return Json(b); }
+  static Json number(double d) { return Json(d); }
+  static Json number(int i) { return Json(static_cast<double>(i)); }
+  static Json string(std::string s) { return Json(std::move(s)); }
+  static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.value_ = Object{};
+    return j;
+  }
+
+  /// Appends to an array value (must be an array).
+  Json& push_back(Json v);
+  /// Sets a key on an object value (must be an object); returns *this for
+  /// chaining.
+  Json& set(const std::string& key, Json v);
+
+  /// Serializes with 2-space indentation.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  struct Array {
+    std::vector<Json> items;
+  };
+  struct Object {
+    std::vector<std::pair<std::string, Json>> members;  // insertion order
+  };
+  using Value =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  explicit Json(bool b) : value_(b) {}
+  explicit Json(double d) : value_(d) {}
+  explicit Json(std::string s) : value_(std::move(s)) {}
+
+  void write(std::string& out, int indent) const;
+
+  Value value_;
+};
+
+}  // namespace lbist

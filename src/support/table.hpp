@@ -1,0 +1,40 @@
+#pragma once
+// Plain-text table formatter used by the benchmark harnesses to print
+// paper-style tables (Table I/II/III) with aligned columns.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lbist {
+
+/// Accumulates rows of string cells and renders them with aligned columns,
+/// a header rule, and optional title — mirroring the look of the paper's
+/// tables in monospace output.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Optional title printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Renders the table to a string.
+  [[nodiscard]] std::string str() const;
+
+  /// Streams the rendered table.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the decimal point.
+[[nodiscard]] std::string fmt_double(double v, int prec = 2);
+
+}  // namespace lbist

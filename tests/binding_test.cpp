@@ -1,0 +1,270 @@
+// Unit tests for the binding library: module specs, module binding, sharing
+// degrees, the Lemma-2 CBILBO conditions and both register binders.
+
+#include <gtest/gtest.h>
+
+#include "binding/bist_aware_binder.hpp"
+#include "binding/cbilbo_check.hpp"
+#include "binding/module_binding.hpp"
+#include "binding/module_spec.hpp"
+#include "binding/sharing.hpp"
+#include "binding/traditional_binder.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/lifetime.hpp"
+#include "graph/coloring.hpp"
+#include "graph/conflict.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+namespace {
+
+struct Ex1 {
+  Benchmark bench = make_ex1();
+  IdMap<VarId, LiveInterval> lt =
+      compute_lifetimes(bench.design.dfg, *bench.design.schedule);
+  VarConflictGraph cg = build_conflict_graph(bench.design.dfg, lt);
+  ModuleBinding mb = ModuleBinding::bind(bench.design.dfg,
+                                         *bench.design.schedule,
+                                         parse_module_spec("1+,1*"));
+  VarId v(const char* name) const {
+    return *bench.design.dfg.find_var(name);
+  }
+};
+
+TEST(ModuleSpec, ParsesCountsAndSymbols) {
+  auto protos = parse_module_spec("1/,2*,2+,1&");
+  ASSERT_EQ(protos.size(), 6u);
+  EXPECT_EQ(protos[0].supports, std::vector<OpKind>{OpKind::Div});
+  EXPECT_EQ(protos[1].supports, std::vector<OpKind>{OpKind::Mul});
+  EXPECT_EQ(protos[2].supports, std::vector<OpKind>{OpKind::Mul});
+  EXPECT_EQ(protos[5].supports, std::vector<OpKind>{OpKind::And});
+}
+
+TEST(ModuleSpec, ParsesAluSets) {
+  auto protos = parse_module_spec("1+,3[-*/&|]");
+  ASSERT_EQ(protos.size(), 4u);
+  EXPECT_EQ(protos[1].supports.size(), 5u);
+  EXPECT_TRUE(protos[1].supports_kind(OpKind::Div));
+  EXPECT_FALSE(protos[1].supports_kind(OpKind::Add));
+  EXPECT_EQ(protos[1].label(), "[-*/&|]");
+}
+
+TEST(ModuleSpec, RejectsGarbage) {
+  EXPECT_THROW(parse_module_spec(""), Error);
+  EXPECT_THROW(parse_module_spec("2"), Error);
+  EXPECT_THROW(parse_module_spec("1%"), Error);
+  EXPECT_THROW(parse_module_spec("1[+"), Error);
+  EXPECT_THROW(parse_module_spec("1[]"), Error);
+}
+
+TEST(ModuleSpec, MinimalSpecCoversBusiestStep) {
+  auto bench = make_ex2();
+  auto protos =
+      minimal_module_spec(bench.design.dfg, *bench.design.schedule);
+  // ex2 runs two multiplies in step 1, everything else is 1-wide.
+  int muls = 0;
+  for (const auto& p : protos) {
+    if (p.supports_kind(OpKind::Mul)) ++muls;
+  }
+  EXPECT_EQ(muls, 2);
+}
+
+TEST(ModuleBinding, Ex1SetsMatchPaper) {
+  Ex1 f;
+  // M1 = adder with instances add1, add2; M2 = multiplier with mul1, mul2.
+  EXPECT_EQ(f.mb.num_modules(), 2u);
+  EXPECT_EQ(f.mb.temporal_multiplicity(ModuleId{0}), 2u);
+  EXPECT_EQ(f.mb.temporal_multiplicity(ModuleId{1}), 2u);
+  // I_M1 = {a, b, c, d}, O_M1 = {d, f} — the paper's stated sets.
+  const auto& i1 = f.mb.input_vars(ModuleId{0});
+  for (const char* n : {"a", "b", "c", "d"}) {
+    EXPECT_TRUE(i1.test(f.v(n).index())) << n;
+  }
+  EXPECT_EQ(i1.count(), 4u);
+  const auto& o1 = f.mb.output_vars(ModuleId{0});
+  EXPECT_TRUE(o1.test(f.v("d").index()));
+  EXPECT_TRUE(o1.test(f.v("f").index()));
+  EXPECT_EQ(o1.count(), 2u);
+}
+
+TEST(ModuleBinding, InstanceOperandsArePerInstance) {
+  Ex1 f;
+  // add1 reads {a,b}; add2 reads {c,d}.
+  const auto& j0 = f.mb.instance_operands(ModuleId{0}, 0);
+  EXPECT_TRUE(j0.test(f.v("a").index()));
+  EXPECT_TRUE(j0.test(f.v("b").index()));
+  EXPECT_EQ(j0.count(), 2u);
+  const auto& j1 = f.mb.instance_operands(ModuleId{0}, 1);
+  EXPECT_TRUE(j1.test(f.v("c").index()));
+  EXPECT_TRUE(j1.test(f.v("d").index()));
+}
+
+TEST(ModuleBinding, ThrowsWhenSpecTooSmall) {
+  auto bench = make_ex2();  // two muls in step 1
+  EXPECT_THROW(ModuleBinding::bind(bench.design.dfg, *bench.design.schedule,
+                                   parse_module_spec("1/,1*,2+,1&")),
+               Error);
+}
+
+TEST(ModuleBinding, AluClusteringCoversMixedKinds) {
+  auto bench = make_tseng2();
+  auto mb = ModuleBinding::bind(bench.design.dfg, *bench.design.schedule,
+                                parse_module_spec(bench.module_spec));
+  EXPECT_EQ(mb.num_modules(), 4u);
+  // Every op got a module.
+  for (const auto& op : bench.design.dfg.ops()) {
+    EXPECT_TRUE(mb.module_of(op.id).valid());
+  }
+}
+
+TEST(Sharing, Ex1VariableDegreesMatchHandComputation) {
+  Ex1 f;
+  SharingAnalysis sa(f.bench.design.dfg, f.mb);
+  // d ∈ I_M1, O_M1, I_M2 -> SD 3; f ∈ O_M1, I_M2 -> 2; g ∈ I_M2, O_M2 -> 2.
+  EXPECT_EQ(sa.sd(f.v("a")), 1);
+  EXPECT_EQ(sa.sd(f.v("b")), 1);
+  EXPECT_EQ(sa.sd(f.v("c")), 1);
+  EXPECT_EQ(sa.sd(f.v("d")), 3);
+  EXPECT_EQ(sa.sd(f.v("e")), 1);
+  EXPECT_EQ(sa.sd(f.v("f")), 2);
+  EXPECT_EQ(sa.sd(f.v("g")), 2);
+  EXPECT_EQ(sa.sd(f.v("h")), 1);
+}
+
+TEST(Sharing, RegisterSdIsUnionNotSum) {
+  Ex1 f;
+  SharingAnalysis sa(f.bench.design.dfg, f.mb);
+  // {a, c} both only in I_M1: SD of the union is 1, not 2.
+  DynBitset m = sa.mask(f.v("a"));
+  m |= sa.mask(f.v("c"));
+  EXPECT_EQ(SharingAnalysis::sd_of(m), 1);
+  // {d} ∪ {h}: {I_M1, O_M1, I_M2} ∪ {O_M2} = 4.
+  DynBitset m2 = sa.mask(f.v("d"));
+  m2 |= sa.mask(f.v("h"));
+  EXPECT_EQ(SharingAnalysis::sd_of(m2), 4);
+}
+
+TEST(CbilboCheck, CaseOneFires) {
+  Ex1 f;
+  const Dfg& dfg = f.bench.design.dfg;
+  // Put the multiplier's outputs {g, h} AND an operand of every multiplier
+  // instance into one register.  mul1 reads {e,f}, mul2 reads {d,g}.
+  // R0 = {g, h, e}: holds all outputs, g covers mul2, e covers mul1.
+  std::vector<DynBitset> masks(2, DynBitset(dfg.num_vars()));
+  masks[0].set(f.v("g").index());
+  masks[0].set(f.v("h").index());
+  masks[0].set(f.v("e").index());
+  masks[1].set(f.v("a").index());
+  auto forced = forced_cbilbos(f.mb, masks);
+  ASSERT_EQ(forced.size(), 1u);
+  EXPECT_EQ(forced[0].reg, RegId{0});
+  EXPECT_EQ(forced[0].module, ModuleId{1});
+  EXPECT_EQ(forced[0].lemma_case, 1);
+}
+
+TEST(CbilboCheck, CaseTwoFiresSymmetrically) {
+  Ex1 f;
+  const Dfg& dfg = f.bench.design.dfg;
+  // Outputs of M2 split: g in R0, h in R1; both registers hold an operand
+  // of every instance of M2 (mul1 reads {e,f}, mul2 reads {d,g}).
+  std::vector<DynBitset> masks(2, DynBitset(dfg.num_vars()));
+  masks[0].set(f.v("g").index());  // covers mul2
+  masks[0].set(f.v("e").index());  // covers mul1
+  masks[1].set(f.v("h").index());
+  masks[1].set(f.v("f").index());  // covers mul1
+  masks[1].set(f.v("d").index());  // covers mul2
+  auto forced = forced_cbilbos(f.mb, masks);
+  ASSERT_EQ(forced.size(), 1u);
+  EXPECT_EQ(forced[0].lemma_case, 2);
+  EXPECT_EQ(forced[0].reg, RegId{0});
+  EXPECT_EQ(forced[0].partner, RegId{1});
+}
+
+TEST(CbilboCheck, NoForcingWithFreeSaChoice) {
+  Ex1 f;
+  const Dfg& dfg = f.bench.design.dfg;
+  // Outputs split across two registers but the second register holds no
+  // operand of mul1 -> a CBILBO-free embedding exists.
+  std::vector<DynBitset> masks(2, DynBitset(dfg.num_vars()));
+  masks[0].set(f.v("g").index());
+  masks[0].set(f.v("e").index());
+  masks[1].set(f.v("h").index());  // no operands at all
+  auto forced = forced_cbilbos(f.mb, masks);
+  EXPECT_TRUE(forced.empty());
+}
+
+TEST(TraditionalBinder, MinimumRegistersOnAllBenchmarks) {
+  for (const auto& bench : paper_benchmarks()) {
+    auto lt = compute_lifetimes(bench.design.dfg, *bench.design.schedule);
+    auto cg = build_conflict_graph(bench.design.dfg, lt);
+    auto rb = bind_registers_traditional(bench.design.dfg, cg, lt);
+    rb.validate(bench.design.dfg, lt);
+    EXPECT_EQ(rb.num_regs(), chordal_clique_number(cg.graph)) << bench.name;
+  }
+}
+
+TEST(BistAwareBinder, MinimumRegistersOnAllBenchmarks) {
+  for (const auto& bench : paper_benchmarks()) {
+    auto lt = compute_lifetimes(bench.design.dfg, *bench.design.schedule);
+    auto cg = build_conflict_graph(bench.design.dfg, lt);
+    auto mb = ModuleBinding::bind(bench.design.dfg, *bench.design.schedule,
+                                  parse_module_spec(bench.module_spec));
+    auto rb = bind_registers_bist_aware(bench.design.dfg, cg, mb);
+    rb.validate(bench.design.dfg, lt);
+    // The paper reports the minimum register count on every benchmark.
+    EXPECT_EQ(rb.num_regs(), chordal_clique_number(cg.graph)) << bench.name;
+  }
+}
+
+TEST(BistAwareBinder, NoForcedCbilboOnEx1) {
+  Ex1 f;
+  auto rb = bind_registers_bist_aware(f.bench.design.dfg, f.cg, f.mb);
+  rb.validate(f.bench.design.dfg, f.lt);
+  // The testable binding of ex1 admits a CBILBO-free Lemma-2 profile.
+  EXPECT_TRUE(forced_cbilbos(f.bench.design.dfg, f.mb, rb).empty());
+}
+
+TEST(BistAwareBinder, TraceExplainsDecisions) {
+  Ex1 f;
+  std::vector<std::string> trace;
+  auto rb = bind_registers_bist_aware(f.bench.design.dfg, f.cg, f.mb, {},
+                                      &trace);
+  EXPECT_EQ(trace.size() >= f.cg.vars.size(), true);
+  (void)rb;
+}
+
+TEST(BistAwareBinder, OptionsAreHonored) {
+  // With everything off the binder degenerates to reverse-PVES first-fit,
+  // i.e. it still produces a valid minimum binding.
+  Ex1 f;
+  BistBinderOptions off;
+  off.sd_ordered_pves = false;
+  off.delta_sd_rule = false;
+  off.case_overrides = false;
+  off.avoid_cbilbo = false;
+  auto rb = bind_registers_bist_aware(f.bench.design.dfg, f.cg, f.mb, off);
+  rb.validate(f.bench.design.dfg, f.lt);
+  EXPECT_EQ(rb.num_regs(), 3u);
+}
+
+TEST(RegisterBinding, ValidateCatchesConflicts) {
+  Ex1 f;
+  RegisterBinding rb;
+  rb.reg_of.assign(f.bench.design.dfg.num_vars(), RegId::invalid());
+  rb.regs.resize(1);
+  for (const auto& var : f.bench.design.dfg.vars()) {
+    rb.regs[0].push_back(var.id);
+    rb.reg_of[var.id] = RegId{0};
+  }
+  EXPECT_THROW(rb.validate(f.bench.design.dfg, f.lt), Error);
+}
+
+TEST(RegisterBinding, ToStringListsMembers) {
+  Ex1 f;
+  auto rb = bind_registers_traditional(f.bench.design.dfg, f.cg, f.lt);
+  const std::string s = rb.to_string(f.bench.design.dfg);
+  EXPECT_NE(s.find("R1={"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbist

@@ -1,0 +1,42 @@
+# CLI round trip: bench dump -> synth with every emitter -> sanity-grep.
+execute_process(COMMAND ${LOWBIST} bench ex1
+                OUTPUT_FILE ${WORKDIR}/cli_ex1.dfg RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench dump failed")
+endif()
+
+execute_process(
+  COMMAND ${LOWBIST} synth ${WORKDIR}/cli_ex1.dfg --modules "1+,1*"
+          --plan --selftest --verilog --ctrl-verilog --testbench --vcd
+          --dot --width 8
+  OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "synth failed")
+endif()
+foreach(needle
+    "BIST solution:" "test plan:" "chip-level self-test:"
+    "module ex1 (" "module ex1_ctrl (" "module ex1_tb;"
+    "$enddefinitions $end" "digraph ex1")
+  string(FIND "${out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "missing '${needle}' in synth output")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${LOWBIST} compare ${WORKDIR}/cli_ex1.dfg --modules "1+,1*" --json
+  OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "compare --json failed")
+endif()
+string(FIND "${out}" "\"reduction_percent\"" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "missing reduction_percent in JSON")
+endif()
+
+execute_process(
+  COMMAND ${LOWBIST} optimize ${WORKDIR}/cli_ex1.dfg
+  OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "optimize failed")
+endif()

@@ -1,0 +1,248 @@
+// Unit tests for the DFG library: graph construction, schedules, lifetime
+// analysis, the textual format and the benchmark reconstructions.
+
+#include <gtest/gtest.h>
+
+#include "dfg/benchmarks.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/lifetime.hpp"
+#include "dfg/parse.hpp"
+#include "dfg/random_dfg.hpp"
+#include "dfg/schedule.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+namespace {
+
+Dfg tiny_dfg() {
+  Dfg dfg("tiny");
+  VarId a = dfg.add_input("a");
+  VarId b = dfg.add_input("b");
+  VarId c = dfg.add_op(OpKind::Add, a, b, "c", "add1");
+  VarId d = dfg.add_op(OpKind::Mul, c, a, "d", "mul1");
+  dfg.mark_output(d);
+  dfg.validate();
+  return dfg;
+}
+
+TEST(OpKind, SymbolRoundTrip) {
+  for (OpKind k : {OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Div,
+                   OpKind::And, OpKind::Or, OpKind::Xor, OpKind::Lt,
+                   OpKind::Gt}) {
+    EXPECT_EQ(kind_from_symbol(symbol(k)), k);
+  }
+  EXPECT_THROW((void)kind_from_symbol("%"), Error);
+}
+
+TEST(OpKind, Commutativity) {
+  EXPECT_TRUE(is_commutative(OpKind::Add));
+  EXPECT_TRUE(is_commutative(OpKind::Mul));
+  EXPECT_TRUE(is_commutative(OpKind::Xor));
+  EXPECT_FALSE(is_commutative(OpKind::Sub));
+  EXPECT_FALSE(is_commutative(OpKind::Div));
+  EXPECT_FALSE(is_commutative(OpKind::Lt));
+}
+
+TEST(Dfg, BuildAndQuery) {
+  Dfg dfg = tiny_dfg();
+  EXPECT_EQ(dfg.num_ops(), 2u);
+  EXPECT_EQ(dfg.num_vars(), 4u);
+  auto c = dfg.find_var("c");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(dfg.var(*c).def.valid());
+  EXPECT_EQ(dfg.var(*c).uses.size(), 1u);
+  auto a = dfg.find_var("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(dfg.var(*a).is_input());
+  EXPECT_EQ(dfg.var(*a).uses.size(), 2u);
+}
+
+TEST(Dfg, DuplicateNamesRejected) {
+  Dfg dfg("dup");
+  dfg.add_input("a");
+  EXPECT_THROW(dfg.add_input("a"), Error);
+}
+
+TEST(Dfg, DeadResultRejectedByValidate) {
+  Dfg dfg("dead");
+  VarId a = dfg.add_input("a");
+  dfg.add_op(OpKind::Add, a, a, "t");  // t never used, not an output
+  EXPECT_THROW(dfg.validate(), Error);
+}
+
+TEST(Dfg, ControlOnlyMustBeOpResult) {
+  Dfg dfg("ctl");
+  VarId a = dfg.add_input("a");
+  EXPECT_THROW(dfg.mark_control_only(a), Error);
+}
+
+TEST(Dfg, SameOperandTwiceRecordsOneUse) {
+  Dfg dfg("sq");
+  VarId a = dfg.add_input("a");
+  VarId r = dfg.add_op(OpKind::Mul, a, a, "r");
+  dfg.mark_output(r);
+  EXPECT_EQ(dfg.var(a).uses.size(), 1u);
+}
+
+TEST(Dfg, ToDotMentionsOpsAndVars) {
+  const std::string dot = tiny_dfg().to_dot();
+  EXPECT_NE(dot.find("add1"), std::string::npos);
+  EXPECT_NE(dot.find("mul1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"c\""), std::string::npos);
+}
+
+TEST(Schedule, RejectsChaining) {
+  Dfg dfg = tiny_dfg();
+  IdMap<OpId, int> steps(dfg.num_ops());
+  steps[OpId{0}] = 1;
+  steps[OpId{1}] = 1;  // mul1 reads add1's result in the same step
+  EXPECT_THROW(Schedule(dfg, std::move(steps)), Error);
+}
+
+TEST(Schedule, AcceptsValidAndComputesSteps) {
+  Dfg dfg = tiny_dfg();
+  IdMap<OpId, int> steps(dfg.num_ops());
+  steps[OpId{0}] = 1;
+  steps[OpId{1}] = 3;
+  Schedule s(dfg, std::move(steps));
+  EXPECT_EQ(s.num_steps(), 3);
+  EXPECT_EQ(s.ops_in_step(dfg, 3).size(), 1u);
+  EXPECT_TRUE(s.ops_in_step(dfg, 2).empty());
+}
+
+TEST(Lifetime, LazyInputsAndOutputHold) {
+  Dfg dfg = tiny_dfg();
+  IdMap<OpId, int> steps(dfg.num_ops());
+  steps[OpId{0}] = 1;
+  steps[OpId{1}] = 2;
+  Schedule s(dfg, std::move(steps));
+  auto lt = compute_lifetimes(dfg, s);
+  const VarId a = *dfg.find_var("a");
+  const VarId c = *dfg.find_var("c");
+  const VarId d = *dfg.find_var("d");
+  EXPECT_EQ(lt[a].birth, 0);
+  EXPECT_EQ(lt[a].death, 2);  // used by mul1 at step 2
+  EXPECT_EQ(lt[c].birth, 1);
+  EXPECT_EQ(lt[c].death, 2);
+  EXPECT_EQ(lt[d].birth, 2);
+  EXPECT_EQ(lt[d].death, 3);  // output held one past schedule end
+}
+
+TEST(Lifetime, OverlapSemantics) {
+  LiveInterval a{0, 2};
+  LiveInterval b{2, 4};
+  EXPECT_FALSE(a.overlaps(b));  // half-open: write at end of 2 is fine
+  LiveInterval c{1, 3};
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(b));
+}
+
+TEST(Lifetime, MaxLiveCountsAllocatableOnly) {
+  auto bench = make_paulin();
+  auto lt = compute_lifetimes(bench.design.dfg, *bench.design.schedule);
+  // Port-resident inputs and the control-only compare result are excluded;
+  // the reconstruction needs exactly 4 registers (Table I).
+  EXPECT_EQ(max_live(bench.design.dfg, lt), 4);
+}
+
+TEST(Parse, RoundTrip) {
+  auto parsed = parse_dfg(R"(
+dfg t
+input a b
+op add1 + a b -> c @1
+op mul1 * c a -> d @2
+output d
+)");
+  ASSERT_TRUE(parsed.schedule.has_value());
+  EXPECT_EQ(parsed.dfg.num_ops(), 2u);
+  const std::string printed = print_dfg(parsed.dfg, &*parsed.schedule);
+  auto reparsed = parse_dfg(printed);
+  EXPECT_EQ(reparsed.dfg.num_vars(), parsed.dfg.num_vars());
+  EXPECT_EQ(print_dfg(reparsed.dfg, &*reparsed.schedule), printed);
+}
+
+TEST(Parse, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_dfg("dfg t\ninput a\nop bad + a missing -> r @1\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parse, PartialScheduleRejected) {
+  EXPECT_THROW((void)parse_dfg(R"(
+dfg t
+input a b
+op add1 + a b -> c @1
+op mul1 * c a -> d
+output d
+)"),
+               Error);
+}
+
+TEST(Parse, PortInputAndControl) {
+  auto parsed = parse_dfg(R"(
+dfg t
+portinput a
+input b
+op lt1 < a b -> c @1
+op add1 + b b -> d @1
+control c
+output d
+)");
+  EXPECT_TRUE(parsed.dfg.var(*parsed.dfg.find_var("a")).port_resident);
+  EXPECT_TRUE(parsed.dfg.var(*parsed.dfg.find_var("c")).control_only);
+  EXPECT_FALSE(parsed.dfg.var(*parsed.dfg.find_var("c")).allocatable());
+}
+
+TEST(Benchmarks, Ex1StructuralInvariants) {
+  auto bench = make_ex1();
+  const Dfg& dfg = bench.design.dfg;
+  EXPECT_EQ(dfg.num_vars(), 8u);  // a..h as in the paper's Fig. 2
+  EXPECT_EQ(dfg.num_ops(), 4u);
+  auto lt = compute_lifetimes(dfg, *bench.design.schedule);
+  EXPECT_EQ(max_live(dfg, lt), 3);  // paper: minimum of 3 registers
+}
+
+TEST(Benchmarks, AllPaperBenchmarksValidateAndMatchRegisterCounts) {
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"ex1", 3}, {"ex2", 5}, {"Tseng1", 5}, {"Tseng2", 5}, {"Paulin", 4}};
+  auto benches = paper_benchmarks();
+  ASSERT_EQ(benches.size(), expected.size());
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    EXPECT_EQ(benches[i].name, expected[i].first);
+    auto lt = compute_lifetimes(benches[i].design.dfg,
+                                *benches[i].design.schedule);
+    EXPECT_EQ(max_live(benches[i].design.dfg, lt), expected[i].second)
+        << benches[i].name;
+  }
+}
+
+TEST(Benchmarks, FirHasExpectedShape) {
+  Dfg fir = make_fir(8);
+  // 8 multiplies + 7 adds.
+  EXPECT_EQ(fir.num_ops(), 15u);
+  fir.validate();
+}
+
+TEST(RandomDfg, DeterministicForSeed) {
+  RandomDfgOptions opts;
+  opts.seed = 42;
+  auto a = make_random_dfg(opts);
+  auto b = make_random_dfg(opts);
+  EXPECT_EQ(print_dfg(a.dfg, &a.schedule), print_dfg(b.dfg, &b.schedule));
+}
+
+TEST(RandomDfg, ProducesValidScheduledDesigns) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomDfgOptions opts;
+    opts.seed = seed;
+    auto rd = make_random_dfg(opts);
+    rd.dfg.validate();  // no dead results, operands exist
+    EXPECT_GE(rd.schedule.num_steps(), opts.num_steps);
+  }
+}
+
+}  // namespace
+}  // namespace lbist

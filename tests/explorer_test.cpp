@@ -1,0 +1,85 @@
+// Design-space explorer tests.
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "dfg/benchmarks.hpp"
+
+namespace lbist {
+namespace {
+
+TEST(Explorer, ModuleSpecSweepProducesOnePointPerSpecAndBinder) {
+  auto bench = make_tseng1();
+  auto points = explore_module_specs(bench.design.dfg,
+                                     *bench.design.schedule,
+                                     {"2+,1*,1-,1&,1|,1/", "1+,3[-*/&|]"});
+  EXPECT_EQ(points.size(), 4u);  // 2 specs x 2 binders
+  for (const auto& p : points) {
+    EXPECT_GT(p.functional_area, 0.0);
+    EXPECT_GT(p.bist_extra, 0.0);
+    EXPECT_EQ(p.latency, 5);
+  }
+}
+
+TEST(Explorer, ResourceBudgetSweepChangesLatency) {
+  Dfg fir = make_fir(8);
+  auto points = explore_resource_budgets(
+      fir, {{{OpKind::Mul, 1}, {OpKind::Add, 1}},
+            {{OpKind::Mul, 4}, {OpKind::Add, 2}}});
+  ASSERT_EQ(points.size(), 4u);
+  // Fewer units -> longer schedule.
+  EXPECT_GT(points[0].latency, points[2].latency);
+}
+
+TEST(Explorer, MoreUnitsMoreFunctionalArea) {
+  Dfg fir = make_fir(8);
+  auto points = explore_resource_budgets(
+      fir, {{{OpKind::Mul, 1}, {OpKind::Add, 1}},
+            {{OpKind::Mul, 4}, {OpKind::Add, 2}}});
+  EXPECT_LT(points[0].functional_area, points[2].functional_area);
+}
+
+TEST(Explorer, ParetoFrontIsNonEmptyAndNonDominated) {
+  Dfg fir = make_fir(8);
+  auto points = explore_resource_budgets(
+      fir, {{{OpKind::Mul, 1}, {OpKind::Add, 1}},
+            {{OpKind::Mul, 2}, {OpKind::Add, 1}},
+            {{OpKind::Mul, 4}, {OpKind::Add, 2}}});
+  auto front = pareto_front(points);
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i : front) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      const bool dominates =
+          points[j].functional_area <= points[i].functional_area &&
+          points[j].bist_extra <= points[i].bist_extra &&
+          (points[j].functional_area < points[i].functional_area ||
+           points[j].bist_extra < points[i].bist_extra);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(Explorer, DescribeMarksFront) {
+  auto bench = make_ex1();
+  auto points = explore_module_specs(bench.design.dfg,
+                                     *bench.design.schedule, {"1+,1*"});
+  const std::string s = describe_points(points);
+  EXPECT_NE(s.find("Pareto front"), std::string::npos);
+  EXPECT_NE(s.find("bist-aware"), std::string::npos);
+}
+
+TEST(Explorer, BistAwareNeverLosesToTraditionalInSweep) {
+  Dfg fir = make_fir(8);
+  auto points = explore_resource_budgets(
+      fir, {{{OpKind::Mul, 2}, {OpKind::Add, 2}}});
+  ASSERT_EQ(points.size(), 2u);
+  const auto& trad = points[0];
+  const auto& ours = points[1];
+  EXPECT_EQ(trad.binder, BinderKind::Traditional);
+  EXPECT_EQ(ours.binder, BinderKind::BistAware);
+  EXPECT_LE(ours.bist_extra, trad.bist_extra + 1e-9);
+}
+
+}  // namespace
+}  // namespace lbist

@@ -1,0 +1,141 @@
+// BIST fault-simulation and test-plan tests: the allocated test resources
+// must actually detect port faults, coverage must grow with pattern count,
+// and the degenerate one-TPG configuration must demonstrably underperform —
+// the experimental backing for the tpg_left != tpg_right embedding rule.
+
+#include <gtest/gtest.h>
+
+#include "bist/fault_sim.hpp"
+#include "bist/test_length.hpp"
+#include "bist/test_plan.hpp"
+#include "core/compare.hpp"
+#include "dfg/benchmarks.hpp"
+
+namespace lbist {
+namespace {
+
+constexpr int kWidth = 8;
+
+TEST(FaultModel, EnumeratesSixPerBit) {
+  auto faults = enumerate_port_faults(kWidth);
+  EXPECT_EQ(faults.size(), 6u * kWidth);
+}
+
+TEST(FaultSim, AdderReachesFullCoverage) {
+  auto result =
+      simulate_module_bist(ModuleProto{{OpKind::Add}}, kWidth, 200);
+  EXPECT_EQ(result.detected, result.total);
+}
+
+TEST(FaultSim, MultiplierReachesHighCoverage) {
+  auto result =
+      simulate_module_bist(ModuleProto{{OpKind::Mul}}, kWidth, 250);
+  // Upper input bits of a truncated multiplier are hard to observe in the
+  // kept word; still expect most faults caught.
+  EXPECT_GT(result.coverage(), 0.85);
+}
+
+TEST(FaultSim, CoverageGrowsWithPatterns) {
+  const ModuleProto alu{{OpKind::Add, OpKind::And}};
+  const auto few = simulate_module_bist(alu, kWidth, 4);
+  const auto many = simulate_module_bist(alu, kWidth, 200);
+  EXPECT_LE(few.detected, many.detected);
+  EXPECT_GT(many.coverage(), 0.95);
+}
+
+TEST(FaultSim, CorrelatedTpgsLoseCoverage) {
+  // One LFSR driving both ports: a subtractor always sees a - a = 0, an
+  // XOR always 0, comparisons always equal...  Independent TPGs exist for a
+  // reason (Section II's "two registers with independent I-paths").
+  for (OpKind kind : {OpKind::Sub, OpKind::Xor, OpKind::Lt}) {
+    const ModuleProto proto{{kind}};
+    const auto indep = simulate_module_bist(proto, kWidth, 250, true);
+    const auto corr = simulate_module_bist(proto, kWidth, 250, false);
+    EXPECT_LT(corr.detected, indep.detected) << to_string(kind);
+  }
+}
+
+TEST(FaultSim, EveryKindGetsItsOwnSession) {
+  // A fault detectable only through the AND function must still be caught
+  // when the module also implements OR.
+  const auto alu =
+      simulate_module_bist(ModuleProto{{OpKind::And, OpKind::Or}}, kWidth,
+                           200);
+  EXPECT_GT(alu.coverage(), 0.95);
+}
+
+TEST(TestPlan, PaperBenchmarksAreFullyTestable) {
+  for (const auto& row : compare_paper_benchmarks()) {
+    TestPlan plan =
+        build_test_plan(row.testable.datapath, row.testable.bist, 250,
+                        kWidth);
+    EXPECT_EQ(plan.modules.size(), row.testable.datapath.modules.size())
+        << row.name;
+    EXPECT_GE(plan.num_sessions, 1) << row.name;
+    EXPECT_GT(plan.min_coverage, 0.80) << row.name;
+    EXPECT_GT(plan.avg_coverage, 0.90) << row.name;
+    EXPECT_EQ(plan.total_clocks, plan.num_sessions * 250) << row.name;
+  }
+}
+
+TEST(TestPlan, DescribeListsSessionsAndCoverage) {
+  auto row = compare_benchmark(make_ex1());
+  TestPlan plan =
+      build_test_plan(row.testable.datapath, row.testable.bist, 100, kWidth);
+  const std::string s = plan.describe(row.testable.datapath);
+  EXPECT_NE(s.find("session"), std::string::npos);
+  EXPECT_NE(s.find("coverage"), std::string::npos);
+  EXPECT_NE(s.find("TPG={"), std::string::npos);
+}
+
+TEST(TestPlan, SessionsRespectConflicts) {
+  auto row = compare_benchmark(make_ex2());
+  TestPlan plan =
+      build_test_plan(row.testable.datapath, row.testable.bist, 50, kWidth);
+  // Within one session no register is the SA of two modules.
+  for (const auto& a : plan.modules) {
+    for (const auto& b : plan.modules) {
+      if (&a == &b || a.session != b.session) continue;
+      if (a.embedding.sa.has_value() && b.embedding.sa.has_value()) {
+        EXPECT_NE(*a.embedding.sa, *b.embedding.sa);
+      }
+    }
+  }
+}
+
+TEST(TestLength, FindsSmallBudgetForEasyModules) {
+  auto tl = find_test_length(ModuleProto{{OpKind::Add}}, 8, 0.99);
+  EXPECT_TRUE(tl.target_met);
+  EXPECT_LE(tl.patterns, 64);
+  EXPECT_GE(tl.coverage.coverage(), 0.99);
+}
+
+TEST(TestLength, ReportsUnreachableTargets) {
+  // A 1-bit-output comparator cannot reach full port-fault coverage.
+  auto tl = find_test_length(ModuleProto{{OpKind::Lt}}, 8, 0.999);
+  EXPECT_FALSE(tl.target_met);
+  EXPECT_LT(tl.coverage.coverage(), 0.999);
+}
+
+TEST(TestLength, DatapathBudgetIsTheMaximum) {
+  auto row = compare_benchmark(make_ex1());
+  auto budgets = find_test_lengths(row.testable.datapath, 8, 0.95);
+  ASSERT_EQ(budgets.per_module.size(),
+            row.testable.datapath.modules.size());
+  int max_patterns = 0;
+  for (const auto& tl : budgets.per_module) {
+    max_patterns = std::max(max_patterns, tl.patterns);
+  }
+  EXPECT_EQ(budgets.recommended_patterns, max_patterns);
+  EXPECT_TRUE(budgets.all_targets_met);
+}
+
+TEST(TestLength, RejectsBadTargets) {
+  EXPECT_THROW((void)find_test_length(ModuleProto{{OpKind::Add}}, 8, 0.0),
+               Error);
+  EXPECT_THROW((void)find_test_length(ModuleProto{{OpKind::Add}}, 8, 1.5),
+               Error);
+}
+
+}  // namespace
+}  // namespace lbist

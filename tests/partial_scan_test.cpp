@@ -1,0 +1,104 @@
+// Partial-scan baseline tests: S-graph construction, cycle detection,
+// minimum feedback vertex sets and scan-plan pricing.
+
+#include <gtest/gtest.h>
+
+#include "baselines/partial_scan.hpp"
+#include "core/compare.hpp"
+#include "dfg/benchmarks.hpp"
+
+namespace lbist {
+namespace {
+
+SGraph ring(std::size_t n) {
+  SGraph g;
+  g.adjacency.resize(n);
+  for (std::size_t v = 0; v < n; ++v) g.adjacency[v] = {(v + 1) % n};
+  return g;
+}
+
+TEST(SGraph, AcyclicDetection) {
+  SGraph chain;
+  chain.adjacency = {{1}, {2}, {}};
+  std::vector<bool> none(3, false);
+  EXPECT_TRUE(is_acyclic_without(chain, none));
+
+  SGraph loop = ring(3);
+  EXPECT_FALSE(is_acyclic_without(loop, none));
+  std::vector<bool> cut = {true, false, false};
+  EXPECT_TRUE(is_acyclic_without(loop, cut));
+}
+
+TEST(Mfvs, RingNeedsExactlyOne) {
+  auto fvs = minimum_feedback_vertex_set(ring(5));
+  EXPECT_EQ(fvs.size(), 1u);
+}
+
+TEST(Mfvs, SelfLoopIsForced) {
+  SGraph g;
+  g.adjacency = {{0}, {2}, {}};  // register 0 feeds itself
+  auto fvs = minimum_feedback_vertex_set(g);
+  ASSERT_EQ(fvs.size(), 1u);
+  EXPECT_EQ(fvs[0], 0u);
+}
+
+TEST(Mfvs, TwoDisjointCyclesNeedTwo) {
+  SGraph g;
+  g.adjacency = {{1}, {0}, {3}, {2}};
+  EXPECT_EQ(minimum_feedback_vertex_set(g).size(), 2u);
+}
+
+TEST(Mfvs, DagNeedsNothing) {
+  SGraph g;
+  g.adjacency = {{1, 2}, {2}, {}};
+  EXPECT_TRUE(minimum_feedback_vertex_set(g).empty());
+}
+
+TEST(Mfvs, GreedyAlsoBreaksAllCycles) {
+  // Force the greedy path via exact_limit = 0.
+  SGraph g = ring(6);
+  g.adjacency[0].push_back(3);  // extra chord
+  auto fvs = minimum_feedback_vertex_set(g, /*exact_limit=*/0);
+  std::vector<bool> removed(6, false);
+  for (std::size_t v : fvs) removed[v] = true;
+  EXPECT_TRUE(is_acyclic_without(g, removed));
+}
+
+TEST(PartialScan, BenchmarkDatapathsHaveCycles) {
+  // Every paper benchmark writes results back into registers that feed
+  // modules, so some scan is always needed.
+  for (const auto& row : compare_paper_benchmarks()) {
+    auto plan = plan_partial_scan(row.testable.datapath, AreaModel{});
+    EXPECT_FALSE(plan.scanned.empty()) << row.name;
+    std::vector<bool> removed(row.testable.datapath.registers.size(),
+                              false);
+    for (std::size_t v : plan.scanned) removed[v] = true;
+    EXPECT_TRUE(
+        is_acyclic_without(build_sgraph(row.testable.datapath), removed));
+  }
+}
+
+TEST(PartialScan, CostScalesWithChainLength) {
+  AreaModel model;
+  auto row = compare_benchmark(make_ex1());
+  auto plan = plan_partial_scan(row.testable.datapath, model);
+  EXPECT_DOUBLE_EQ(plan.extra_area,
+                   static_cast<double>(plan.scanned.size()) *
+                       model.mux_gates_per_bit * model.bit_width);
+  EXPECT_GT(plan.overhead_percent(row.testable.datapath, model), 0.0);
+}
+
+TEST(PartialScan, SelfAdjacentRegistersAlwaysScanned) {
+  for (const auto& row : compare_paper_benchmarks()) {
+    const auto& dp = row.traditional.datapath;
+    auto plan = plan_partial_scan(dp, AreaModel{});
+    for (std::size_t r : dp.self_adjacent_registers()) {
+      EXPECT_NE(std::find(plan.scanned.begin(), plan.scanned.end(), r),
+                plan.scanned.end())
+          << row.name << " register " << dp.registers[r].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbist

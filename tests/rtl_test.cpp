@@ -1,0 +1,227 @@
+// Unit tests for the RTL library: datapath queries, I-path and embedding
+// enumeration, transparency, and the Verilog emitter.
+
+#include <gtest/gtest.h>
+
+#include "binding/bist_aware_binder.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/lifetime.hpp"
+#include "graph/conflict.hpp"
+#include "interconnect/build_datapath.hpp"
+#include "rtl/ipath.hpp"
+#include "rtl/controller.hpp"
+#include "rtl/simulate.hpp"
+#include "rtl/testbench.hpp"
+#include "rtl/verilog.hpp"
+
+namespace lbist {
+namespace {
+
+/// Hand-built two-module datapath mirroring the paper's Fig. 1/Fig. 3
+/// shape: R1,R2 -> M1.L (mux), R3 -> M1.R, M1 -> R4; R1 -> M2.L, R3 -> M2.R,
+/// M2 -> R4.
+Datapath fig_datapath() {
+  Datapath dp;
+  dp.name = "fig";
+  dp.num_allocated = 4;
+  for (int i = 1; i <= 4; ++i) {
+    DpRegister r;
+    r.name = "R" + std::to_string(i);
+    dp.registers.push_back(r);
+  }
+  DpModule m1;
+  m1.name = "M1(+)";
+  m1.proto = ModuleProto{{OpKind::Add}};
+  m1.left_sources = {0, 1};
+  m1.right_sources = {2};
+  m1.dest_registers = {3};
+  DpModule m2;
+  m2.name = "M2(*)";
+  m2.proto = ModuleProto{{OpKind::Mul}};
+  m2.left_sources = {0};
+  m2.right_sources = {2};
+  m2.dest_registers = {3};
+  dp.modules = {m1, m2};
+  dp.registers[3].source_modules = {0, 1};
+  return dp;
+}
+
+TEST(Datapath, MuxCountOfFigExample) {
+  Datapath dp = fig_datapath();
+  // M1.L has 2 sources (1 mux), R4 has 2 sources (1 mux).
+  EXPECT_EQ(dp.mux_count(), 2);
+}
+
+TEST(Datapath, DescribeAndDot) {
+  Datapath dp = fig_datapath();
+  const std::string d = dp.describe();
+  EXPECT_NE(d.find("M1(+)"), std::string::npos);
+  EXPECT_NE(d.find("R4"), std::string::npos);
+  const std::string dot = dp.to_dot();
+  EXPECT_NE(dot.find("\"R1\" -> \"M1(+)\""), std::string::npos);
+}
+
+TEST(Datapath, NoSelfAdjacencyInFigExample) {
+  EXPECT_TRUE(fig_datapath().self_adjacent_registers().empty());
+}
+
+TEST(Datapath, SelfAdjacencyWhenSourceEqualsDest) {
+  Datapath dp = fig_datapath();
+  dp.modules[0].dest_registers.insert(0);  // M1 writes into its own source
+  auto sa = dp.self_adjacent_registers();
+  ASSERT_EQ(sa.size(), 1u);
+  EXPECT_EQ(sa[0], 0u);
+}
+
+TEST(IPath, EnumeratesAllSimplePaths) {
+  Datapath dp = fig_datapath();
+  auto paths = simple_ipaths(dp);
+  // M1: 2 left + 1 right + 1 out; M2: 1 + 1 + 1.
+  EXPECT_EQ(paths.size(), 7u);
+}
+
+TEST(IPath, SharedHeadAndTailExist) {
+  // The Fig. 3 property: R1 heads I-paths into both modules, R4 tails both.
+  Datapath dp = fig_datapath();
+  auto paths = simple_ipaths(dp);
+  int r1_heads = 0, r4_tails = 0;
+  for (const auto& p : paths) {
+    if (p.reg == 0 && p.port != IPathPort::Out) ++r1_heads;
+    if (p.reg == 3 && p.port == IPathPort::Out) ++r4_tails;
+  }
+  EXPECT_EQ(r1_heads, 2);
+  EXPECT_EQ(r4_tails, 2);
+}
+
+TEST(Embeddings, FigModuleOne) {
+  Datapath dp = fig_datapath();
+  auto embs = enumerate_embeddings(dp, 0);
+  // tpg_left in {R1,R2}, tpg_right = R3, sa = R4: 2 embeddings, no CBILBO.
+  ASSERT_EQ(embs.size(), 2u);
+  for (const auto& e : embs) {
+    EXPECT_FALSE(e.needs_cbilbo());
+    EXPECT_EQ(e.tpg_right, 2u);
+    EXPECT_EQ(*e.sa, 3u);
+  }
+}
+
+TEST(Embeddings, CbilboDetectedWhenSaIsTpg) {
+  Datapath dp = fig_datapath();
+  dp.modules[1].dest_registers = {0};  // M2 writes into its left source R1
+  auto embs = enumerate_embeddings(dp, 1);
+  ASSERT_EQ(embs.size(), 1u);
+  EXPECT_TRUE(embs[0].needs_cbilbo());
+}
+
+TEST(Embeddings, DistinctTpgsRequired) {
+  Datapath dp = fig_datapath();
+  dp.modules[1].left_sources = {2};  // both ports fed only by R3
+  auto embs = enumerate_embeddings(dp, 1);
+  EXPECT_TRUE(embs.empty());
+}
+
+TEST(Embeddings, ExternalObservationWhenNoDestRegister) {
+  Datapath dp = fig_datapath();
+  dp.modules[1].dest_registers.clear();
+  dp.modules[1].drives_control = true;
+  auto embs = enumerate_embeddings(dp, 1);
+  ASSERT_EQ(embs.size(), 1u);
+  EXPECT_FALSE(embs[0].sa.has_value());
+  EXPECT_FALSE(embs[0].needs_cbilbo());
+}
+
+TEST(Transparency, IdentityModes) {
+  EXPECT_TRUE(has_identity_mode(ModuleProto{{OpKind::Add}}));
+  EXPECT_TRUE(has_identity_mode(ModuleProto{{OpKind::Mul}}));
+  EXPECT_TRUE(has_identity_mode(ModuleProto{{OpKind::And}}));
+  EXPECT_FALSE(has_identity_mode(ModuleProto{{OpKind::Lt}}));
+}
+
+TEST(Transparency, PathsGoThroughModules) {
+  Datapath dp = fig_datapath();
+  auto paths = transparent_ipaths(dp);
+  // M1: (R1,R2,R3) -> R4; M2: (R1,R3) -> R4.
+  EXPECT_EQ(paths.size(), 5u);
+  for (const auto& p : paths) EXPECT_EQ(p.to_reg, 3u);
+}
+
+TEST(Verilog, EmitsSyntacticSkeleton) {
+  Datapath dp = fig_datapath();
+  const std::string v = emit_verilog(dp, 8);
+  EXPECT_NE(v.find("module fig"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  // M1's left mux has a select input.
+  EXPECT_NE(v.find("sel_M1____l"), std::string::npos);
+}
+
+TEST(Verilog, EmitsRealDesign) {
+  auto bench = make_ex1();
+  auto lt = compute_lifetimes(bench.design.dfg, *bench.design.schedule);
+  auto cg = build_conflict_graph(bench.design.dfg, lt);
+  auto mb = ModuleBinding::bind(bench.design.dfg, *bench.design.schedule,
+                                parse_module_spec(bench.module_spec));
+  auto rb = bind_registers_bist_aware(bench.design.dfg, cg, mb);
+  auto dp = build_datapath(bench.design.dfg, mb, rb);
+  const std::string v = emit_verilog(dp);
+  EXPECT_NE(v.find("module ex1"), std::string::npos);
+  // One register declaration per physical register.
+  for (const auto& r : dp.registers) {
+    EXPECT_NE(v.find(r.name + "_q"), std::string::npos);
+  }
+}
+
+TEST(Testbench, SelfCheckingStructure) {
+  auto bench = make_ex1();
+  const Dfg& dfg = bench.design.dfg;
+  auto lt = compute_lifetimes(dfg, *bench.design.schedule);
+  auto cg = build_conflict_graph(dfg, lt);
+  auto mb = ModuleBinding::bind(dfg, *bench.design.schedule,
+                                parse_module_spec(bench.module_spec));
+  auto rb = bind_registers_bist_aware(dfg, cg, mb);
+  auto dp = build_datapath(dfg, mb, rb);
+  auto ctl = Controller::generate(dfg, *bench.design.schedule, rb, dp, lt);
+  IdMap<VarId, std::uint32_t> inputs(dfg.num_vars(), 0);
+  inputs[*dfg.find_var("a")] = 3;
+  inputs[*dfg.find_var("b")] = 4;
+  inputs[*dfg.find_var("c")] = 5;
+  inputs[*dfg.find_var("e")] = 2;
+  auto sim = simulate_datapath(dfg, dp, ctl, inputs, 8);
+  ASSERT_TRUE(sim.ok());
+  const std::string tb = emit_testbench(dfg, dp, ctl, inputs, sim, 8);
+  EXPECT_NE(tb.find("module ex1_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("ex1 dut("), std::string::npos);
+  // h = (a+b) * e*(c+a+b) = 7 * 24 = 168 checked at the end.
+  EXPECT_NE(tb.find("!== 168"), std::string::npos);
+  EXPECT_NE(tb.find("$display(\"PASS\")"), std::string::npos);
+  // One control block per word (steps 0..4).
+  for (int s = 0; s <= 4; ++s) {
+    EXPECT_NE(tb.find("// control step " + std::to_string(s)),
+              std::string::npos);
+  }
+}
+
+TEST(Testbench, DrivesExternalLoads) {
+  auto bench = make_ex1();
+  const Dfg& dfg = bench.design.dfg;
+  auto lt = compute_lifetimes(dfg, *bench.design.schedule);
+  auto cg = build_conflict_graph(dfg, lt);
+  auto mb = ModuleBinding::bind(dfg, *bench.design.schedule,
+                                parse_module_spec(bench.module_spec));
+  auto rb = bind_registers_bist_aware(dfg, cg, mb);
+  auto dp = build_datapath(dfg, mb, rb);
+  auto ctl = Controller::generate(dfg, *bench.design.schedule, rb, dp, lt);
+  IdMap<VarId, std::uint32_t> inputs(dfg.num_vars(), 0);
+  inputs[*dfg.find_var("a")] = 11;
+  inputs[*dfg.find_var("b")] = 22;
+  inputs[*dfg.find_var("c")] = 33;
+  inputs[*dfg.find_var("e")] = 44;
+  auto sim = simulate_datapath(dfg, dp, ctl, inputs, 8);
+  const std::string tb = emit_testbench(dfg, dp, ctl, inputs, sim, 8);
+  for (const char* lit : {" = 11;", " = 22;", " = 33;", " = 44;"}) {
+    EXPECT_NE(tb.find(lit), std::string::npos) << lit;
+  }
+}
+
+}  // namespace
+}  // namespace lbist

@@ -1,0 +1,111 @@
+// Chip-level self-test engine and MISR aliasing analysis tests.
+
+#include <gtest/gtest.h>
+
+#include "bist/aliasing.hpp"
+#include "bist/fault_sim.hpp"
+#include "bist/selftest.hpp"
+#include "core/compare.hpp"
+#include "dfg/benchmarks.hpp"
+
+namespace lbist {
+namespace {
+
+constexpr int kWidth = 8;
+
+class SelfTestBenchmarks : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelfTestBenchmarks, PlanDetectsNearlyAllFaultsThroughTheNetlist) {
+  auto benches = paper_benchmarks();
+  auto row = compare_benchmark(benches[static_cast<std::size_t>(GetParam())]);
+  auto result =
+      run_self_test(row.testable.datapath, row.testable.bist, 250, kWidth);
+  EXPECT_EQ(result.faults_injected,
+            static_cast<int>(row.testable.datapath.modules.size()) * 6 *
+                kWidth);
+  EXPECT_GT(result.coverage(), 0.95)
+      << benches[static_cast<std::size_t>(GetParam())].name;
+  // Golden signatures exist for every (module, function) pair.
+  for (std::size_t m = 0; m < row.testable.datapath.modules.size(); ++m) {
+    EXPECT_EQ(result.golden_signatures[m].size(),
+              row.testable.datapath.modules[m].proto.supports.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, SelfTestBenchmarks,
+                         ::testing::Range(0, 5));
+
+TEST(SelfTest, TraditionalArmAlsoExecutes) {
+  auto row = compare_benchmark(make_ex1());
+  auto result = run_self_test(row.traditional.datapath,
+                              row.traditional.bist, 250, kWidth);
+  EXPECT_GT(result.coverage(), 0.9);
+}
+
+TEST(SelfTest, BogusEmbeddingRejected) {
+  auto row = compare_benchmark(make_ex1());
+  BistSolution broken = row.testable.bist;
+  // Point a TPG at a register that does not feed the module's left port.
+  for (auto& emb : broken.embeddings) {
+    if (emb.has_value()) {
+      const auto& mod = row.testable.datapath.modules[emb->module];
+      for (std::size_t r = 0; r < row.testable.datapath.registers.size();
+           ++r) {
+        if (mod.left_sources.count(r) == 0) {
+          emb->tpg_left = r;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  EXPECT_THROW(
+      run_self_test(row.testable.datapath, broken, 50, kWidth), Error);
+}
+
+TEST(SelfTest, EscapesAreConsistentWithCounts) {
+  auto row = compare_benchmark(make_ex2());
+  auto result =
+      run_self_test(row.testable.datapath, row.testable.bist, 250, kWidth);
+  EXPECT_EQ(result.faults_injected - result.faults_detected,
+            static_cast<int>(result.escapes.size()));
+}
+
+TEST(SelfTest, MatchesStandaloneFaultSimulatorPerModule) {
+  // The standalone grader and the netlist-level engine implement the same
+  // semantics; totals should be close (seeds differ, so allow slack).
+  auto row = compare_benchmark(make_ex1());
+  auto chip =
+      run_self_test(row.testable.datapath, row.testable.bist, 250, kWidth);
+  int standalone = 0;
+  for (const auto& mod : row.testable.datapath.modules) {
+    standalone +=
+        simulate_module_bist(mod.proto, kWidth, 250).detected;
+  }
+  EXPECT_NEAR(chip.faults_detected, standalone, 4);
+}
+
+TEST(Aliasing, AsymptoticIsTwoToMinusWidth) {
+  EXPECT_DOUBLE_EQ(misr_aliasing_asymptotic(8), 1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(misr_aliasing_asymptotic(16), 1.0 / 65536.0);
+}
+
+TEST(Aliasing, EmpiricalMatchesAsymptoticForSmallWidth) {
+  // 4-bit MISR: expect ~1/16 = 6.25% aliasing over random error streams.
+  auto est = misr_aliasing_empirical(4, 64, 20000, 7);
+  EXPECT_NEAR(est.probability, 1.0 / 16.0, 0.02);
+}
+
+TEST(Aliasing, WiderMisrAliasesLess) {
+  auto narrow = misr_aliasing_empirical(4, 64, 5000, 7);
+  auto wide = misr_aliasing_empirical(12, 64, 5000, 7);
+  EXPECT_LT(wide.probability, narrow.probability);
+}
+
+TEST(Aliasing, WidthForEscapeProbability) {
+  EXPECT_EQ(misr_width_for_escape_probability(1e-3), 10);
+  EXPECT_EQ(misr_width_for_escape_probability(0.3), 2);
+}
+
+}  // namespace
+}  // namespace lbist

@@ -1,0 +1,178 @@
+// Unit tests for the support library: strong ids, dynamic bitsets, the
+// table formatter and the DOT writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/dot.hpp"
+#include "support/dyn_bitset.hpp"
+#include "support/ids.hpp"
+#include "support/table.hpp"
+
+namespace lbist {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  VarId v;
+  EXPECT_FALSE(v.valid());
+  EXPECT_EQ(v, VarId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  VarId v{7};
+  EXPECT_TRUE(v.valid());
+  EXPECT_EQ(v.value(), 7);
+  EXPECT_EQ(v.index(), 7u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(VarId{1}, VarId{2});
+  EXPECT_EQ(VarId{3}, VarId{3});
+  EXPECT_NE(VarId{3}, VarId{4});
+}
+
+TEST(Ids, DistinctTagTypesAreDistinctTypes) {
+  static_assert(!std::is_same_v<VarId, OpId>);
+  static_assert(!std::is_same_v<RegId, ModuleId>);
+}
+
+TEST(Ids, HashWorksInUnorderedContainers) {
+  std::hash<VarId> h;
+  EXPECT_EQ(h(VarId{5}), h(VarId{5}));
+}
+
+TEST(IdMap, BasicAccess) {
+  IdMap<VarId, int> map(3, 42);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map[VarId{0}], 42);
+  map[VarId{2}] = 7;
+  EXPECT_EQ(map[VarId{2}], 7);
+}
+
+TEST(Check, ThrowsOnFailure) {
+  EXPECT_THROW(LBIST_CHECK(false, "boom"), Error);
+  EXPECT_NO_THROW(LBIST_CHECK(true, "fine"));
+}
+
+TEST(Check, MessageContainsContext) {
+  try {
+    LBIST_CHECK(1 == 2, "custom context");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"),
+              std::string::npos);
+  }
+}
+
+TEST(DynBitset, SetResetTest) {
+  DynBitset b(100);
+  EXPECT_FALSE(b.test(63));
+  b.set(63);
+  b.set(64);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DynBitset, Intersects) {
+  DynBitset a(70), b(70);
+  a.set(69);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(69);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(DynBitset, SubsetOf) {
+  DynBitset a(10), b(10);
+  a.set(3);
+  b.set(3);
+  b.set(5);
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  DynBitset empty(10);
+  EXPECT_TRUE(empty.subset_of(a));
+}
+
+TEST(DynBitset, OrAndAssign) {
+  DynBitset a(10), b(10);
+  a.set(1);
+  b.set(2);
+  a |= b;
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  DynBitset c(10);
+  c.set(2);
+  a &= c;
+  EXPECT_FALSE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+}
+
+TEST(DynBitset, Members) {
+  DynBitset a(80);
+  a.set(0);
+  a.set(79);
+  auto m = a.members();
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], 0u);
+  EXPECT_EQ(m[1], 79u);
+}
+
+TEST(DynBitset, AnyAndEquality) {
+  DynBitset a(10), b(10);
+  EXPECT_FALSE(a.any());
+  a.set(4);
+  EXPECT_TRUE(a.any());
+  EXPECT_FALSE(a == b);
+  b.set(4);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, TitleIsPrinted) {
+  TextTable t({"a"});
+  t.set_title("TABLE I");
+  EXPECT_EQ(t.str().rfind("TABLE I\n", 0), 0u);
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+}
+
+TEST(DotWriter, DirectedEdges) {
+  DotWriter d("g", true);
+  d.add_node("a", {"shape=box"});
+  d.add_edge("a", "b");
+  const std::string s = d.str();
+  EXPECT_NE(s.find("digraph g {"), std::string::npos);
+  EXPECT_NE(s.find("\"a\" -> \"b\";"), std::string::npos);
+  EXPECT_NE(s.find("[shape=box]"), std::string::npos);
+}
+
+TEST(DotWriter, UndirectedEdges) {
+  DotWriter d("g", false);
+  d.add_edge("a", "b", {"label=\"x\""});
+  const std::string s = d.str();
+  EXPECT_NE(s.find("graph g {"), std::string::npos);
+  EXPECT_NE(s.find("\"a\" -- \"b\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbist

@@ -1,0 +1,425 @@
+// lowbist — command-line front end to the library.
+//
+//   lowbist synth <design.dfg> --modules "1+,1*" [options]
+//       Synthesize one data path and print the design + BIST report.
+//   lowbist compare <design.dfg> --modules "1+,1*" [options]
+//       Traditional vs BIST-aware side by side (the Table I experiment).
+//   lowbist tables
+//       Print the paper's Tables I-III on the built-in benchmarks.
+//   lowbist bench <name>
+//       Print a built-in benchmark (ex1, ex2, tseng, paulin) in the
+//       textual DFG format (pipe into a file to start hacking on it).
+//   lowbist schedule <design.dfg> [--fu "2*"]... [--latency N]
+//       Schedule an unannotated design (resource-constrained list
+//       scheduling, or force-directed when --latency is given) and print
+//       it back with @step annotations.
+//   lowbist optimize <design.dfg>
+//       Run common-subexpression elimination + dead-code removal and
+//       print the cleaned design (unscheduled).
+//
+// Common options:
+//   --modules SPEC     module assignment, e.g. "1+,2*" or "1+,3[-*/&|]"
+//                      (default: minimal spec derived from the schedule)
+//   --binder KIND      trad | bist | ralloc | syntest | clique | loop
+//   --width N          datapath bit width for the area model (default 4)
+//   --patterns N       BIST patterns per module for the test plan (default
+//                      250)
+//   --dot              emit Graphviz of the data path
+//   --verilog          emit structural Verilog
+//   --plan             fault-simulate and print the full test plan
+//   --selftest         run the complete BIST plan through the netlist and
+//                      report chip-level fault coverage
+//   --testbench        emit a self-checking Verilog testbench
+//   --bist-verilog     emit the self-testing RTL (BILBO registers + BIST
+//                      controller + golden signature checks)
+//   --json             machine-readable report instead of text
+//   --vcd              dump a VCD waveform of one functional run (synth)
+//   --ctrl-verilog     emit the functional-mode controller FSM
+//   --coverage N       pick the pattern budget by target coverage (0-1)
+//                      instead of --patterns
+//   --trace            print the binder's decision log
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "binding/bist_aware_binder.hpp"
+#include "bist/selftest.hpp"
+#include "bist/verilog_bist.hpp"
+#include "bist/test_length.hpp"
+#include "bist/test_plan.hpp"
+#include "core/compare.hpp"
+#include "core/report.hpp"
+#include "core/synthesizer.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/optimize.hpp"
+#include "graph/conflict.hpp"
+#include "rtl/controller.hpp"
+#include "rtl/simulate.hpp"
+#include "rtl/testbench.hpp"
+#include "rtl/vcd.hpp"
+#include "rtl/verilog.hpp"
+#include "rtl/verilog_controller.hpp"
+#include "sched/force_directed.hpp"
+#include "sched/list_sched.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lbist;
+
+struct CliOptions {
+  std::string command;
+  std::string target;
+  std::optional<std::string> modules;
+  std::string binder = "bist";
+  int width = 4;
+  int patterns = 250;
+  bool dot = false;
+  bool verilog = false;
+  bool plan = false;
+  bool selftest = false;
+  bool testbench = false;
+  bool bist_verilog = false;
+  bool json = false;
+  bool vcd = false;
+  bool ctrl_verilog = false;
+  std::optional<double> coverage_target;
+  bool trace = false;
+  std::vector<std::string> fu;
+  std::optional<int> latency;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  lowbist synth <design.dfg> [--modules SPEC] [--binder KIND]\n"
+      "                [--width N] [--patterns N] [--dot] [--verilog]\n"
+      "                [--plan] [--trace]\n"
+      "  lowbist compare <design.dfg> [--modules SPEC] [--width N]\n"
+      "  lowbist tables\n"
+      "  lowbist bench <ex1|ex2|tseng|paulin>\n"
+      "  lowbist schedule <design.dfg> [--fu \"2*\"]... [--latency N]\n"
+      "  lowbist optimize <design.dfg>\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions opts;
+  if (argc < 2) usage("missing command");
+  opts.command = argv[1];
+  int i = 2;
+  if (opts.command == "synth" || opts.command == "compare" ||
+      opts.command == "bench" || opts.command == "schedule" ||
+      opts.command == "optimize") {
+    if (i >= argc) usage("missing argument for " + opts.command);
+    opts.target = argv[i++];
+  }
+  auto need_value = [&](const std::string& flag) {
+    if (i >= argc) usage("missing value for " + flag);
+    return std::string(argv[i++]);
+  };
+  while (i < argc) {
+    const std::string flag = argv[i++];
+    if (flag == "--modules") {
+      opts.modules = need_value(flag);
+    } else if (flag == "--binder") {
+      opts.binder = need_value(flag);
+    } else if (flag == "--width") {
+      opts.width = std::stoi(need_value(flag));
+    } else if (flag == "--patterns") {
+      opts.patterns = std::stoi(need_value(flag));
+    } else if (flag == "--dot") {
+      opts.dot = true;
+    } else if (flag == "--verilog") {
+      opts.verilog = true;
+    } else if (flag == "--plan") {
+      opts.plan = true;
+    } else if (flag == "--selftest") {
+      opts.selftest = true;
+    } else if (flag == "--testbench") {
+      opts.testbench = true;
+    } else if (flag == "--bist-verilog") {
+      opts.bist_verilog = true;
+    } else if (flag == "--json") {
+      opts.json = true;
+    } else if (flag == "--vcd") {
+      opts.vcd = true;
+    } else if (flag == "--ctrl-verilog") {
+      opts.ctrl_verilog = true;
+    } else if (flag == "--coverage") {
+      opts.coverage_target = std::stod(need_value(flag));
+    } else if (flag == "--fu") {
+      opts.fu.push_back(need_value(flag));
+    } else if (flag == "--latency") {
+      opts.latency = std::stoi(need_value(flag));
+    } else if (flag == "--trace") {
+      opts.trace = true;
+    } else if (flag == "--help" || flag == "-h") {
+      usage();
+    } else {
+      usage("unknown flag: " + flag);
+    }
+  }
+  return opts;
+}
+
+ParsedDfg load_design(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_dfg(buf.str());
+}
+
+BinderKind binder_from_name(const std::string& name) {
+  if (name == "trad") return BinderKind::Traditional;
+  if (name == "bist") return BinderKind::BistAware;
+  if (name == "ralloc") return BinderKind::Ralloc;
+  if (name == "syntest") return BinderKind::Syntest;
+  if (name == "clique") return BinderKind::CliquePartition;
+  if (name == "loop") return BinderKind::LoopAware;
+  usage("unknown binder: " + name);
+}
+
+int cmd_synth(const CliOptions& cli) {
+  ParsedDfg design = load_design(cli.target);
+  if (!design.schedule.has_value()) {
+    throw Error("design has no @step annotations; schedule it first");
+  }
+  const auto protos =
+      cli.modules.has_value()
+          ? parse_module_spec(*cli.modules)
+          : minimal_module_spec(design.dfg, *design.schedule);
+
+  SynthesisOptions opts;
+  opts.binder = binder_from_name(cli.binder);
+  opts.area.bit_width = cli.width;
+
+  if (cli.trace && opts.binder == BinderKind::BistAware) {
+    auto lt = compute_lifetimes(design.dfg, *design.schedule, opts.lifetime);
+    auto cg = build_conflict_graph(design.dfg, lt);
+    auto mb = ModuleBinding::bind(design.dfg, *design.schedule, protos);
+    std::vector<std::string> trace;
+    auto rb = bind_registers_bist_aware(design.dfg, cg, mb,
+                                        opts.bist_binder, &trace);
+    (void)rb;
+    std::cout << "--- binder trace ---\n";
+    for (const auto& line : trace) std::cout << "  " << line << "\n";
+  }
+
+  SynthesisResult result =
+      Synthesizer(opts).run(design.dfg, *design.schedule, protos);
+  if (cli.json) {
+    std::cout << report_json(design.dfg, result).dump() << "\n";
+  } else {
+    std::cout << result.describe(design.dfg);
+  }
+  int patterns = cli.patterns;
+  if (cli.coverage_target.has_value()) {
+    auto budgets = find_test_lengths(result.datapath, cli.width,
+                                     *cli.coverage_target);
+    patterns = budgets.recommended_patterns;
+    std::cout << "pattern budget for " << 100.0 * *cli.coverage_target
+              << "% coverage: " << patterns
+              << (budgets.all_targets_met ? "" : " (some modules cannot reach the target)")
+              << "\n";
+  }
+  if (cli.plan) {
+    TestPlan plan = build_test_plan(result.datapath, result.bist,
+                                    patterns, cli.width);
+    std::cout << plan.describe(result.datapath);
+  }
+  if (cli.selftest) {
+    auto st = run_self_test(result.datapath, result.bist, patterns,
+                            cli.width);
+    std::cout << "chip-level self-test: " << st.faults_detected << "/"
+              << st.faults_injected << " port faults detected ("
+              << fmt_double(100.0 * st.coverage(), 1) << "%)\n";
+  }
+  if (cli.bist_verilog) {
+    auto st = run_self_test(result.datapath, result.bist, cli.patterns,
+                            cli.width);
+    std::cout << emit_bist_verilog(result.datapath, result.bist, st,
+                                   cli.patterns, cli.width);
+  }
+  if (cli.dot) std::cout << result.datapath.to_dot();
+  if (cli.verilog) {
+    std::cout << emit_verilog(result.datapath, cli.width);
+  }
+  if (cli.ctrl_verilog) {
+    auto lt = compute_lifetimes(design.dfg, *design.schedule, opts.lifetime);
+    auto ctl = Controller::generate(design.dfg, *design.schedule,
+                                    result.registers, result.datapath, lt);
+    std::cout << emit_controller_verilog(result.datapath, ctl);
+  }
+  if (cli.vcd) {
+    auto lt = compute_lifetimes(design.dfg, *design.schedule, opts.lifetime);
+    auto ctl = Controller::generate(design.dfg, *design.schedule,
+                                    result.registers, result.datapath, lt);
+    IdMap<VarId, std::uint32_t> inputs(design.dfg.num_vars(), 0);
+    std::uint32_t next = 1;
+    for (const auto& v : design.dfg.vars()) {
+      if (v.is_input()) inputs[v.id] = next++;
+    }
+    auto sim = simulate_datapath(design.dfg, result.datapath, ctl, inputs,
+                                 cli.width);
+    std::cout << emit_vcd(result.datapath, sim, cli.width);
+  }
+  if (cli.testbench) {
+    auto lt = compute_lifetimes(design.dfg, *design.schedule, opts.lifetime);
+    auto ctl = Controller::generate(design.dfg, *design.schedule,
+                                    result.registers, result.datapath, lt);
+    // Deterministic example stimulus: input i gets value i+1.
+    IdMap<VarId, std::uint32_t> inputs(design.dfg.num_vars(), 0);
+    std::uint32_t next = 1;
+    for (const auto& v : design.dfg.vars()) {
+      if (v.is_input()) inputs[v.id] = next++;
+    }
+    auto sim = simulate_datapath(design.dfg, result.datapath, ctl, inputs,
+                                 cli.width);
+    LBIST_CHECK(sim.ok(), "internal error: simulation mismatch");
+    std::cout << emit_testbench(design.dfg, result.datapath, ctl, inputs,
+                                sim, cli.width);
+  }
+  return 0;
+}
+
+int cmd_optimize(const CliOptions& cli) {
+  ParsedDfg design = load_design(cli.target);
+  auto cse = eliminate_common_subexpressions(design.dfg);
+  auto clean = remove_dead_code(cse.dfg);
+  for (const auto& name : cse.removed_ops) {
+    std::cerr << "# merged duplicate: " << name << "\n";
+  }
+  for (const auto& name : clean.removed_ops) {
+    std::cerr << "# removed dead op: " << name << "\n";
+  }
+  std::cout << print_dfg(clean.dfg);
+  return 0;
+}
+
+int cmd_schedule(const CliOptions& cli) {
+  ParsedDfg design = load_design(cli.target);
+  if (design.schedule.has_value()) {
+    std::cout << print_dfg(design.dfg, &*design.schedule);
+    return 0;
+  }
+  Schedule sched = [&] {
+    if (cli.latency.has_value()) {
+      return force_directed_schedule(design.dfg, *cli.latency);
+    }
+    ResourceLimits limits;
+    for (const std::string& fu : cli.fu) {
+      LBIST_CHECK(fu.size() >= 2, "--fu expects e.g. \"2*\"");
+      const int count = std::stoi(fu.substr(0, fu.size() - 1));
+      limits[kind_from_symbol(fu.substr(fu.size() - 1))] = count;
+    }
+    return list_schedule(design.dfg, limits);
+  }();
+  std::cout << print_dfg(design.dfg, &sched);
+  return 0;
+}
+
+int cmd_compare(const CliOptions& cli) {
+  ParsedDfg design = load_design(cli.target);
+  if (!design.schedule.has_value()) {
+    throw Error("design has no @step annotations; schedule it first");
+  }
+  std::string spec;
+  if (cli.modules.has_value()) {
+    spec = *cli.modules;
+  } else {
+    for (const auto& p :
+         minimal_module_spec(design.dfg, *design.schedule)) {
+      if (!spec.empty()) spec += ",";
+      spec += "1" + p.label();
+    }
+  }
+  Benchmark bench{cli.target, std::move(design), std::move(spec)};
+
+  AreaModel model;
+  model.bit_width = cli.width;
+  ComparisonRow row = compare_benchmark(bench, model);
+  if (cli.json) {
+    std::cout << comparison_json(row).dump() << "\n";
+    return 0;
+  }
+  TextTable t({"arm", "# Reg", "# Mux", "BIST resources", "% BIST area"});
+  t.add_row({"traditional", std::to_string(row.traditional.num_registers()),
+             std::to_string(row.traditional.num_mux()),
+             row.traditional.bist.counts().to_string(),
+             fmt_double(row.traditional.overhead_percent)});
+  t.add_row({"bist-aware", std::to_string(row.testable.num_registers()),
+             std::to_string(row.testable.num_mux()),
+             row.testable.bist.counts().to_string(),
+             fmt_double(row.testable.overhead_percent)});
+  std::cout << t;
+  std::cout << "reduction in BIST area: "
+            << fmt_double(row.reduction_percent()) << "%\n";
+  return 0;
+}
+
+int cmd_tables(const CliOptions& cli) {
+  AreaModel model;
+  model.bit_width = cli.width;
+  auto rows = compare_paper_benchmarks(model);
+  TextTable t({"DFG", "modules", "#Reg", "#Mux(T)", "%BIST(T)", "#Mux(ours)",
+               "%BIST(ours)", "%reduction"});
+  t.set_title("Table I reproduction");
+  for (const auto& r : rows) {
+    t.add_row({r.name, r.module_spec,
+               std::to_string(r.testable.num_registers()),
+               std::to_string(r.traditional.num_mux()),
+               fmt_double(r.traditional.overhead_percent),
+               std::to_string(r.testable.num_mux()),
+               fmt_double(r.testable.overhead_percent),
+               fmt_double(r.reduction_percent())});
+  }
+  std::cout << t << "\n";
+  TextTable t2({"DFG", "traditional", "testable"});
+  t2.set_title("Table II reproduction (minimal-area BIST solutions)");
+  for (const auto& r : rows) {
+    t2.add_row({r.name, r.traditional.bist.counts().to_string(),
+                r.testable.bist.counts().to_string()});
+  }
+  std::cout << t2;
+  return 0;
+}
+
+Benchmark builtin_benchmark(const std::string& name) {
+  if (name == "ex1") return make_ex1();
+  if (name == "ex2") return make_ex2();
+  if (name == "tseng") return make_tseng1();
+  if (name == "paulin") return make_paulin();
+  usage("unknown benchmark: " + name);
+}
+
+int cmd_bench(const CliOptions& cli) {
+  Benchmark bench = builtin_benchmark(cli.target);
+  std::cout << "# module spec: " << bench.module_spec << "\n"
+            << print_dfg(bench.design.dfg, &*bench.design.schedule);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliOptions cli = parse_args(argc, argv);
+    if (cli.command == "synth") return cmd_synth(cli);
+    if (cli.command == "compare") return cmd_compare(cli);
+    if (cli.command == "tables") return cmd_tables(cli);
+    if (cli.command == "bench") return cmd_bench(cli);
+    if (cli.command == "schedule") return cmd_schedule(cli);
+    if (cli.command == "optimize") return cmd_optimize(cli);
+    usage("unknown command: " + cli.command);
+  } catch (const lbist::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
