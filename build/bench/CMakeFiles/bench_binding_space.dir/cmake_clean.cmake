@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_binding_space.dir/bench_binding_space.cpp.o"
+  "CMakeFiles/bench_binding_space.dir/bench_binding_space.cpp.o.d"
+  "bench_binding_space"
+  "bench_binding_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binding_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_merge_cases.dir/bench_fig6_merge_cases.cpp.o"
+  "CMakeFiles/bench_fig6_merge_cases.dir/bench_fig6_merge_cases.cpp.o.d"
+  "bench_fig6_merge_cases"
+  "bench_fig6_merge_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_merge_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gatelevel.dir/bench_gatelevel.cpp.o"
+  "CMakeFiles/bench_gatelevel.dir/bench_gatelevel.cpp.o.d"
+  "bench_gatelevel"
+  "bench_gatelevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gatelevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

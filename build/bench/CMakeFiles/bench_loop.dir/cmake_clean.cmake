@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loop.dir/bench_loop.cpp.o"
+  "CMakeFiles/bench_loop.dir/bench_loop.cpp.o.d"
+  "bench_loop"
+  "bench_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sessions.dir/bench_sessions.cpp.o"
+  "CMakeFiles/bench_sessions.dir/bench_sessions.cpp.o.d"
+  "bench_sessions"
+  "bench_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

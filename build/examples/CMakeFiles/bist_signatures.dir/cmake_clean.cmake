@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_signatures.dir/bist_signatures.cpp.o"
+  "CMakeFiles/bist_signatures.dir/bist_signatures.cpp.o.d"
+  "bist_signatures"
+  "bist_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dfg.dir/custom_dfg.cpp.o"
+  "CMakeFiles/custom_dfg.dir/custom_dfg.cpp.o.d"
+  "custom_dfg"
+  "custom_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

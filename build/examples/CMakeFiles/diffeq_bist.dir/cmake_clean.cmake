@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffeq_bist.dir/diffeq_bist.cpp.o"
+  "CMakeFiles/diffeq_bist.dir/diffeq_bist.cpp.o.d"
+  "diffeq_bist"
+  "diffeq_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffeq_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

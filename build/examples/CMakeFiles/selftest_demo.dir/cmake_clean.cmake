@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selftest_demo.dir/selftest_demo.cpp.o"
+  "CMakeFiles/selftest_demo.dir/selftest_demo.cpp.o.d"
+  "selftest_demo"
+  "selftest_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selftest_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tseng_explore.dir/tseng_explore.cpp.o"
+  "CMakeFiles/tseng_explore.dir/tseng_explore.cpp.o.d"
+  "tseng_explore"
+  "tseng_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tseng_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist_baselines.dir/partial_scan.cpp.o"
+  "CMakeFiles/lowbist_baselines.dir/partial_scan.cpp.o.d"
+  "CMakeFiles/lowbist_baselines.dir/ralloc.cpp.o"
+  "CMakeFiles/lowbist_baselines.dir/ralloc.cpp.o.d"
+  "CMakeFiles/lowbist_baselines.dir/syntest.cpp.o"
+  "CMakeFiles/lowbist_baselines.dir/syntest.cpp.o.d"
+  "liblowbist_baselines.a"
+  "liblowbist_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

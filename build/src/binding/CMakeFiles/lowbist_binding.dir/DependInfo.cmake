@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binding/bist_aware_binder.cpp" "src/binding/CMakeFiles/lowbist_binding.dir/bist_aware_binder.cpp.o" "gcc" "src/binding/CMakeFiles/lowbist_binding.dir/bist_aware_binder.cpp.o.d"
+  "/root/repo/src/binding/cbilbo_check.cpp" "src/binding/CMakeFiles/lowbist_binding.dir/cbilbo_check.cpp.o" "gcc" "src/binding/CMakeFiles/lowbist_binding.dir/cbilbo_check.cpp.o.d"
+  "/root/repo/src/binding/clique_binder.cpp" "src/binding/CMakeFiles/lowbist_binding.dir/clique_binder.cpp.o" "gcc" "src/binding/CMakeFiles/lowbist_binding.dir/clique_binder.cpp.o.d"
+  "/root/repo/src/binding/enumerate.cpp" "src/binding/CMakeFiles/lowbist_binding.dir/enumerate.cpp.o" "gcc" "src/binding/CMakeFiles/lowbist_binding.dir/enumerate.cpp.o.d"
+  "/root/repo/src/binding/loop_binder.cpp" "src/binding/CMakeFiles/lowbist_binding.dir/loop_binder.cpp.o" "gcc" "src/binding/CMakeFiles/lowbist_binding.dir/loop_binder.cpp.o.d"
+  "/root/repo/src/binding/module_binding.cpp" "src/binding/CMakeFiles/lowbist_binding.dir/module_binding.cpp.o" "gcc" "src/binding/CMakeFiles/lowbist_binding.dir/module_binding.cpp.o.d"
+  "/root/repo/src/binding/module_spec.cpp" "src/binding/CMakeFiles/lowbist_binding.dir/module_spec.cpp.o" "gcc" "src/binding/CMakeFiles/lowbist_binding.dir/module_spec.cpp.o.d"
+  "/root/repo/src/binding/register_binding.cpp" "src/binding/CMakeFiles/lowbist_binding.dir/register_binding.cpp.o" "gcc" "src/binding/CMakeFiles/lowbist_binding.dir/register_binding.cpp.o.d"
+  "/root/repo/src/binding/sharing.cpp" "src/binding/CMakeFiles/lowbist_binding.dir/sharing.cpp.o" "gcc" "src/binding/CMakeFiles/lowbist_binding.dir/sharing.cpp.o.d"
+  "/root/repo/src/binding/traditional_binder.cpp" "src/binding/CMakeFiles/lowbist_binding.dir/traditional_binder.cpp.o" "gcc" "src/binding/CMakeFiles/lowbist_binding.dir/traditional_binder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/lowbist_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lowbist_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lowbist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

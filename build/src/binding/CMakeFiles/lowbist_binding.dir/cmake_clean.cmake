@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist_binding.dir/bist_aware_binder.cpp.o"
+  "CMakeFiles/lowbist_binding.dir/bist_aware_binder.cpp.o.d"
+  "CMakeFiles/lowbist_binding.dir/cbilbo_check.cpp.o"
+  "CMakeFiles/lowbist_binding.dir/cbilbo_check.cpp.o.d"
+  "CMakeFiles/lowbist_binding.dir/clique_binder.cpp.o"
+  "CMakeFiles/lowbist_binding.dir/clique_binder.cpp.o.d"
+  "CMakeFiles/lowbist_binding.dir/enumerate.cpp.o"
+  "CMakeFiles/lowbist_binding.dir/enumerate.cpp.o.d"
+  "CMakeFiles/lowbist_binding.dir/loop_binder.cpp.o"
+  "CMakeFiles/lowbist_binding.dir/loop_binder.cpp.o.d"
+  "CMakeFiles/lowbist_binding.dir/module_binding.cpp.o"
+  "CMakeFiles/lowbist_binding.dir/module_binding.cpp.o.d"
+  "CMakeFiles/lowbist_binding.dir/module_spec.cpp.o"
+  "CMakeFiles/lowbist_binding.dir/module_spec.cpp.o.d"
+  "CMakeFiles/lowbist_binding.dir/register_binding.cpp.o"
+  "CMakeFiles/lowbist_binding.dir/register_binding.cpp.o.d"
+  "CMakeFiles/lowbist_binding.dir/sharing.cpp.o"
+  "CMakeFiles/lowbist_binding.dir/sharing.cpp.o.d"
+  "CMakeFiles/lowbist_binding.dir/traditional_binder.cpp.o"
+  "CMakeFiles/lowbist_binding.dir/traditional_binder.cpp.o.d"
+  "liblowbist_binding.a"
+  "liblowbist_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/aliasing.cpp" "src/bist/CMakeFiles/lowbist_bist.dir/aliasing.cpp.o" "gcc" "src/bist/CMakeFiles/lowbist_bist.dir/aliasing.cpp.o.d"
+  "/root/repo/src/bist/allocator.cpp" "src/bist/CMakeFiles/lowbist_bist.dir/allocator.cpp.o" "gcc" "src/bist/CMakeFiles/lowbist_bist.dir/allocator.cpp.o.d"
+  "/root/repo/src/bist/area_model.cpp" "src/bist/CMakeFiles/lowbist_bist.dir/area_model.cpp.o" "gcc" "src/bist/CMakeFiles/lowbist_bist.dir/area_model.cpp.o.d"
+  "/root/repo/src/bist/fault_sim.cpp" "src/bist/CMakeFiles/lowbist_bist.dir/fault_sim.cpp.o" "gcc" "src/bist/CMakeFiles/lowbist_bist.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/bist/selftest.cpp" "src/bist/CMakeFiles/lowbist_bist.dir/selftest.cpp.o" "gcc" "src/bist/CMakeFiles/lowbist_bist.dir/selftest.cpp.o.d"
+  "/root/repo/src/bist/sessions.cpp" "src/bist/CMakeFiles/lowbist_bist.dir/sessions.cpp.o" "gcc" "src/bist/CMakeFiles/lowbist_bist.dir/sessions.cpp.o.d"
+  "/root/repo/src/bist/test_length.cpp" "src/bist/CMakeFiles/lowbist_bist.dir/test_length.cpp.o" "gcc" "src/bist/CMakeFiles/lowbist_bist.dir/test_length.cpp.o.d"
+  "/root/repo/src/bist/test_plan.cpp" "src/bist/CMakeFiles/lowbist_bist.dir/test_plan.cpp.o" "gcc" "src/bist/CMakeFiles/lowbist_bist.dir/test_plan.cpp.o.d"
+  "/root/repo/src/bist/verilog_bist.cpp" "src/bist/CMakeFiles/lowbist_bist.dir/verilog_bist.cpp.o" "gcc" "src/bist/CMakeFiles/lowbist_bist.dir/verilog_bist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/lowbist_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/binding/CMakeFiles/lowbist_binding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lowbist_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/lowbist_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lowbist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

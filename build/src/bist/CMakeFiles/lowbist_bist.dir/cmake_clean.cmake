@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist_bist.dir/aliasing.cpp.o"
+  "CMakeFiles/lowbist_bist.dir/aliasing.cpp.o.d"
+  "CMakeFiles/lowbist_bist.dir/allocator.cpp.o"
+  "CMakeFiles/lowbist_bist.dir/allocator.cpp.o.d"
+  "CMakeFiles/lowbist_bist.dir/area_model.cpp.o"
+  "CMakeFiles/lowbist_bist.dir/area_model.cpp.o.d"
+  "CMakeFiles/lowbist_bist.dir/fault_sim.cpp.o"
+  "CMakeFiles/lowbist_bist.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/lowbist_bist.dir/selftest.cpp.o"
+  "CMakeFiles/lowbist_bist.dir/selftest.cpp.o.d"
+  "CMakeFiles/lowbist_bist.dir/sessions.cpp.o"
+  "CMakeFiles/lowbist_bist.dir/sessions.cpp.o.d"
+  "CMakeFiles/lowbist_bist.dir/test_length.cpp.o"
+  "CMakeFiles/lowbist_bist.dir/test_length.cpp.o.d"
+  "CMakeFiles/lowbist_bist.dir/test_plan.cpp.o"
+  "CMakeFiles/lowbist_bist.dir/test_plan.cpp.o.d"
+  "CMakeFiles/lowbist_bist.dir/verilog_bist.cpp.o"
+  "CMakeFiles/lowbist_bist.dir/verilog_bist.cpp.o.d"
+  "liblowbist_bist.a"
+  "liblowbist_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

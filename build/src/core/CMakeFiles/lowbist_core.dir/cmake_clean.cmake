@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist_core.dir/annealed_binder.cpp.o"
+  "CMakeFiles/lowbist_core.dir/annealed_binder.cpp.o.d"
+  "CMakeFiles/lowbist_core.dir/chip.cpp.o"
+  "CMakeFiles/lowbist_core.dir/chip.cpp.o.d"
+  "CMakeFiles/lowbist_core.dir/compare.cpp.o"
+  "CMakeFiles/lowbist_core.dir/compare.cpp.o.d"
+  "CMakeFiles/lowbist_core.dir/explorer.cpp.o"
+  "CMakeFiles/lowbist_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/lowbist_core.dir/report.cpp.o"
+  "CMakeFiles/lowbist_core.dir/report.cpp.o.d"
+  "CMakeFiles/lowbist_core.dir/synthesizer.cpp.o"
+  "CMakeFiles/lowbist_core.dir/synthesizer.cpp.o.d"
+  "liblowbist_core.a"
+  "liblowbist_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/benchmarks.cpp" "src/dfg/CMakeFiles/lowbist_dfg.dir/benchmarks.cpp.o" "gcc" "src/dfg/CMakeFiles/lowbist_dfg.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/dfg/dfg.cpp" "src/dfg/CMakeFiles/lowbist_dfg.dir/dfg.cpp.o" "gcc" "src/dfg/CMakeFiles/lowbist_dfg.dir/dfg.cpp.o.d"
+  "/root/repo/src/dfg/lifetime.cpp" "src/dfg/CMakeFiles/lowbist_dfg.dir/lifetime.cpp.o" "gcc" "src/dfg/CMakeFiles/lowbist_dfg.dir/lifetime.cpp.o.d"
+  "/root/repo/src/dfg/optimize.cpp" "src/dfg/CMakeFiles/lowbist_dfg.dir/optimize.cpp.o" "gcc" "src/dfg/CMakeFiles/lowbist_dfg.dir/optimize.cpp.o.d"
+  "/root/repo/src/dfg/parse.cpp" "src/dfg/CMakeFiles/lowbist_dfg.dir/parse.cpp.o" "gcc" "src/dfg/CMakeFiles/lowbist_dfg.dir/parse.cpp.o.d"
+  "/root/repo/src/dfg/random_dfg.cpp" "src/dfg/CMakeFiles/lowbist_dfg.dir/random_dfg.cpp.o" "gcc" "src/dfg/CMakeFiles/lowbist_dfg.dir/random_dfg.cpp.o.d"
+  "/root/repo/src/dfg/schedule.cpp" "src/dfg/CMakeFiles/lowbist_dfg.dir/schedule.cpp.o" "gcc" "src/dfg/CMakeFiles/lowbist_dfg.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lowbist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

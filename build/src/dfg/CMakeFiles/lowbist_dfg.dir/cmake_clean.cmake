@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist_dfg.dir/benchmarks.cpp.o"
+  "CMakeFiles/lowbist_dfg.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/lowbist_dfg.dir/dfg.cpp.o"
+  "CMakeFiles/lowbist_dfg.dir/dfg.cpp.o.d"
+  "CMakeFiles/lowbist_dfg.dir/lifetime.cpp.o"
+  "CMakeFiles/lowbist_dfg.dir/lifetime.cpp.o.d"
+  "CMakeFiles/lowbist_dfg.dir/optimize.cpp.o"
+  "CMakeFiles/lowbist_dfg.dir/optimize.cpp.o.d"
+  "CMakeFiles/lowbist_dfg.dir/parse.cpp.o"
+  "CMakeFiles/lowbist_dfg.dir/parse.cpp.o.d"
+  "CMakeFiles/lowbist_dfg.dir/random_dfg.cpp.o"
+  "CMakeFiles/lowbist_dfg.dir/random_dfg.cpp.o.d"
+  "CMakeFiles/lowbist_dfg.dir/schedule.cpp.o"
+  "CMakeFiles/lowbist_dfg.dir/schedule.cpp.o.d"
+  "liblowbist_dfg.a"
+  "liblowbist_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gates/cones.cpp" "src/gates/CMakeFiles/lowbist_gates.dir/cones.cpp.o" "gcc" "src/gates/CMakeFiles/lowbist_gates.dir/cones.cpp.o.d"
+  "/root/repo/src/gates/gate_fault_sim.cpp" "src/gates/CMakeFiles/lowbist_gates.dir/gate_fault_sim.cpp.o" "gcc" "src/gates/CMakeFiles/lowbist_gates.dir/gate_fault_sim.cpp.o.d"
+  "/root/repo/src/gates/gate_netlist.cpp" "src/gates/CMakeFiles/lowbist_gates.dir/gate_netlist.cpp.o" "gcc" "src/gates/CMakeFiles/lowbist_gates.dir/gate_netlist.cpp.o.d"
+  "/root/repo/src/gates/gate_selftest.cpp" "src/gates/CMakeFiles/lowbist_gates.dir/gate_selftest.cpp.o" "gcc" "src/gates/CMakeFiles/lowbist_gates.dir/gate_selftest.cpp.o.d"
+  "/root/repo/src/gates/module_builders.cpp" "src/gates/CMakeFiles/lowbist_gates.dir/module_builders.cpp.o" "gcc" "src/gates/CMakeFiles/lowbist_gates.dir/module_builders.cpp.o.d"
+  "/root/repo/src/gates/techmap.cpp" "src/gates/CMakeFiles/lowbist_gates.dir/techmap.cpp.o" "gcc" "src/gates/CMakeFiles/lowbist_gates.dir/techmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lowbist_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/lowbist_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/lowbist_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/lowbist_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/binding/CMakeFiles/lowbist_binding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lowbist_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

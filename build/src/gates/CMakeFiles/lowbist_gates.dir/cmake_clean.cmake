@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist_gates.dir/cones.cpp.o"
+  "CMakeFiles/lowbist_gates.dir/cones.cpp.o.d"
+  "CMakeFiles/lowbist_gates.dir/gate_fault_sim.cpp.o"
+  "CMakeFiles/lowbist_gates.dir/gate_fault_sim.cpp.o.d"
+  "CMakeFiles/lowbist_gates.dir/gate_netlist.cpp.o"
+  "CMakeFiles/lowbist_gates.dir/gate_netlist.cpp.o.d"
+  "CMakeFiles/lowbist_gates.dir/gate_selftest.cpp.o"
+  "CMakeFiles/lowbist_gates.dir/gate_selftest.cpp.o.d"
+  "CMakeFiles/lowbist_gates.dir/module_builders.cpp.o"
+  "CMakeFiles/lowbist_gates.dir/module_builders.cpp.o.d"
+  "CMakeFiles/lowbist_gates.dir/techmap.cpp.o"
+  "CMakeFiles/lowbist_gates.dir/techmap.cpp.o.d"
+  "liblowbist_gates.a"
+  "liblowbist_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

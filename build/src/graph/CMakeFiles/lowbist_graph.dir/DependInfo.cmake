@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bron_kerbosch.cpp" "src/graph/CMakeFiles/lowbist_graph.dir/bron_kerbosch.cpp.o" "gcc" "src/graph/CMakeFiles/lowbist_graph.dir/bron_kerbosch.cpp.o.d"
+  "/root/repo/src/graph/chordal.cpp" "src/graph/CMakeFiles/lowbist_graph.dir/chordal.cpp.o" "gcc" "src/graph/CMakeFiles/lowbist_graph.dir/chordal.cpp.o.d"
+  "/root/repo/src/graph/clique_partition.cpp" "src/graph/CMakeFiles/lowbist_graph.dir/clique_partition.cpp.o" "gcc" "src/graph/CMakeFiles/lowbist_graph.dir/clique_partition.cpp.o.d"
+  "/root/repo/src/graph/coloring.cpp" "src/graph/CMakeFiles/lowbist_graph.dir/coloring.cpp.o" "gcc" "src/graph/CMakeFiles/lowbist_graph.dir/coloring.cpp.o.d"
+  "/root/repo/src/graph/conflict.cpp" "src/graph/CMakeFiles/lowbist_graph.dir/conflict.cpp.o" "gcc" "src/graph/CMakeFiles/lowbist_graph.dir/conflict.cpp.o.d"
+  "/root/repo/src/graph/undirected_graph.cpp" "src/graph/CMakeFiles/lowbist_graph.dir/undirected_graph.cpp.o" "gcc" "src/graph/CMakeFiles/lowbist_graph.dir/undirected_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lowbist_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/lowbist_dfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist_graph.dir/bron_kerbosch.cpp.o"
+  "CMakeFiles/lowbist_graph.dir/bron_kerbosch.cpp.o.d"
+  "CMakeFiles/lowbist_graph.dir/chordal.cpp.o"
+  "CMakeFiles/lowbist_graph.dir/chordal.cpp.o.d"
+  "CMakeFiles/lowbist_graph.dir/clique_partition.cpp.o"
+  "CMakeFiles/lowbist_graph.dir/clique_partition.cpp.o.d"
+  "CMakeFiles/lowbist_graph.dir/coloring.cpp.o"
+  "CMakeFiles/lowbist_graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/lowbist_graph.dir/conflict.cpp.o"
+  "CMakeFiles/lowbist_graph.dir/conflict.cpp.o.d"
+  "CMakeFiles/lowbist_graph.dir/undirected_graph.cpp.o"
+  "CMakeFiles/lowbist_graph.dir/undirected_graph.cpp.o.d"
+  "liblowbist_graph.a"
+  "liblowbist_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

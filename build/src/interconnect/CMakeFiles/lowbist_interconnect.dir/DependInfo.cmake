@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/build_datapath.cpp" "src/interconnect/CMakeFiles/lowbist_interconnect.dir/build_datapath.cpp.o" "gcc" "src/interconnect/CMakeFiles/lowbist_interconnect.dir/build_datapath.cpp.o.d"
+  "/root/repo/src/interconnect/port_assign.cpp" "src/interconnect/CMakeFiles/lowbist_interconnect.dir/port_assign.cpp.o" "gcc" "src/interconnect/CMakeFiles/lowbist_interconnect.dir/port_assign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binding/CMakeFiles/lowbist_binding.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/lowbist_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lowbist_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/lowbist_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lowbist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist_interconnect.dir/build_datapath.cpp.o"
+  "CMakeFiles/lowbist_interconnect.dir/build_datapath.cpp.o.d"
+  "CMakeFiles/lowbist_interconnect.dir/port_assign.cpp.o"
+  "CMakeFiles/lowbist_interconnect.dir/port_assign.cpp.o.d"
+  "liblowbist_interconnect.a"
+  "liblowbist_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

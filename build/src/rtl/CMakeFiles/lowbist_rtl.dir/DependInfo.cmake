@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/controller.cpp" "src/rtl/CMakeFiles/lowbist_rtl.dir/controller.cpp.o" "gcc" "src/rtl/CMakeFiles/lowbist_rtl.dir/controller.cpp.o.d"
+  "/root/repo/src/rtl/datapath.cpp" "src/rtl/CMakeFiles/lowbist_rtl.dir/datapath.cpp.o" "gcc" "src/rtl/CMakeFiles/lowbist_rtl.dir/datapath.cpp.o.d"
+  "/root/repo/src/rtl/ipath.cpp" "src/rtl/CMakeFiles/lowbist_rtl.dir/ipath.cpp.o" "gcc" "src/rtl/CMakeFiles/lowbist_rtl.dir/ipath.cpp.o.d"
+  "/root/repo/src/rtl/simulate.cpp" "src/rtl/CMakeFiles/lowbist_rtl.dir/simulate.cpp.o" "gcc" "src/rtl/CMakeFiles/lowbist_rtl.dir/simulate.cpp.o.d"
+  "/root/repo/src/rtl/testbench.cpp" "src/rtl/CMakeFiles/lowbist_rtl.dir/testbench.cpp.o" "gcc" "src/rtl/CMakeFiles/lowbist_rtl.dir/testbench.cpp.o.d"
+  "/root/repo/src/rtl/vcd.cpp" "src/rtl/CMakeFiles/lowbist_rtl.dir/vcd.cpp.o" "gcc" "src/rtl/CMakeFiles/lowbist_rtl.dir/vcd.cpp.o.d"
+  "/root/repo/src/rtl/verilog.cpp" "src/rtl/CMakeFiles/lowbist_rtl.dir/verilog.cpp.o" "gcc" "src/rtl/CMakeFiles/lowbist_rtl.dir/verilog.cpp.o.d"
+  "/root/repo/src/rtl/verilog_controller.cpp" "src/rtl/CMakeFiles/lowbist_rtl.dir/verilog_controller.cpp.o" "gcc" "src/rtl/CMakeFiles/lowbist_rtl.dir/verilog_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binding/CMakeFiles/lowbist_binding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lowbist_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/lowbist_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lowbist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

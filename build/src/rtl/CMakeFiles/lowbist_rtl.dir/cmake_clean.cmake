@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist_rtl.dir/controller.cpp.o"
+  "CMakeFiles/lowbist_rtl.dir/controller.cpp.o.d"
+  "CMakeFiles/lowbist_rtl.dir/datapath.cpp.o"
+  "CMakeFiles/lowbist_rtl.dir/datapath.cpp.o.d"
+  "CMakeFiles/lowbist_rtl.dir/ipath.cpp.o"
+  "CMakeFiles/lowbist_rtl.dir/ipath.cpp.o.d"
+  "CMakeFiles/lowbist_rtl.dir/simulate.cpp.o"
+  "CMakeFiles/lowbist_rtl.dir/simulate.cpp.o.d"
+  "CMakeFiles/lowbist_rtl.dir/testbench.cpp.o"
+  "CMakeFiles/lowbist_rtl.dir/testbench.cpp.o.d"
+  "CMakeFiles/lowbist_rtl.dir/vcd.cpp.o"
+  "CMakeFiles/lowbist_rtl.dir/vcd.cpp.o.d"
+  "CMakeFiles/lowbist_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/lowbist_rtl.dir/verilog.cpp.o.d"
+  "CMakeFiles/lowbist_rtl.dir/verilog_controller.cpp.o"
+  "CMakeFiles/lowbist_rtl.dir/verilog_controller.cpp.o.d"
+  "liblowbist_rtl.a"
+  "liblowbist_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/asap_alap.cpp" "src/sched/CMakeFiles/lowbist_sched.dir/asap_alap.cpp.o" "gcc" "src/sched/CMakeFiles/lowbist_sched.dir/asap_alap.cpp.o.d"
+  "/root/repo/src/sched/force_directed.cpp" "src/sched/CMakeFiles/lowbist_sched.dir/force_directed.cpp.o" "gcc" "src/sched/CMakeFiles/lowbist_sched.dir/force_directed.cpp.o.d"
+  "/root/repo/src/sched/list_sched.cpp" "src/sched/CMakeFiles/lowbist_sched.dir/list_sched.cpp.o" "gcc" "src/sched/CMakeFiles/lowbist_sched.dir/list_sched.cpp.o.d"
+  "/root/repo/src/sched/pressure.cpp" "src/sched/CMakeFiles/lowbist_sched.dir/pressure.cpp.o" "gcc" "src/sched/CMakeFiles/lowbist_sched.dir/pressure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/lowbist_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lowbist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist_sched.dir/asap_alap.cpp.o"
+  "CMakeFiles/lowbist_sched.dir/asap_alap.cpp.o.d"
+  "CMakeFiles/lowbist_sched.dir/force_directed.cpp.o"
+  "CMakeFiles/lowbist_sched.dir/force_directed.cpp.o.d"
+  "CMakeFiles/lowbist_sched.dir/list_sched.cpp.o"
+  "CMakeFiles/lowbist_sched.dir/list_sched.cpp.o.d"
+  "CMakeFiles/lowbist_sched.dir/pressure.cpp.o"
+  "CMakeFiles/lowbist_sched.dir/pressure.cpp.o.d"
+  "liblowbist_sched.a"
+  "liblowbist_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/dot.cpp" "src/support/CMakeFiles/lowbist_support.dir/dot.cpp.o" "gcc" "src/support/CMakeFiles/lowbist_support.dir/dot.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "src/support/CMakeFiles/lowbist_support.dir/json.cpp.o" "gcc" "src/support/CMakeFiles/lowbist_support.dir/json.cpp.o.d"
+  "/root/repo/src/support/lfsr.cpp" "src/support/CMakeFiles/lowbist_support.dir/lfsr.cpp.o" "gcc" "src/support/CMakeFiles/lowbist_support.dir/lfsr.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/lowbist_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/lowbist_support.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist_support.dir/dot.cpp.o"
+  "CMakeFiles/lowbist_support.dir/dot.cpp.o.d"
+  "CMakeFiles/lowbist_support.dir/json.cpp.o"
+  "CMakeFiles/lowbist_support.dir/json.cpp.o.d"
+  "CMakeFiles/lowbist_support.dir/lfsr.cpp.o"
+  "CMakeFiles/lowbist_support.dir/lfsr.cpp.o.d"
+  "CMakeFiles/lowbist_support.dir/table.cpp.o"
+  "CMakeFiles/lowbist_support.dir/table.cpp.o.d"
+  "liblowbist_support.a"
+  "liblowbist_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

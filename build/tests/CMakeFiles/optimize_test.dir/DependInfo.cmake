@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optimize_test.cpp" "tests/CMakeFiles/optimize_test.dir/optimize_test.cpp.o" "gcc" "tests/CMakeFiles/optimize_test.dir/optimize_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lowbist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/lowbist_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lowbist_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lowbist_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/lowbist_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/lowbist_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/lowbist_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/binding/CMakeFiles/lowbist_binding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lowbist_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/lowbist_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lowbist_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

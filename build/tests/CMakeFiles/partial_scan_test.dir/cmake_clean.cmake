@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_scan_test.dir/partial_scan_test.cpp.o"
+  "CMakeFiles/partial_scan_test.dir/partial_scan_test.cpp.o.d"
+  "partial_scan_test"
+  "partial_scan_test.pdb"
+  "partial_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

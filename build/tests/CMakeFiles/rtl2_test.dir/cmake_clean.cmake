@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl2_test.dir/rtl2_test.cpp.o"
+  "CMakeFiles/rtl2_test.dir/rtl2_test.cpp.o.d"
+  "rtl2_test"
+  "rtl2_test.pdb"
+  "rtl2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selftest_test.dir/selftest_test.cpp.o"
+  "CMakeFiles/selftest_test.dir/selftest_test.cpp.o.d"
+  "selftest_test"
+  "selftest_test.pdb"
+  "selftest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selftest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcd_cones_test.dir/vcd_cones_test.cpp.o"
+  "CMakeFiles/vcd_cones_test.dir/vcd_cones_test.cpp.o.d"
+  "vcd_cones_test"
+  "vcd_cones_test.pdb"
+  "vcd_cones_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcd_cones_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/width_sweep_test.dir/width_sweep_test.cpp.o"
+  "CMakeFiles/width_sweep_test.dir/width_sweep_test.cpp.o.d"
+  "width_sweep_test"
+  "width_sweep_test.pdb"
+  "width_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/width_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowbist.dir/lowbist.cpp.o"
+  "CMakeFiles/lowbist.dir/lowbist.cpp.o.d"
+  "lowbist"
+  "lowbist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowbist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
