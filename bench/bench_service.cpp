@@ -1,0 +1,84 @@
+// Batch-synthesis service throughput: a 100-job manifest (built-in
+// benchmarks x module specs x binders, with deliberate duplicates) run at
+// -j 1/2/4/8, cache cold vs warm.  Reports jobs/sec via the counters, so
+// the batch speedup and the cache's effect are directly comparable.
+//
+// On a single-core host the -j curves collapse to -j1 (the pool still
+// load-balances, there is just no parallel hardware); the warm-cache rows
+// show the cache win regardless.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+
+#include "service/batch.hpp"
+
+namespace {
+
+using namespace lbist;
+
+/// 100 jobs with many repeats: 5 benchmarks x 2 binders x 2 widths = 20
+/// distinct synthesis requests, each appearing 5 times.
+std::string hundred_job_manifest() {
+  std::string m;
+  for (int rep = 0; rep < 5; ++rep) {
+    for (const char* bench : {"ex1", "ex2", "tseng", "tseng2", "paulin"}) {
+      for (const char* binder : {"trad", "bist"}) {
+        for (int width : {4, 8}) {
+          m += std::string("{\"bench\": \"") + bench + "\", \"binder\": \"" +
+               binder + "\", \"width\": " + std::to_string(width) + "}\n";
+        }
+      }
+    }
+  }
+  return m;
+}
+
+void BM_BatchColdCache(benchmark::State& state) {
+  const auto entries = parse_manifest(hundred_job_manifest());
+  for (auto _ : state) {
+    BatchOptions opts;
+    opts.jobs = static_cast<int>(state.range(0));
+    std::ostringstream out;
+    const auto summary = run_batch(entries, opts, out);
+    benchmark::DoNotOptimize(summary.ok);
+  }
+  state.counters["jobs/sec"] = benchmark::Counter(
+      static_cast<double>(entries.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchColdCache)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchWarmCache(benchmark::State& state) {
+  const auto entries = parse_manifest(hundred_job_manifest());
+  SynthesisCache cache(256);
+  {
+    // Pre-warm outside the timed region.
+    BatchOptions opts;
+    opts.jobs = static_cast<int>(state.range(0));
+    opts.cache = &cache;
+    std::ostringstream out;
+    run_batch(entries, opts, out);
+  }
+  for (auto _ : state) {
+    BatchOptions opts;
+    opts.jobs = static_cast<int>(state.range(0));
+    opts.cache = &cache;
+    std::ostringstream out;
+    const auto summary = run_batch(entries, opts, out);
+    benchmark::DoNotOptimize(summary.cache_hits);
+  }
+  state.counters["jobs/sec"] = benchmark::Counter(
+      static_cast<double>(entries.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchWarmCache)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,7 +1,10 @@
 #include "core/explorer.hpp"
 
+#include <functional>
+#include <future>
 #include <sstream>
 
+#include "service/thread_pool.hpp"
 #include "support/table.hpp"
 
 namespace lbist {
@@ -40,42 +43,64 @@ DesignPoint synthesize_point(const Dfg& dfg, const Schedule& sched,
   return point;
 }
 
+/// Runs one independent task per design point, serially for jobs == 1 or
+/// over a ThreadPool otherwise.  Each task writes its own slot, so results
+/// come back in input order either way; a task's exception propagates
+/// through its future after every task has finished.
+std::vector<DesignPoint> run_points(
+    std::size_t count, int jobs,
+    const std::function<DesignPoint(std::size_t)>& make_point) {
+  std::vector<DesignPoint> points(count);
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < count; ++i) points[i] = make_point(i);
+    return points;
+  }
+  ThreadPool pool(ThreadPool::resolve_jobs(jobs));
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(
+        pool.submit([&, i] { points[i] = make_point(i); }));
+  }
+  for (auto& f : futures) f.get();
+  return points;
+}
+
 }  // namespace
 
 std::vector<DesignPoint> explore_module_specs(
     const Dfg& dfg, const Schedule& sched,
     const std::vector<std::string>& specs, const ExplorerOptions& opts) {
-  std::vector<DesignPoint> points;
-  for (const std::string& spec : specs) {
-    const auto protos = parse_module_spec(spec);
-    for (BinderKind binder : opts.binders) {
-      points.push_back(
-          synthesize_point(dfg, sched, protos, spec, binder, opts.area));
-    }
-  }
-  return points;
+  const std::size_t per_spec = opts.binders.size();
+  return run_points(
+      specs.size() * per_spec, opts.jobs, [&](std::size_t i) {
+        const std::string& spec = specs[i / per_spec];
+        const BinderKind binder = opts.binders[i % per_spec];
+        const auto protos = parse_module_spec(spec);
+        return synthesize_point(dfg, sched, protos, spec, binder, opts.area);
+      });
 }
 
 std::vector<DesignPoint> explore_resource_budgets(
     const Dfg& dfg, const std::vector<ResourceLimits>& budgets,
     const ExplorerOptions& opts) {
-  std::vector<DesignPoint> points;
-  for (const ResourceLimits& budget : budgets) {
-    Schedule sched = list_schedule(dfg, budget);
-    const auto protos = minimal_module_spec(dfg, sched);
-    std::ostringstream label;
-    bool first = true;
-    for (const auto& [kind, count] : budget) {
-      label << (first ? "" : ",") << count << symbol(kind);
-      first = false;
-    }
-    label << " @" << sched.num_steps();
-    for (BinderKind binder : opts.binders) {
-      points.push_back(synthesize_point(dfg, sched, protos, label.str(),
-                                        binder, opts.area));
-    }
-  }
-  return points;
+  const std::size_t per_budget = opts.binders.size();
+  return run_points(
+      budgets.size() * per_budget, opts.jobs, [&](std::size_t i) {
+        const ResourceLimits& budget = budgets[i / per_budget];
+        const BinderKind binder = opts.binders[i % per_budget];
+        Schedule sched = list_schedule(dfg, budget);
+        const auto protos = minimal_module_spec(dfg, sched);
+        std::ostringstream label;
+        bool first = true;
+        for (const auto& [kind, count] : budget) {
+          label << (first ? "" : ",") << count << symbol(kind);
+          first = false;
+        }
+        label << " @" << sched.num_steps();
+        return synthesize_point(dfg, sched, protos, label.str(), binder,
+                                opts.area);
+      });
 }
 
 std::vector<std::size_t> pareto_front(const std::vector<DesignPoint>& points) {

@@ -36,6 +36,10 @@ struct ExplorerOptions {
   std::vector<BinderKind> binders = {BinderKind::Traditional,
                                      BinderKind::BistAware};
   AreaModel area{};
+  /// Worker threads for the sweep: 1 = serial (default), < 1 = hardware
+  /// concurrency.  Results are returned in deterministic input order
+  /// (spec-major, binder-minor) regardless of the thread count.
+  int jobs = 1;
 };
 
 /// Explores a *scheduled* design across module specs (each spec string is

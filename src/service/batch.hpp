@@ -1,0 +1,83 @@
+#pragma once
+// Concurrent batch-synthesis runner.
+//
+// Input is a JSONL job manifest: one JSON object per line describing one
+// synthesis job.  Fields (all but the design source optional):
+//
+//   {"design": "path/to.dfg"}            file with the textual DFG format
+//   {"bench": "paulin"}                  built-in benchmark by name
+//   {"text": "dfg x\ninput a b\n..."}    inline DFG text
+//   "name"     display name  (default: design path / bench / "job<N>")
+//   "modules"  module spec, e.g. "1+,2*"  (default: minimal for schedule)
+//   "binder"   trad|bist|ralloc|syntest|clique|loop  (default "bist")
+//   "width"    datapath bit width for the area model  (default 4)
+//   "patterns" BIST pattern budget recorded with the job  (default 250)
+//
+// Unscheduled designs are list-scheduled with unlimited resources.  Jobs
+// fan out over a ThreadPool; one JSON result line per job streams to the
+// output in completion order, tagged with the job index so consumers can
+// reorder.  A failing job yields a status:"error" line and never kills the
+// batch.  Identical jobs (same canonical synthesis request) are served from
+// the LRU synthesis cache.  Per-job result content is deterministic: wall
+// times and cache behaviour go to the MetricsRegistry, not the result
+// lines, so `-j N` output equals `-j 1` output job-for-job.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+
+namespace lbist {
+
+/// One synthesis job, decoded from a manifest line.
+struct BatchJob {
+  std::string name;
+  std::string design_path;  ///< file containing DFG text, or
+  std::string bench;        ///< built-in benchmark name, or
+  std::string design_text;  ///< inline DFG text (exactly one of the three)
+  std::string modules;      ///< module spec; empty = minimal for schedule
+  std::string binder = "bist";
+  int width = 4;
+  int patterns = 250;
+};
+
+/// A manifest line: either a decoded job or a parse/validation error
+/// (carrying the 1-based manifest line number).
+struct ManifestEntry {
+  int line = 0;
+  BatchJob job;
+  std::string error;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Decodes a JSONL manifest.  Blank lines and lines starting with '#' are
+/// skipped.  Malformed lines become error entries (they will produce
+/// status:"error" result lines), so one bad line never kills the batch.
+[[nodiscard]] std::vector<ManifestEntry> parse_manifest(std::string_view text);
+
+/// Batch execution knobs.
+struct BatchOptions {
+  int jobs = 1;                     ///< worker threads; < 1 = hardware count
+  std::size_t cache_capacity = 256; ///< LRU entries (when no external cache)
+  MetricsRegistry* metrics = nullptr;  ///< optional external registry
+  SynthesisCache* cache = nullptr;     ///< optional external (pre-warmed) cache
+};
+
+/// Batch outcome tallies (cache numbers also land in the metrics registry).
+struct BatchSummary {
+  int total = 0;
+  int ok = 0;
+  int errors = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// Runs every entry over the pool, streaming one compact JSON line per job
+/// to `out` in completion order.
+BatchSummary run_batch(const std::vector<ManifestEntry>& entries,
+                       const BatchOptions& opts, std::ostream& out);
+
+}  // namespace lbist

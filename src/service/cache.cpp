@@ -1,0 +1,69 @@
+#include "service/cache.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/synthesizer.hpp"
+#include "dfg/parse.hpp"
+
+namespace lbist {
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+void append_double(std::string& out, double d) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+  out += ';';
+}
+
+}  // namespace
+
+std::string synthesis_cache_key(const Dfg& dfg, const Schedule& sched,
+                                const std::vector<ModuleProto>& protos,
+                                const SynthesisOptions& opts, int patterns) {
+  std::string key = print_dfg(dfg, &sched);
+  key += "|spec=";
+  for (const ModuleProto& p : protos) {
+    key += p.label();
+    key += ';';
+  }
+  key += "|binder=" + std::to_string(static_cast<int>(opts.binder));
+  key += "|bb=";
+  key += opts.bist_binder.sd_ordered_pves ? '1' : '0';
+  key += opts.bist_binder.delta_sd_rule ? '1' : '0';
+  key += opts.bist_binder.case_overrides ? '1' : '0';
+  key += opts.bist_binder.avoid_cbilbo ? '1' : '0';
+  key += "|ic=";
+  key += opts.interconnect.weight_by_sd ? '1' : '0';
+  key += "|lt=";
+  key += opts.lifetime.hold_outputs_to_end ? '1' : '0';
+  key += "|area=";
+  key += std::to_string(opts.area.bit_width) + ";";
+  append_double(key, opts.area.reg_gates_per_bit);
+  append_double(key, opts.area.mux_gates_per_bit);
+  append_double(key, opts.area.tpg_extra_per_bit);
+  append_double(key, opts.area.sa_extra_per_bit);
+  append_double(key, opts.area.bilbo_extra_per_bit);
+  append_double(key, opts.area.cbilbo_extra_per_bit);
+  append_double(key, opts.area.add_gates_per_bit);
+  append_double(key, opts.area.sub_gates_per_bit);
+  append_double(key, opts.area.logic_gates_per_bit);
+  append_double(key, opts.area.cmp_gates_per_bit);
+  append_double(key, opts.area.mul_gates_per_bit2);
+  append_double(key, opts.area.div_gates_per_bit2);
+  append_double(key, opts.area.alu_extra_kind_factor);
+  key += "|patterns=" + std::to_string(patterns);
+  return key;
+}
+
+}  // namespace lbist

@@ -1,0 +1,87 @@
+#include "service/metrics.hpp"
+
+namespace lbist {
+
+namespace {
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+Histogram::Summary Histogram::summarize() const {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples = samples_;
+  }
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = percentile(samples, 0.50);
+  s.p95 = percentile(samples, 0.95);
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, Json::number(static_cast<double>(c->value())));
+  }
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.set(name, Json::number(g->value()));
+  }
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Summary s = h->summarize();
+    histograms.set(name,
+                   Json::object()
+                       .set("count", Json::number(static_cast<double>(s.count)))
+                       .set("min", Json::number(s.min))
+                       .set("max", Json::number(s.max))
+                       .set("mean", Json::number(s.mean))
+                       .set("p50", Json::number(s.p50))
+                       .set("p95", Json::number(s.p95)));
+  }
+  return Json::object()
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("histograms", std::move(histograms));
+}
+
+}  // namespace lbist

@@ -1,0 +1,90 @@
+#pragma once
+// Service metrics: named counters, gauges and latency histograms, all
+// thread-safe, dumpable as one JSON object.  The batch runner records synth
+// wall time, cache hit/miss counts and queue depth here; bench_service and
+// the CLI's --metrics flag dump the registry for offline analysis.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace lbist {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. current queue depth).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Sample distribution with p50/p95/max summaries (exact — samples are
+/// retained; service batches are at most thousands of jobs, so the memory
+/// cost is trivial next to one synthesis run).
+class Histogram {
+ public:
+  void record(double sample) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(sample);
+  }
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+  };
+  [[nodiscard]] Summary summarize() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+/// Owns named metrics; references returned by counter()/gauge()/histogram()
+/// stay valid for the registry's lifetime (instruments are never removed).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, min,
+  /// max, mean, p50, p95}}} — keys sorted for stable output.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace lbist

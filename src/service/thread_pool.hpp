@@ -1,0 +1,75 @@
+#pragma once
+// Fixed-size thread pool with a shared work queue and future-based results.
+//
+// The batch-synthesis service and the parallel explorer both fan work out
+// over this pool: submit() enqueues a task and returns a std::future for
+// its result; exceptions thrown by the task propagate through the future.
+// Workers pull from one shared queue, so the pool load-balances uneven job
+// sizes (synthesis time varies widely across designs) for free.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lbist {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (values < 1 are clamped to 1; use
+  /// resolve_jobs() to map a user-facing `-j 0` to the hardware count).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains nothing: outstanding tasks are finished, queued tasks are
+  /// still executed, then the workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a nullary callable; the returned future yields its result
+  /// (or rethrows its exception).
+  template <class F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Number of worker threads.
+  [[nodiscard]] int size() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Tasks enqueued but not yet picked up by a worker.
+  [[nodiscard]] std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Maps a user-facing jobs knob to a worker count: values < 1 mean "use
+  /// the hardware concurrency" (at least 1).
+  [[nodiscard]] static int resolve_jobs(int jobs);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace lbist

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "support/check.hpp"
 
@@ -25,6 +26,74 @@ Json& Json::set(const std::string& key, Json v) {
   }
   obj->members.emplace_back(key, std::move(v));
   return *this;
+}
+
+bool Json::as_bool() const {
+  const auto* b = std::get_if<bool>(&value_);
+  LBIST_CHECK(b != nullptr, "JSON value is not a boolean");
+  return *b;
+}
+
+double Json::as_number() const {
+  const auto* d = std::get_if<double>(&value_);
+  LBIST_CHECK(d != nullptr, "JSON value is not a number");
+  return *d;
+}
+
+int Json::as_int() const {
+  const double d = as_number();
+  LBIST_CHECK(d == std::floor(d) && std::abs(d) <= 2147483647.0,
+              "JSON number is not a representable integer");
+  return static_cast<int>(d);
+}
+
+const std::string& Json::as_string() const {
+  const auto* s = std::get_if<std::string>(&value_);
+  LBIST_CHECK(s != nullptr, "JSON value is not a string");
+  return *s;
+}
+
+std::size_t Json::size() const {
+  if (const auto* arr = std::get_if<Array>(&value_)) return arr->items.size();
+  if (const auto* obj = std::get_if<Object>(&value_)) {
+    return obj->members.size();
+  }
+  return 0;
+}
+
+const Json& Json::at(std::size_t i) const {
+  const auto* arr = std::get_if<Array>(&value_);
+  LBIST_CHECK(arr != nullptr, "indexing a non-array JSON value");
+  LBIST_CHECK(i < arr->items.size(), "JSON array index out of range");
+  return arr->items[i];
+}
+
+bool Json::contains(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+const Json* Json::find(const std::string& key) const {
+  const auto* obj = std::get_if<Object>(&value_);
+  if (obj == nullptr) return nullptr;
+  for (const auto& [k, v] : obj->members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  LBIST_CHECK(v != nullptr, "JSON object has no member \"" + key + "\"");
+  return *v;
+}
+
+std::vector<std::string> Json::keys() const {
+  std::vector<std::string> out;
+  if (const auto* obj = std::get_if<Object>(&value_)) {
+    out.reserve(obj->members.size());
+    for (const auto& [k, v] : obj->members) out.push_back(k);
+  }
+  return out;
 }
 
 namespace {
@@ -54,16 +123,237 @@ void write_escaped(std::string& out, const std::string& s) {
 void write_number(std::string& out, double d) {
   if (d == std::floor(d) && std::abs(d) < 1e15) {
     out += std::to_string(static_cast<long long>(d));
-  } else {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.6g", d);
-    out += buf;
+    return;
   }
+  // Shortest representation that round-trips: try increasing precision
+  // until strtod gives the bits back.
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  out += buf;
 }
 
 std::string indent_of(int n) { return std::string(static_cast<std::size_t>(n), ' '); }
 
+// ---- Parser --------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_space();
+    if (pos_ < text_.size()) fail("unexpected trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    int line = 1;
+    int col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw Error("JSON parse error at line " + std::to_string(line) +
+                ", column " + std::to_string(col) + ": " + what);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_space() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("invalid literal");
+    }
+    pos_ += word.size();
+  }
+
+  Json parse_value() {
+    skip_space();
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::string(parse_string());
+      case 't': expect_word("true"); return Json::boolean(true);
+      case 'f': expect_word("false"); return Json::boolean(false);
+      case 'n': expect_word("null"); return Json::null();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_space();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_space();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_space();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_space();
+      if (eof()) fail("unterminated object");
+      const char c = next();
+      if (c == '}') return obj;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_space();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_space();
+      if (eof()) fail("unterminated array");
+      const char c = next();
+      if (c == ']') return arr;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) fail("unterminated escape sequence");
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof()) fail("unterminated \\u escape");
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              --pos_;
+              fail("invalid hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs unsupported —
+          // the library only emits \u for control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          --pos_;
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    auto digits = [&] {
+      bool any = false;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        any = true;
+      }
+      return any;
+    };
+    if (!digits()) fail("invalid number");
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) fail("digits required after decimal point");
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) fail("digits required in exponent");
+    }
+    const std::string lexeme(text_.substr(start, pos_ - start));
+    return Json::number(std::strtod(lexeme.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
 
 void Json::write(std::string& out, int indent) const {
   if (std::holds_alternative<std::nullptr_t>(value_)) {
@@ -105,9 +395,43 @@ void Json::write(std::string& out, int indent) const {
   }
 }
 
+void Json::write_compact(std::string& out) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    write_number(out, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    write_escaped(out, *s);
+  } else if (const auto* arr = std::get_if<Array>(&value_)) {
+    out += '[';
+    for (std::size_t i = 0; i < arr->items.size(); ++i) {
+      if (i > 0) out += ',';
+      arr->items[i].write_compact(out);
+    }
+    out += ']';
+  } else if (const auto* obj = std::get_if<Object>(&value_)) {
+    out += '{';
+    for (std::size_t i = 0; i < obj->members.size(); ++i) {
+      if (i > 0) out += ',';
+      write_escaped(out, obj->members[i].first);
+      out += ':';
+      obj->members[i].second.write_compact(out);
+    }
+    out += '}';
+  }
+}
+
 std::string Json::dump() const {
   std::string out;
   write(out, 0);
+  return out;
+}
+
+std::string Json::dump_compact() const {
+  std::string out;
+  write_compact(out);
   return out;
 }
 

@@ -1,11 +1,14 @@
 #pragma once
-// Minimal JSON emitter (no external dependencies): enough to serialize the
-// library's reports for downstream tooling.  Writer only — the library
-// never consumes JSON.
+// Minimal JSON value tree (no external dependencies): an emitter for the
+// library's reports and a parser for machine-readable inputs (the batch
+// service's JSONL job manifests).  Build with the static factories or
+// Json::parse, inspect with the is_*/as_* accessors, render with dump().
 
+#include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -20,6 +23,8 @@ class Json {
   static Json boolean(bool b) { return Json(b); }
   static Json number(double d) { return Json(d); }
   static Json number(int i) { return Json(static_cast<double>(i)); }
+  static Json number(std::int64_t i) { return Json(static_cast<double>(i)); }
+  static Json number(std::size_t i) { return Json(static_cast<double>(i)); }
   static Json string(std::string s) { return Json(std::move(s)); }
   static Json array() {
     Json j;
@@ -32,14 +37,61 @@ class Json {
     return j;
   }
 
+  /// Parses one JSON document.  Throws lbist::Error with a precise
+  /// "line L, column C" position on malformed input; trailing non-space
+  /// content after the document is an error too.
+  [[nodiscard]] static Json parse(std::string_view text);
+
   /// Appends to an array value (must be an array).
   Json& push_back(Json v);
   /// Sets a key on an object value (must be an object); returns *this for
   /// chaining.
   Json& set(const std::string& key, Json v);
 
+  // ---- Inspection -------------------------------------------------------
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  /// Typed reads; each throws lbist::Error when the value has another type.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  /// as_number() narrowed to int; throws when not integral.
+  [[nodiscard]] int as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array/object element count (0 for scalars).
+  [[nodiscard]] std::size_t size() const;
+  /// Array element access; throws on non-arrays and out-of-range indices.
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  /// True when an object value has `key`.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Object member lookup; throws when absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Object keys in insertion order (empty for non-objects).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
   /// Serializes with 2-space indentation.
   [[nodiscard]] std::string dump() const;
+  /// Serializes on one line (JSONL-friendly; the batch service's format).
+  [[nodiscard]] std::string dump_compact() const;
 
  private:
   struct Array {
@@ -56,6 +108,7 @@ class Json {
   explicit Json(std::string s) : value_(std::move(s)) {}
 
   void write(std::string& out, int indent) const;
+  void write_compact(std::string& out) const;
 
   Value value_;
 };

@@ -1,12 +1,15 @@
 // Unit tests for the support library: strong ids, dynamic bitsets, the
-// table formatter and the DOT writer.
+// table formatter, the DOT writer and the JSON emitter/parser.
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "support/check.hpp"
 #include "support/dot.hpp"
+#include "support/json.hpp"
 #include "support/dyn_bitset.hpp"
 #include "support/ids.hpp"
 #include "support/table.hpp"
@@ -172,6 +175,86 @@ TEST(DotWriter, UndirectedEdges) {
   const std::string s = d.str();
   EXPECT_NE(s.find("graph g {"), std::string::npos);
   EXPECT_NE(s.find("\"a\" -- \"b\""), std::string::npos);
+}
+
+TEST(JsonParse, ScalarsAndContainers) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  const Json arr = Json::parse("[1, 2, [3]]");
+  ASSERT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.at(2).at(0).as_int(), 3);
+  const Json obj = Json::parse("{\"a\": 1, \"b\": {\"c\": [true]}}");
+  ASSERT_TRUE(obj.is_object());
+  EXPECT_TRUE(obj.contains("a"));
+  EXPECT_FALSE(obj.contains("z"));
+  EXPECT_TRUE(obj.at("b").at("c").at(0).as_bool());
+  EXPECT_EQ(obj.keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse("\"a\\n\\t\\\\\\\"b\\u0041\"").as_string(),
+            "a\n\t\\\"bA");
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    (void)Json::parse("{\"a\": 1,\n  \"b\": }");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2, column 8"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("[1, 2"), Error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(Json::parse("12 34"), Error);  // trailing content
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+}
+
+TEST(JsonParse, TypeMismatchesThrow) {
+  const Json j = Json::parse("{\"a\": 1}");
+  EXPECT_THROW((void)j.as_string(), Error);
+  EXPECT_THROW((void)j.at("a").as_bool(), Error);
+  EXPECT_THROW((void)j.at("nope"), Error);
+  EXPECT_THROW((void)j.at(std::size_t{0}), Error);
+  EXPECT_THROW((void)Json::parse("1.5").as_int(), Error);
+}
+
+TEST(JsonDump, IntegersHaveNoTrailingPointZero) {
+  EXPECT_EQ(Json::number(3.0).dump(), "3");
+  EXPECT_EQ(Json::number(-17).dump(), "-17");
+  EXPECT_EQ(Json::number(0.0).dump(), "0");
+}
+
+TEST(JsonDump, RoundTripsAreStable) {
+  const char* docs[] = {
+      "{\"a\":1,\"b\":[1.5,true,null,\"x\"],\"c\":{\"d\":0.1}}",
+      "[0.30000000000000004,1e-30,123456789.123456789]",
+  };
+  for (const char* doc : docs) {
+    const Json once = Json::parse(doc);
+    const std::string dumped = once.dump();
+    const Json twice = Json::parse(dumped);
+    EXPECT_EQ(dumped, twice.dump()) << doc;
+    EXPECT_EQ(once.dump_compact(), twice.dump_compact()) << doc;
+  }
+  // Numbers survive exactly: parse(dump(x)) == x bit-for-bit.
+  EXPECT_DOUBLE_EQ(Json::parse(Json::number(0.1).dump()).as_number(), 0.1);
+  EXPECT_DOUBLE_EQ(
+      Json::parse(Json::number(0.30000000000000004).dump()).as_number(),
+      0.30000000000000004);
+}
+
+TEST(JsonDump, CompactIsOneLine) {
+  const Json j = Json::parse("{\"a\": [1, 2], \"b\": {\"c\": true}}");
+  EXPECT_EQ(j.dump_compact(), "{\"a\":[1,2],\"b\":{\"c\":true}}");
 }
 
 }  // namespace

@@ -16,6 +16,10 @@
 //   lowbist optimize <design.dfg>
 //       Run common-subexpression elimination + dead-code removal and
 //       print the cleaned design (unscheduled).
+//   lowbist batch <jobs.jsonl> [-j N] [--metrics out.json] [--cache N]
+//       Run a JSONL job manifest (one synthesis job per line) over a
+//       thread pool with a synthesis cache; stream one JSON result line
+//       per job in completion order (see docs/service.md).
 //
 // Common options:
 //   --modules SPEC     module assignment, e.g. "1+,2*" or "1+,3[-*/&|]"
@@ -65,6 +69,8 @@
 #include "rtl/verilog_controller.hpp"
 #include "sched/force_directed.hpp"
 #include "sched/list_sched.hpp"
+#include "service/batch.hpp"
+#include "service/metrics.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -91,6 +97,9 @@ struct CliOptions {
   bool trace = false;
   std::vector<std::string> fu;
   std::optional<int> latency;
+  int jobs = 1;
+  std::size_t cache_capacity = 256;
+  std::optional<std::string> metrics_path;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -104,7 +113,9 @@ struct CliOptions {
       "  lowbist tables\n"
       "  lowbist bench <ex1|ex2|tseng|paulin>\n"
       "  lowbist schedule <design.dfg> [--fu \"2*\"]... [--latency N]\n"
-      "  lowbist optimize <design.dfg>\n";
+      "  lowbist optimize <design.dfg>\n"
+      "  lowbist batch <jobs.jsonl> [-j N] [--metrics out.json]\n"
+      "                [--cache N]\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -115,13 +126,35 @@ CliOptions parse_args(int argc, char** argv) {
   int i = 2;
   if (opts.command == "synth" || opts.command == "compare" ||
       opts.command == "bench" || opts.command == "schedule" ||
-      opts.command == "optimize") {
+      opts.command == "optimize" || opts.command == "batch") {
     if (i >= argc) usage("missing argument for " + opts.command);
     opts.target = argv[i++];
   }
   auto need_value = [&](const std::string& flag) {
     if (i >= argc) usage("missing value for " + flag);
     return std::string(argv[i++]);
+  };
+  auto need_int = [&](const std::string& flag) {
+    const std::string v = need_value(flag);
+    try {
+      std::size_t used = 0;
+      const int n = std::stoi(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+      return n;
+    } catch (const std::exception&) {
+      usage("flag " + flag + " needs an integer, got: " + v);
+    }
+  };
+  auto need_double = [&](const std::string& flag) {
+    const std::string v = need_value(flag);
+    try {
+      std::size_t used = 0;
+      const double d = std::stod(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+      return d;
+    } catch (const std::exception&) {
+      usage("flag " + flag + " needs a number, got: " + v);
+    }
   };
   while (i < argc) {
     const std::string flag = argv[i++];
@@ -130,9 +163,9 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (flag == "--binder") {
       opts.binder = need_value(flag);
     } else if (flag == "--width") {
-      opts.width = std::stoi(need_value(flag));
+      opts.width = need_int(flag);
     } else if (flag == "--patterns") {
-      opts.patterns = std::stoi(need_value(flag));
+      opts.patterns = need_int(flag);
     } else if (flag == "--dot") {
       opts.dot = true;
     } else if (flag == "--verilog") {
@@ -152,13 +185,21 @@ CliOptions parse_args(int argc, char** argv) {
     } else if (flag == "--ctrl-verilog") {
       opts.ctrl_verilog = true;
     } else if (flag == "--coverage") {
-      opts.coverage_target = std::stod(need_value(flag));
+      opts.coverage_target = need_double(flag);
     } else if (flag == "--fu") {
       opts.fu.push_back(need_value(flag));
     } else if (flag == "--latency") {
-      opts.latency = std::stoi(need_value(flag));
+      opts.latency = need_int(flag);
     } else if (flag == "--trace") {
       opts.trace = true;
+    } else if (flag == "-j" || flag == "--jobs") {
+      opts.jobs = need_int(flag);
+    } else if (flag == "--cache") {
+      const int n = need_int(flag);
+      if (n < 1) usage("flag --cache needs a positive capacity");
+      opts.cache_capacity = static_cast<std::size_t>(n);
+    } else if (flag == "--metrics") {
+      opts.metrics_path = need_value(flag);
     } else if (flag == "--help" || flag == "-h") {
       usage();
     } else {
@@ -399,6 +440,32 @@ Benchmark builtin_benchmark(const std::string& name) {
   usage("unknown benchmark: " + name);
 }
 
+int cmd_batch(const CliOptions& cli) {
+  std::ifstream in(cli.target);
+  if (!in) throw Error("cannot open manifest: " + cli.target);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto entries = parse_manifest(buf.str());
+  if (entries.empty()) throw Error("manifest has no jobs: " + cli.target);
+
+  MetricsRegistry metrics;
+  BatchOptions opts;
+  opts.jobs = cli.jobs;
+  opts.cache_capacity = cli.cache_capacity;
+  opts.metrics = &metrics;
+  const BatchSummary summary = run_batch(entries, opts, std::cout);
+
+  if (cli.metrics_path.has_value()) {
+    std::ofstream mout(*cli.metrics_path);
+    if (!mout) throw Error("cannot write metrics: " + *cli.metrics_path);
+    mout << metrics.to_json().dump() << "\n";
+  }
+  std::cerr << "batch: " << summary.ok << "/" << summary.total << " ok, "
+            << summary.errors << " errors, " << summary.cache_hits
+            << " cache hits\n";
+  return summary.ok > 0 || summary.total == 0 ? 0 : 1;
+}
+
 int cmd_bench(const CliOptions& cli) {
   Benchmark bench = builtin_benchmark(cli.target);
   std::cout << "# module spec: " << bench.module_spec << "\n"
@@ -417,6 +484,7 @@ int main(int argc, char** argv) {
     if (cli.command == "bench") return cmd_bench(cli);
     if (cli.command == "schedule") return cmd_schedule(cli);
     if (cli.command == "optimize") return cmd_optimize(cli);
+    if (cli.command == "batch") return cmd_batch(cli);
     usage("unknown command: " + cli.command);
   } catch (const lbist::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
