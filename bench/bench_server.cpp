@@ -1,0 +1,137 @@
+// Load generator for the synthesis server (ISSUE 3): spins up an
+// in-process Server, drives it over real loopback sockets with 1, 4 and 8
+// concurrent client connections, and reports throughput and per-request
+// round-trip p50/p95/p99 — cold cache vs warm cache.
+//
+// This is a plain main() (not google-benchmark): each scenario is one
+// timed run over a fixed request mix, which maps better onto "N
+// connections, M requests each" than benchmark's auto-scaled iteration
+// model.
+//
+//   ./bench/bench_server [requests-per-connection]   (default 32)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/net.hpp"
+#include "server/server.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The request mix: a small rotation of distinct jobs so a cold run
+/// exercises real synthesis and a warm run hits the cache.
+const char* kJobs[] = {
+    "{\"bench\": \"ex1\"}",
+    "{\"bench\": \"ex2\"}",
+    "{\"bench\": \"paulin\"}",
+    "{\"bench\": \"tseng\"}",
+    "{\"bench\": \"paulin\", \"binder\": \"trad\"}",
+    "{\"bench\": \"ex1\", \"width\": 8}",
+    "{\"bench\": \"ex2\", \"width\": 16}",
+    "{\"bench\": \"paulin\", \"width\": 8, \"binder\": \"clique\"}",
+};
+constexpr int kJobCount = static_cast<int>(sizeof(kJobs) / sizeof(kJobs[0]));
+
+struct RunStats {
+  double seconds = 0.0;
+  std::vector<double> latencies_ms;  // one per request, all connections
+};
+
+/// One client connection issuing `requests` jobs in closed loop (send one
+/// line, wait for its response line, repeat) and timing each round trip.
+void run_connection(std::uint16_t port, int requests, int seed,
+                    std::vector<double>* latencies) {
+  lbist::net::Socket sock = lbist::net::connect_to("127.0.0.1", port);
+  lbist::net::LineReader reader(sock.fd());
+  std::string line;
+  latencies->reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    const std::string request =
+        std::string(kJobs[(seed + i) % kJobCount]) + "\n";
+    const Clock::time_point t0 = Clock::now();
+    lbist::net::send_all(sock.fd(), request);
+    if (!reader.read_line(&line)) break;  // server went away
+    latencies->push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count());
+  }
+  sock.shutdown_write();
+}
+
+RunStats run_scenario(lbist::Server& server, int connections,
+                      int requests_per_conn) {
+  std::vector<std::vector<double>> per_conn(
+      static_cast<std::size_t>(connections));
+  std::vector<std::thread> threads;
+  const Clock::time_point t0 = Clock::now();
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back(run_connection, server.port(), requests_per_conn,
+                         c, &per_conn[static_cast<std::size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  RunStats stats;
+  stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (auto& v : per_conn) {
+    stats.latencies_ms.insert(stats.latencies_ms.end(), v.begin(), v.end());
+  }
+  std::sort(stats.latencies_ms.begin(), stats.latencies_ms.end());
+  return stats;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests_per_conn = 32;
+  if (argc > 1) requests_per_conn = std::atoi(argv[1]);
+  if (requests_per_conn < 1) requests_per_conn = 1;
+
+  lbist::TextTable table({"connections", "cache", "requests", "seconds",
+                          "req/s", "p50 ms", "p95 ms", "p99 ms"});
+  table.set_title("lowbist serve loopback load (closed loop per connection)");
+
+  for (int connections : {1, 4, 8}) {
+    // A fresh server per connection count: "cold" means an empty cache,
+    // "warm" repeats the identical mix against the now-populated cache.
+    lbist::ServerOptions opts;
+    opts.jobs = 0;  // hardware concurrency
+    opts.max_queue = 256;
+    lbist::Server server(std::move(opts));
+    server.start();
+    for (const char* label : {"cold", "warm"}) {
+      const RunStats stats =
+          run_scenario(server, connections, requests_per_conn);
+      const auto n = static_cast<double>(stats.latencies_ms.size());
+      table.add_row({std::to_string(connections), label,
+                     std::to_string(stats.latencies_ms.size()),
+                     lbist::fmt_double(stats.seconds, 3),
+                     lbist::fmt_double(n / stats.seconds, 1),
+                     lbist::fmt_double(percentile(stats.latencies_ms, 0.50), 3),
+                     lbist::fmt_double(percentile(stats.latencies_ms, 0.95), 3),
+                     lbist::fmt_double(percentile(stats.latencies_ms, 0.99), 3)});
+    }
+    const auto cache = server.cache().stats();
+    server.stop();
+    std::printf("connections=%d: cache hits=%llu misses=%llu\n", connections,
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses));
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

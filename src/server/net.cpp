@@ -1,0 +1,151 @@
+#include "server/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lbist::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Listener::Listener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  sock_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    fail_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, SOMAXCONN) != 0) fail_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    fail_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket Listener::accept(int timeout_ms, int extra_fd) {
+  pollfd fds[2];
+  fds[0].fd = sock_.fd();
+  fds[0].events = POLLIN;
+  nfds_t nfds = 1;
+  if (extra_fd >= 0) {
+    fds[1].fd = extra_fd;
+    fds[1].events = POLLIN;
+    nfds = 2;
+  }
+  const int rc = ::poll(fds, nfds, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return Socket();
+    fail_errno("poll");
+  }
+  if (rc == 0 || (fds[0].revents & POLLIN) == 0) return Socket();
+  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return Socket();
+    fail_errno("accept");
+  }
+  return Socket(fd);
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string node = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    throw Error("invalid host address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  Socket sock(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    fail_errno("connect " + host + ":" + std::to_string(port));
+  }
+  return sock;
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool LineReader::read_line(std::string* out) {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!out->empty() && out->back() == '\r') out->pop_back();
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      *out = std::move(buffer_);  // final unterminated line
+      buffer_.clear();
+      if (!out->empty() && out->back() == '\r') out->pop_back();
+      return true;
+    }
+    if (buffer_.size() > max_line_) {
+      throw Error("request line exceeds " + std::to_string(max_line_) +
+                  " bytes");
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("recv");
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace lbist::net

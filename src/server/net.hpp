@@ -1,0 +1,89 @@
+#pragma once
+// Minimal POSIX TCP wrappers for the synthesis server: an RAII socket, a
+// loopback listener with poll-based accept, a blocking connector, and a
+// buffered newline-delimited line reader.  Everything throws lbist::Error
+// on I/O failure; sends use MSG_NOSIGNAL so a vanished peer surfaces as an
+// error instead of SIGPIPE.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/check.hpp"
+
+namespace lbist::net {
+
+/// Owning file descriptor (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+  /// Half-closes the read side (unblocks a peer thread stuck in recv).
+  void shutdown_read();
+  /// Half-closes the write side (signals end-of-requests to the peer).
+  void shutdown_write();
+
+ private:
+  int fd_ = -1;
+};
+
+/// TCP listener bound to 127.0.0.1 (`port` 0 picks an ephemeral port).
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+
+  /// The actually bound port (resolves an ephemeral request).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Accepts one connection, waiting up to `timeout_ms` (-1 = forever,
+  /// optionally also waking when `extra_fd` becomes readable).  Returns an
+  /// invalid socket on timeout or extra_fd wakeup.
+  [[nodiscard]] Socket accept(int timeout_ms, int extra_fd = -1);
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking connect to host:port (host is a dotted-quad or "localhost").
+[[nodiscard]] Socket connect_to(const std::string& host, std::uint16_t port);
+
+/// Writes the whole buffer (MSG_NOSIGNAL); throws Error on failure.
+void send_all(int fd, std::string_view data);
+
+/// Buffered reader splitting a socket stream into '\n'-terminated lines.
+class LineReader {
+ public:
+  /// `max_line` bounds buffered bytes per line so one hostile client
+  /// cannot balloon server memory; an oversized line throws Error.
+  explicit LineReader(int fd, std::size_t max_line = 1 << 20)
+      : fd_(fd), max_line_(max_line) {}
+
+  /// Reads one line (newline stripped, trailing '\r' too).  Returns false
+  /// on clean end-of-stream; a final unterminated line is still delivered.
+  [[nodiscard]] bool read_line(std::string* out);
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace lbist::net

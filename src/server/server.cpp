@@ -1,0 +1,345 @@
+#include "server/server.hpp"
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+namespace lbist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// Graceful-shutdown self-pipe shared with the signal handler.  Only one
+// server installs handlers at a time (the CLI's); the handler does nothing
+// but one async-signal-safe write().
+std::atomic<int> g_signal_fd{-1};
+
+void on_signal(int) {
+  const int fd = g_signal_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+bool blank_or_comment(const std::string& line) {
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  return first == std::string::npos || line[first] == '#';
+}
+
+}  // namespace
+
+/// One accepted connection: its socket, a write lock serializing response
+/// lines from workers and the connection thread, and the reader thread.
+/// The connection thread waits for every in-flight request before setting
+/// `done`, so workers never touch a dead Conn; the accept loop joins and
+/// frees `done` connections.
+struct Server::Conn {
+  std::uint64_t id = 0;
+  net::Socket sock;
+  std::mutex write_mu;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cache_capacity) {
+  if (opts_.max_queue == 0) opts_.max_queue = 1;
+}
+
+Server::~Server() {
+  if (started_ && !finished_) stop();
+}
+
+void Server::start() {
+  LBIST_CHECK(!started_, "Server::start called twice");
+  if (::pipe(stop_pipe_) != 0) throw Error("pipe: self-pipe setup failed");
+  ::fcntl(stop_pipe_[0], F_SETFL, O_NONBLOCK);
+  if (opts_.handle_signals) {
+    g_signal_fd.store(stop_pipe_[1], std::memory_order_relaxed);
+    struct sigaction sa = {};
+    sa.sa_handler = on_signal;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    signals_installed_ = true;
+  }
+  listener_ = std::make_unique<net::Listener>(opts_.port);
+  port_ = listener_->port();
+  pool_ = std::make_unique<ThreadPool>(ThreadPool::resolve_jobs(opts_.jobs));
+  started_ = true;
+  log_event(Json::object()
+                .set("event", Json::string("listening"))
+                .set("port", Json::number(static_cast<int>(port_)))
+                .set("workers", Json::number(pool_->size()))
+                .set("max_queue", Json::number(opts_.max_queue)));
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_stop() {
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::stop() {
+  request_stop();
+  wait();
+}
+
+void Server::wait() {
+  LBIST_CHECK(started_, "Server::wait before start");
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (finished_) return;
+  finished_ = true;
+  pool_.reset();  // drains any queued tasks (connections already waited)
+  if (signals_installed_) {
+    g_signal_fd.store(-1, std::memory_order_relaxed);
+    struct sigaction sa = {};
+    sa.sa_handler = SIG_DFL;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    signals_installed_ = false;
+  }
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  log_event(Json::object()
+                .set("event", Json::string("shutdown"))
+                .set("metrics", metrics_json()));
+}
+
+void Server::accept_loop() {
+  while (true) {
+    char drain[16];
+    if (::read(stop_pipe_[0], drain, sizeof drain) > 0) break;
+    reap_connections(false);
+    net::Socket sock = listener_->accept(200, stop_pipe_[0]);
+    if (!sock.valid()) continue;
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->sock = std::move(sock);
+    Conn* raw = conn.get();
+    metrics_.counter("connections").inc();
+    log_event(Json::object()
+                  .set("event", Json::string("conn_open"))
+                  .set("conn", Json::number(raw->id)));
+    conn->thread = std::thread([this, raw] {
+      serve_connection(raw);
+      raw->done.store(true, std::memory_order_release);
+    });
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+  // Graceful shutdown: no new connections, no new requests, drain what was
+  // admitted, then let wait() flush the pool and final metrics.
+  listener_.reset();
+  draining_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& c : conns_) c->sock.shutdown_read();
+  }
+  reap_connections(true);
+}
+
+void Server::reap_connections(bool join_all) {
+  std::vector<std::unique_ptr<Conn>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (join_all || (*it)->done.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& c : dead) {
+    if (c->thread.joinable()) c->thread.join();
+    log_event(Json::object()
+                  .set("event", Json::string("conn_close"))
+                  .set("conn", Json::number(c->id)));
+  }
+}
+
+void Server::serve_connection(Conn* conn) {
+  net::LineReader reader(conn->sock.fd());
+  std::vector<std::future<void>> inflight;
+  std::string line;
+  int line_no = 0;
+  std::size_t next_job = 0;
+  try {
+    while (!draining_.load(std::memory_order_relaxed) &&
+           reader.read_line(&line)) {
+      ++line_no;
+      // Settled futures at the front are finished requests; trim them so a
+      // long-lived connection does not accumulate one future per request.
+      while (!inflight.empty() &&
+             inflight.front().wait_for(std::chrono::seconds(0)) ==
+                 std::future_status::ready) {
+        inflight.front().get();
+        inflight.erase(inflight.begin());
+      }
+      if (blank_or_comment(line)) continue;
+      if (handle_control(conn, line)) continue;
+      submit_job(conn, decode_manifest_line(line_no, line), next_job++,
+                 &inflight);
+    }
+  } catch (const Error& e) {
+    // Framing/transport failure (oversized line, recv error): answer with a
+    // bare protocol error and drop the connection.
+    write_line(conn, Json::object().set("error", Json::string(e.what())));
+    log_event(Json::object()
+                  .set("event", Json::string("conn_error"))
+                  .set("conn", Json::number(conn->id))
+                  .set("error", Json::string(e.what())));
+  }
+  // Drain this connection's in-flight requests so every admitted request
+  // is answered before the socket closes (both on client EOF and on
+  // server shutdown).
+  for (auto& f : inflight) f.get();
+}
+
+bool Server::handle_control(Conn* conn, const std::string& line) {
+  std::string type;
+  try {
+    const Json doc = Json::parse(line);
+    const Json* t = doc.find("type");
+    if (t == nullptr || !t->is_string()) return false;
+    type = t->as_string();
+  } catch (const std::exception&) {
+    return false;  // not even JSON; let the manifest decoder report it
+  }
+  metrics_.counter("requests_control").inc();
+  Json reply = Json::object().set("type", Json::string(type));
+  if (type == "health") {
+    reply.set("status", Json::string("ok"))
+        .set("in_flight", Json::number(static_cast<double>(
+                              in_flight_.load(std::memory_order_relaxed))))
+        .set("max_queue", Json::number(opts_.max_queue))
+        .set("workers", Json::number(pool_->size()));
+  } else if (type == "metrics") {
+    reply.set("status", Json::string("ok")).set("metrics", metrics_json());
+  } else {
+    reply.set("status", Json::string("error"))
+        .set("error", Json::string("unknown request type: " + type));
+  }
+  write_line(conn, reply);
+  return true;
+}
+
+void Server::submit_job(Conn* conn, ManifestEntry entry, std::size_t index,
+                        std::vector<std::future<void>>* inflight) {
+  metrics_.counter("requests_total").inc();
+  // Admission control: the increment reserves a slot; over the bound the
+  // request is answered immediately instead of buffering without bound.
+  if (in_flight_.fetch_add(1, std::memory_order_relaxed) >=
+      static_cast<std::int64_t>(opts_.max_queue)) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.counter("requests_rejected").inc();
+    Json reject = Json::object()
+                      .set("job", Json::number(index))
+                      .set("name", Json::string(display_name(entry, index)))
+                      .set("status", Json::string("error"))
+                      .set("error", Json::string("overloaded"));
+    write_line(conn, reject);
+    log_event(Json::object()
+                  .set("event", Json::string("request"))
+                  .set("conn", Json::number(conn->id))
+                  .set("job", Json::number(index))
+                  .set("status", Json::string("overloaded")));
+    return;
+  }
+  metrics_.gauge("queue_depth")
+      .set(static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
+  const Clock::time_point admitted = Clock::now();
+  inflight->push_back(pool_->submit(
+      [this, conn, entry = std::move(entry), index, admitted]() mutable {
+        const double waited_ms = ms_since(admitted);
+        metrics_.histogram("queue_ms").record(waited_ms);
+        Json response;
+        std::string status;
+        if (opts_.deadline_ms > 0 &&
+            waited_ms > static_cast<double>(opts_.deadline_ms)) {
+          // Stale request: answer without executing so the worker moves
+          // straight on to work someone is still waiting for.
+          metrics_.counter("requests_deadline").inc();
+          response = Json::object()
+                         .set("job", Json::number(index))
+                         .set("name",
+                              Json::string(display_name(entry, index)))
+                         .set("status", Json::string("error"))
+                         .set("error", Json::string("deadline exceeded"));
+          status = "deadline";
+        } else {
+          if (opts_.test_hold) opts_.test_hold();
+          JobOutcome outcome = run_entry(entry, index, cache_, metrics_);
+          metrics_.counter(outcome.ok ? "requests_ok" : "requests_error")
+              .inc();
+          status = outcome.ok ? "ok" : "error";
+          response = std::move(outcome.line);
+        }
+        write_line(conn, response);
+        in_flight_.fetch_sub(1, std::memory_order_relaxed);
+        metrics_.histogram("request_ms").record(ms_since(admitted));
+        log_event(Json::object()
+                      .set("event", Json::string("request"))
+                      .set("conn", Json::number(conn->id))
+                      .set("job", Json::number(index))
+                      .set("name", Json::string(display_name(entry, index)))
+                      .set("status", Json::string(status))
+                      .set("ms", Json::number(ms_since(admitted))));
+      }));
+}
+
+void Server::write_line(Conn* conn, const Json& line) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  try {
+    net::send_all(conn->sock.fd(), line.dump_compact() + "\n");
+  } catch (const Error&) {
+    // Peer went away; the response is dropped, the reader loop will see
+    // EOF and retire the connection.
+  }
+}
+
+void Server::log_event(const Json& line) {
+  if (opts_.log == nullptr) return;
+  std::lock_guard<std::mutex> lock(log_mu_);
+  *opts_.log << line.dump_compact() << "\n";
+}
+
+Json Server::metrics_json() const {
+  const SynthesisCache::Stats cs = cache_.stats();
+  const double lookups = static_cast<double>(cs.hits + cs.misses);
+  return Json::object()
+      .set("registry", metrics_.to_json())
+      .set("cache",
+           Json::object()
+               .set("hits", Json::number(cs.hits))
+               .set("misses", Json::number(cs.misses))
+               .set("evictions", Json::number(cs.evictions))
+               .set("size", Json::number(cs.size))
+               .set("capacity", Json::number(cs.capacity))
+               .set("hit_rate", Json::number(lookups == 0.0
+                                                 ? 0.0
+                                                 : static_cast<double>(
+                                                       cs.hits) /
+                                                       lookups)));
+}
+
+}  // namespace lbist

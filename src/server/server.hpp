@@ -1,0 +1,134 @@
+#pragma once
+// Long-running synthesis server.
+//
+// `lowbist serve` binds a loopback TCP port and speaks newline-delimited
+// JSON: one request object per line in, one result line out.  Job requests
+// use the exact `lowbist batch` manifest schema and produce byte-identical
+// result lines (every request runs through service/batch's decode_
+// manifest_line + run_entry), so a JSONL manifest is replayable against a
+// live server — but the ThreadPool and SynthesisCache now persist across
+// requests and connections, keeping the cache warm between sweeps.
+//
+// Architecture (one Server instance):
+//
+//   accept loop ──► connection threads ──► bounded admission ──► ThreadPool
+//        │                │ (line framing,      (reject with          │
+//   SIGINT/SIGTERM        │  control requests)   "overloaded")   workers run
+//   self-pipe wakeup      └◄── responses written by workers ◄──── run_entry
+//
+// Admission control: at most `max_queue` requests may be admitted-but-
+// unfinished; past that a request is rejected immediately with a
+// status:"error"/"overloaded" line instead of buffering without bound.
+// Deadlines: with `deadline_ms` > 0, a request that waited longer than the
+// deadline in the queue is answered with a "deadline exceeded" error when
+// a worker picks it up — the stale request never executes, so one backlog
+// spike cannot poison workers with long-dead work.  Control requests
+// ({"type":"health"} / {"type":"metrics"}) are answered inline by the
+// connection thread and keep working under full overload.  Graceful
+// shutdown (request_stop(), or SIGINT/SIGTERM with handle_signals): stop
+// accepting, stop reading, drain every admitted request, flush responses,
+// then dump final metrics to the log stream.  See docs/server.md.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "server/net.hpp"
+#include "service/batch.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/thread_pool.hpp"
+
+namespace lbist {
+
+struct ServerOptions {
+  std::uint16_t port = 0;            ///< 0 = kernel-assigned ephemeral port
+  int jobs = 1;                      ///< worker threads; < 1 = hardware count
+  std::size_t cache_capacity = 256;  ///< SynthesisCache entries
+  std::size_t max_queue = 64;        ///< admitted-but-unfinished bound
+  int deadline_ms = 0;               ///< per-request queue deadline; 0 = none
+  bool handle_signals = false;       ///< SIGINT/SIGTERM → graceful shutdown
+  std::ostream* log = nullptr;       ///< structured log lines (e.g. &std::cerr)
+  /// Test seam: when set, workers invoke this before executing each job
+  /// (after the deadline check).  Tests block here to hold workers busy and
+  /// exercise admission control and shutdown draining deterministically.
+  std::function<void()> test_hold;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  /// Stops the server (request_stop + wait) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens, then spawns the accept loop; on return port() is
+  /// valid and the server accepts connections.  Throws Error on bind
+  /// failure.
+  void start();
+
+  /// The bound port (resolves an ephemeral `port = 0` request).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Initiates graceful shutdown from any thread (signal-safe wakeup: one
+  /// write to the self-pipe).  Returns immediately; wait() observes the
+  /// drain.
+  void request_stop();
+
+  /// Blocks until shutdown completes: accept loop joined, every admitted
+  /// request answered, connections closed, pool drained.  Dumps final
+  /// metrics to the log stream.
+  void wait();
+
+  /// request_stop() + wait().
+  void stop();
+
+  /// Live instruments (shared with every worker).
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] SynthesisCache& cache() { return cache_; }
+
+ private:
+  struct Conn;
+
+  void accept_loop();
+  void serve_connection(Conn* conn);
+  /// Handles {"type": ...} control requests inline; returns false when the
+  /// line is not a control request.
+  bool handle_control(Conn* conn, const std::string& line);
+  void submit_job(Conn* conn, ManifestEntry entry, std::size_t index,
+                  std::vector<std::future<void>>* inflight);
+  void write_line(Conn* conn, const Json& line);
+  void log_event(const Json& line);
+  [[nodiscard]] Json metrics_json() const;
+
+  ServerOptions opts_;
+  MetricsRegistry metrics_;
+  SynthesisCache cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<net::Listener> listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  bool started_ = false;
+  bool finished_ = false;
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 0;
+  void reap_connections(bool join_all);
+
+  std::atomic<bool> draining_{false};
+  std::atomic<std::int64_t> in_flight_{0};
+
+  std::mutex log_mu_;
+  int stop_pipe_[2] = {-1, -1};  // [0] read / [1] write (self-pipe)
+  bool signals_installed_ = false;
+};
+
+}  // namespace lbist

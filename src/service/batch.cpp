@@ -113,6 +113,8 @@ Json synthesize_job(const BatchJob& job, SynthesisCache& cache,
   return result;
 }
 
+}  // namespace
+
 std::string display_name(const ManifestEntry& entry, std::size_t index) {
   if (!entry.job.name.empty()) return entry.job.name;
   if (!entry.job.bench.empty()) return entry.job.bench;
@@ -120,7 +122,7 @@ std::string display_name(const ManifestEntry& entry, std::size_t index) {
   return "job" + std::to_string(index);
 }
 
-ManifestEntry decode_line(int line_no, const std::string& line) {
+ManifestEntry decode_manifest_line(int line_no, const std::string& line) {
   ManifestEntry entry;
   entry.line = line_no;
   Json doc;
@@ -165,7 +167,36 @@ ManifestEntry decode_line(int line_no, const std::string& line) {
   return entry;
 }
 
-}  // namespace
+JobOutcome run_entry(const ManifestEntry& entry, std::size_t index,
+                     SynthesisCache& cache, MetricsRegistry& metrics) {
+  const auto t0 = std::chrono::steady_clock::now();
+  JobOutcome outcome;
+  outcome.line = Json::object()
+                     .set("job", Json::number(index))
+                     .set("name", Json::string(display_name(entry, index)));
+  outcome.ok = true;
+  if (!entry.ok()) {
+    outcome.line.set("status", Json::string("error"))
+        .set("error", Json::string(entry.error));
+    outcome.ok = false;
+  } else {
+    try {
+      Json result = synthesize_job(entry.job, cache, metrics);
+      outcome.line.set("status", Json::string("ok"))
+          .set("result", std::move(result));
+    } catch (const std::exception& e) {
+      outcome.line.set("status", Json::string("error"))
+          .set("error", Json::string(e.what()));
+      outcome.ok = false;
+    }
+  }
+  metrics.histogram("job_ms").record(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  metrics.counter(outcome.ok ? "jobs_ok" : "jobs_error").inc();
+  return outcome;
+}
 
 std::vector<ManifestEntry> parse_manifest(std::string_view text) {
   std::vector<ManifestEntry> entries;
@@ -179,7 +210,7 @@ std::vector<ManifestEntry> parse_manifest(std::string_view text) {
     pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
     std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
-    entries.push_back(decode_line(line_no, line));
+    entries.push_back(decode_manifest_line(line_no, line));
   }
   return entries;
 }
@@ -203,36 +234,12 @@ BatchSummary run_batch(const std::vector<ManifestEntry>& entries,
     futures.push_back(pool.submit([&, i]() -> bool {
       metrics.gauge("queue_depth")
           .set(static_cast<double>(pool.queue_depth()));
-      const auto t0 = std::chrono::steady_clock::now();
-      Json line = Json::object()
-                      .set("job", Json::number(i))
-                      .set("name", Json::string(display_name(entry, i)));
-      bool ok = true;
-      if (!entry.ok()) {
-        line.set("status", Json::string("error"))
-            .set("error", Json::string(entry.error));
-        ok = false;
-      } else {
-        try {
-          Json result = synthesize_job(entry.job, cache, metrics);
-          line.set("status", Json::string("ok"))
-              .set("result", std::move(result));
-        } catch (const std::exception& e) {
-          line.set("status", Json::string("error"))
-              .set("error", Json::string(e.what()));
-          ok = false;
-        }
-      }
-      metrics.histogram("job_ms").record(
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - t0)
-              .count());
-      metrics.counter(ok ? "jobs_ok" : "jobs_error").inc();
+      JobOutcome outcome = run_entry(entry, i, cache, metrics);
       {
         std::lock_guard<std::mutex> lock(out_mutex);
-        out << line.dump_compact() << "\n";
+        out << outcome.line.dump_compact() << "\n";
       }
-      return ok;
+      return outcome.ok;
     }));
   }
 

@@ -58,6 +58,19 @@ struct ManifestEntry {
 /// status:"error" result lines), so one bad line never kills the batch.
 [[nodiscard]] std::vector<ManifestEntry> parse_manifest(std::string_view text);
 
+/// Decodes one manifest line into an entry (never throws; malformed input
+/// becomes an error entry carrying `line_no`).  The server decodes request
+/// lines through this so live connections and `lowbist batch` agree
+/// byte-for-byte on every error message.
+[[nodiscard]] ManifestEntry decode_manifest_line(int line_no,
+                                                 const std::string& line);
+
+/// The "name" field a result line carries for `entry` at manifest position
+/// `index`: the job's explicit name, else its bench / design path, else
+/// "job<index>".
+[[nodiscard]] std::string display_name(const ManifestEntry& entry,
+                                       std::size_t index);
+
 /// Batch execution knobs.
 struct BatchOptions {
   int jobs = 1;                     ///< worker threads; < 1 = hardware count
@@ -65,6 +78,21 @@ struct BatchOptions {
   MetricsRegistry* metrics = nullptr;  ///< optional external registry
   SynthesisCache* cache = nullptr;     ///< optional external (pre-warmed) cache
 };
+
+/// One executed request: the complete result line plus its verdict.
+struct JobOutcome {
+  Json line;        ///< {"job": index, "name": ..., "status": ..., ...}
+  bool ok = false;  ///< status == "ok"
+};
+
+/// Executes one entry as job `index` — synthesis through the cache, with
+/// `job_ms` and `jobs_ok`/`jobs_error` recorded in `metrics`.  Never
+/// throws: failures become deterministic status:"error" lines.  Both the
+/// batch runner and the server route every request through here, so their
+/// result lines are identical for identical requests.
+[[nodiscard]] JobOutcome run_entry(const ManifestEntry& entry,
+                                   std::size_t index, SynthesisCache& cache,
+                                   MetricsRegistry& metrics);
 
 /// Batch outcome tallies (cache numbers also land in the metrics registry).
 struct BatchSummary {

@@ -32,6 +32,7 @@ Histogram::Summary Histogram::summarize() const {
   s.mean = sum / static_cast<double>(samples.size());
   s.p50 = percentile(samples, 0.50);
   s.p95 = percentile(samples, 0.95);
+  s.p99 = percentile(samples, 0.99);
   return s;
 }
 
@@ -76,7 +77,8 @@ Json MetricsRegistry::to_json() const {
                        .set("max", Json::number(s.max))
                        .set("mean", Json::number(s.mean))
                        .set("p50", Json::number(s.p50))
-                       .set("p95", Json::number(s.p95)));
+                       .set("p95", Json::number(s.p95))
+                       .set("p99", Json::number(s.p99)));
   }
   return Json::object()
       .set("counters", std::move(counters))

@@ -43,7 +43,7 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Sample distribution with p50/p95/max summaries (exact — samples are
+/// Sample distribution with p50/p95/p99/max summaries (exact — samples are
 /// retained; service batches are at most thousands of jobs, so the memory
 /// cost is trivial next to one synthesis run).
 class Histogram {
@@ -60,6 +60,7 @@ class Histogram {
     double mean = 0.0;
     double p50 = 0.0;
     double p95 = 0.0;
+    double p99 = 0.0;
   };
   [[nodiscard]] Summary summarize() const;
 
@@ -77,7 +78,7 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, min,
-  /// max, mean, p50, p95}}} — keys sorted for stable output.
+  /// max, mean, p50, p95, p99}}} — keys sorted for stable output.
   [[nodiscard]] Json to_json() const;
 
  private:

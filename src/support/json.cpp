@@ -143,6 +143,12 @@ class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
+  /// Containers deeper than this are rejected.  The parser is recursive-
+  /// descent, so unbounded nesting means unbounded C++ stack — fatal once
+  /// untrusted bytes arrive over the server socket.  256 is far beyond any
+  /// real manifest or report while keeping worst-case stack use trivial.
+  static constexpr int kMaxDepth = 256;
+
   Json parse_document() {
     Json v = parse_value();
     skip_space();
@@ -209,7 +215,20 @@ class Parser {
     }
   }
 
+  /// Tracks container nesting across parse_object/parse_array recursion.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth) {
+        parser.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                    " levels");
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   Json parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     Json obj = Json::object();
     skip_space();
@@ -236,6 +255,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     Json arr = Json::array();
     skip_space();
@@ -347,6 +367,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

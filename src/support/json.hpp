@@ -39,7 +39,9 @@ class Json {
 
   /// Parses one JSON document.  Throws lbist::Error with a precise
   /// "line L, column C" position on malformed input; trailing non-space
-  /// content after the document is an error too.
+  /// content after the document is an error too.  Containers nested
+  /// deeper than 256 levels are rejected (the parser is recursive
+  /// descent, and untrusted input reaches it over the server socket).
   [[nodiscard]] static Json parse(std::string_view text);
 
   /// Appends to an array value (must be an array).

@@ -1,0 +1,346 @@
+// End-to-end tests for the synthesis server: loopback round trips through
+// the real TCP stack using the `lowbist client` implementation
+// (run_client), byte-identical parity with `lowbist batch`, warm-cache
+// accounting via the metrics request, deterministic admission-control
+// rejection with a held worker, queue deadlines, and SIGTERM draining.
+// The whole file must stay ThreadSanitizer-clean (the CI sanitizer job
+// runs it under -DLBIST_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "service/batch.hpp"
+#include "support/json.hpp"
+
+namespace lbist {
+namespace {
+
+std::vector<std::string> sorted_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// A gate the test holds closed to pin workers inside job execution, so
+/// admission overflow and shutdown draining become deterministic instead
+/// of racing against synthesis speed.
+class Gate {
+ public:
+  std::function<void()> hold() {
+    return [this] {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return open_; });
+    };
+  }
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// Polls a metrics counter until it reaches `target` (bounded wait).
+bool wait_counter(Server& server, const std::string& name,
+                  std::uint64_t target) {
+  for (int i = 0; i < 4000; ++i) {
+    if (server.metrics().counter(name).value() >= target) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+/// Polls a histogram's sample count (signals "a worker dequeued N
+/// requests" via queue_ms).
+bool wait_histogram_count(Server& server, const std::string& name,
+                          std::uint64_t target) {
+  for (int i = 0; i < 4000; ++i) {
+    if (server.metrics().histogram(name).summarize().count >= target) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+const char* kParityManifest =
+    "# parity manifest: duplicates, comments, blanks and broken lines\n"
+    "\n"
+    "{\"bench\": \"ex1\"}\n"
+    "{\"bench\": \"ex1\"}\n"
+    "{\"bench\": \"paulin\", \"binder\": \"trad\", \"width\": 8}\n"
+    "{\"bench\": \"tseng\", \"modules\": \"1+,3[-*/&|]\"}\n"
+    "{oops not json\n"
+    "{\"bench\": \"not-a-benchmark\"}\n"
+    "{\"bench\": \"ex2\", \"design\": \"two-sources.dfg\"}\n"
+    "{\"text\": \"dfg t\\ninput a b\\nop add1 + a b -> c @1\\noutput c\\n\"}\n";
+
+// (a) Sorted responses are byte-identical to `lowbist batch` on the same
+// manifest: both sides decode with decode_manifest_line and execute with
+// run_entry, so even error text and line numbers must agree.
+TEST(ServerEndToEnd, ResponsesMatchBatchByteForByte) {
+  const auto entries = parse_manifest(kParityManifest);
+  std::ostringstream batch_out;
+  BatchOptions batch_opts;
+  batch_opts.jobs = 1;
+  run_batch(entries, batch_opts, batch_out);
+
+  ServerOptions opts;
+  opts.jobs = 2;
+  Server server(std::move(opts));
+  server.start();
+  std::ostringstream server_out;
+  const ClientSummary summary =
+      run_client("127.0.0.1", server.port(), kParityManifest, server_out);
+  server.stop();
+
+  EXPECT_EQ(summary.responses, static_cast<int>(entries.size()));
+  EXPECT_EQ(sorted_lines(batch_out.str()), sorted_lines(server_out.str()));
+}
+
+// (b) The cache persists across connections: a second identical pass is
+// served from the cache, observable through a {"type":"metrics"} request.
+TEST(ServerEndToEnd, SecondPassReportsCacheHitsThroughMetricsRequest) {
+  const std::string manifest =
+      "{\"bench\": \"ex1\"}\n"
+      "{\"bench\": \"paulin\", \"binder\": \"trad\"}\n";
+  Server server(ServerOptions{});
+  server.start();
+
+  std::ostringstream first, second;
+  run_client("127.0.0.1", server.port(), manifest, first);
+  run_client("127.0.0.1", server.port(), manifest, second);
+  EXPECT_EQ(sorted_lines(first.str()), sorted_lines(second.str()));
+
+  std::ostringstream metrics_out;
+  const ClientSummary summary = run_client("127.0.0.1", server.port(),
+                                           "{\"type\": \"metrics\"}\n",
+                                           metrics_out);
+  server.stop();
+
+  ASSERT_EQ(summary.responses, 1);
+  const Json reply = Json::parse(sorted_lines(metrics_out.str()).at(0));
+  EXPECT_EQ(reply.at("type").as_string(), "metrics");
+  const Json& cache = reply.at("metrics").at("cache");
+  EXPECT_GE(cache.at("hits").as_int(), 2);    // the whole second pass
+  EXPECT_EQ(cache.at("misses").as_int(), 2);  // only the cold pass misses
+  EXPECT_GT(cache.at("hit_rate").as_number(), 0.0);
+  const Json& registry = reply.at("metrics").at("registry");
+  EXPECT_EQ(registry.at("counters").at("requests_ok").as_int(), 4);
+  EXPECT_GE(registry.at("histograms").at("synth_ms").at("count").as_int(),
+            1);
+}
+
+// (c) Admission control: with one worker pinned and max_queue=2, exactly
+// two of six requests are admitted; the rest get an immediate structured
+// "overloaded" rejection — and the server stays healthy afterwards.
+TEST(ServerEndToEnd, OverflowYieldsOverloadedErrorsAndServerStaysHealthy) {
+  Gate gate;
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.max_queue = 2;
+  opts.test_hold = gate.hold();
+  Server server(std::move(opts));
+  server.start();
+
+  std::string burst;
+  for (int i = 0; i < 6; ++i) burst += "{\"bench\": \"ex1\"}\n";
+  std::ostringstream out;
+  ClientSummary summary;
+  std::thread client([&] {
+    summary = run_client("127.0.0.1", server.port(), burst, out);
+  });
+  // 2 admitted (1 held by the worker, 1 queued), 4 rejected on arrival.
+  ASSERT_TRUE(wait_counter(server, "requests_rejected", 4));
+  gate.open();
+  client.join();
+
+  EXPECT_EQ(summary.responses, 6);
+  EXPECT_EQ(summary.ok, 2);
+  EXPECT_EQ(summary.errors, 4);
+  int overloaded = 0;
+  for (const auto& line : sorted_lines(out.str())) {
+    const Json j = Json::parse(line);
+    if (j.at("status").as_string() == "error") {
+      EXPECT_EQ(j.at("error").as_string(), "overloaded");
+      EXPECT_TRUE(j.contains("job"));
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(overloaded, 4);
+
+  // Still healthy: a fresh connection gets a health reply and a result.
+  std::ostringstream after;
+  const ClientSummary healthy =
+      run_client("127.0.0.1", server.port(),
+                 "{\"type\": \"health\"}\n{\"bench\": \"ex1\"}\n", after);
+  EXPECT_EQ(healthy.responses, 2);
+  EXPECT_EQ(healthy.ok, 2);
+  bool saw_health = false;
+  for (const auto& line : sorted_lines(after.str())) {
+    const Json j = Json::parse(line);
+    if (j.find("type") != nullptr) {
+      EXPECT_EQ(j.at("type").as_string(), "health");
+      EXPECT_EQ(j.at("status").as_string(), "ok");
+      EXPECT_EQ(j.at("max_queue").as_int(), 2);
+      EXPECT_EQ(j.at("workers").as_int(), 1);
+      saw_health = true;
+    }
+  }
+  EXPECT_TRUE(saw_health);
+  server.stop();
+  EXPECT_EQ(server.metrics().counter("requests_rejected").value(), 4u);
+}
+
+// Per-request deadlines: requests that sat in the queue past the deadline
+// are answered with a timeout error when a worker picks them up; the
+// worker itself moves on unharmed and the fresh request still executes.
+TEST(ServerEndToEnd, ExpiredQueueDeadlineAnswersWithTimeoutError) {
+  Gate gate;
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.deadline_ms = 500;
+  opts.test_hold = gate.hold();
+  Server server(std::move(opts));
+  server.start();
+
+  const std::string manifest =
+      "{\"bench\": \"ex1\"}\n"
+      "{\"bench\": \"ex1\", \"width\": 8}\n"
+      "{\"bench\": \"ex1\", \"width\": 16}\n";
+  std::ostringstream out;
+  ClientSummary summary;
+  std::thread client([&] {
+    summary = run_client("127.0.0.1", server.port(), manifest, out);
+  });
+  // The worker dequeues job 0 (within its deadline) and blocks in the
+  // gate; jobs 1 and 2 age in the queue past the 500ms deadline.
+  ASSERT_TRUE(wait_histogram_count(server, "queue_ms", 1));
+  ASSERT_TRUE(wait_counter(server, "requests_total", 3));
+  std::this_thread::sleep_for(std::chrono::milliseconds(900));
+  gate.open();
+  client.join();
+
+  EXPECT_EQ(summary.responses, 3);
+  EXPECT_EQ(summary.ok, 1);
+  EXPECT_EQ(summary.errors, 2);
+  for (const auto& line : sorted_lines(out.str())) {
+    const Json j = Json::parse(line);
+    if (j.at("status").as_string() == "error") {
+      EXPECT_EQ(j.at("error").as_string(), "deadline exceeded");
+    }
+  }
+  EXPECT_EQ(server.metrics().counter("requests_deadline").value(), 2u);
+
+  // The worker was not poisoned: a fresh request still gets a result.
+  std::ostringstream after;
+  const ClientSummary fresh =
+      run_client("127.0.0.1", server.port(), "{\"bench\": \"ex2\"}\n", after);
+  EXPECT_EQ(fresh.ok, 1);
+  server.stop();
+}
+
+// (d) Graceful shutdown: SIGTERM with in-flight requests stops accepting
+// but answers everything already admitted before the server exits.
+TEST(ServerEndToEnd, SigtermDrainsInFlightRequestsBeforeExit) {
+  Gate gate;
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.handle_signals = true;
+  opts.test_hold = gate.hold();
+  Server server(std::move(opts));
+  server.start();
+
+  const std::string manifest =
+      "{\"bench\": \"ex1\"}\n"
+      "{\"bench\": \"ex1\", \"width\": 8}\n"
+      "{\"bench\": \"paulin\"}\n";
+  std::ostringstream out;
+  ClientSummary summary;
+  std::thread client([&] {
+    summary = run_client("127.0.0.1", server.port(), manifest, out);
+  });
+  ASSERT_TRUE(wait_counter(server, "requests_total", 3));
+  ASSERT_EQ(std::raise(SIGTERM), 0);  // graceful: drain, then exit
+  gate.open();
+  server.wait();  // returns only after the drain completes
+  client.join();
+
+  EXPECT_EQ(summary.responses, 3);
+  EXPECT_EQ(summary.ok, 3);
+  EXPECT_EQ(summary.errors, 0);
+  EXPECT_EQ(server.metrics().counter("requests_ok").value(), 3u);
+}
+
+// Framing robustness: an oversized request line is answered with a
+// protocol error instead of ballooning server memory.
+TEST(ServerEndToEnd, OversizedRequestLineIsRejected) {
+  Server server(ServerOptions{});
+  server.start();
+  std::string huge = "{\"bench\": \"";
+  huge.append((1 << 20) + 4096, 'x');
+  huge += "\"}\n";
+  std::ostringstream out;
+  const ClientSummary summary =
+      run_client("127.0.0.1", server.port(), huge, out);
+  server.stop();
+  ASSERT_EQ(summary.responses, 1);
+  const Json j = Json::parse(sorted_lines(out.str()).at(0));
+  EXPECT_NE(j.at("error").as_string().find("exceeds"), std::string::npos);
+}
+
+TEST(ServerEndToEnd, UnknownControlTypeGetsStructuredError) {
+  Server server(ServerOptions{});
+  server.start();
+  std::ostringstream out;
+  const ClientSummary summary = run_client(
+      "127.0.0.1", server.port(), "{\"type\": \"frobnicate\"}\n", out);
+  server.stop();
+  ASSERT_EQ(summary.responses, 1);
+  const Json j = Json::parse(sorted_lines(out.str()).at(0));
+  EXPECT_EQ(j.at("status").as_string(), "error");
+  EXPECT_NE(j.at("error").as_string().find("unknown request type"),
+            std::string::npos);
+}
+
+TEST(ClientHelpers, ParseHostPort) {
+  std::string host;
+  std::uint16_t port = 0;
+  parse_host_port("127.0.0.1:8080", &host, &port);
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  parse_host_port("localhost:1", &host, &port);
+  EXPECT_EQ(host, "localhost");
+  EXPECT_EQ(port, 1);
+  EXPECT_THROW(parse_host_port("nocolon", &host, &port), Error);
+  EXPECT_THROW(parse_host_port("host:", &host, &port), Error);
+  EXPECT_THROW(parse_host_port(":80", &host, &port), Error);
+  EXPECT_THROW(parse_host_port("host:99999", &host, &port), Error);
+  EXPECT_THROW(parse_host_port("host:abc", &host, &port), Error);
+}
+
+}  // namespace
+}  // namespace lbist

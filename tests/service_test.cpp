@@ -9,6 +9,7 @@
 #include <atomic>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "binding/module_spec.hpp"
@@ -137,6 +138,73 @@ TEST(CacheKey, DistinguishesOptionsAndMatchesIdenticalRequests) {
                                     protos, a, 100));
 }
 
+// Many threads hammering one small cache with interleaved get/put across a
+// hot key set larger than the capacity, so evictions, refreshes and misses
+// all race.  Run under TSan in the sanitizer CI job; the stats invariants
+// below hold regardless of interleaving.
+TEST(LruCache, ConcurrentStressKeepsStatsConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  constexpr std::size_t kCapacity = 16;
+  LruCache<int> cache(kCapacity);
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> hits_seen{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key_id = (t * 37 + i) % 48;  // 48 hot keys > 16 slots
+        const std::string key = "k" + std::to_string(key_id);
+        if (i % 3 == 0) {
+          cache.put(key, key_id);
+        } else {
+          gets.fetch_add(1);
+          if (auto v = cache.get(key)) {
+            hits_seen.fetch_add(1);
+            EXPECT_EQ(*v, key_id);  // values never cross keys
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, gets.load());
+  EXPECT_EQ(stats.hits, hits_seen.load());
+  EXPECT_LE(stats.size, kCapacity);
+  EXPECT_EQ(stats.capacity, kCapacity);
+  EXPECT_GT(stats.evictions, 0u);  // 48 keys through 16 slots must evict
+}
+
+// Same shape against the real SynthesisCache value type (Json results are
+// deep structures, so this exercises copy-out under contention too).
+TEST(LruCache, ConcurrentSynthesisCacheStress) {
+  SynthesisCache cache(8);
+  std::vector<std::thread> threads;
+  threads.reserve(6);
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        const int key_id = (t + i) % 24;
+        const std::string key = "req" + std::to_string(key_id);
+        if (i % 2 == 0) {
+          cache.put(key, Json::object()
+                             .set("id", Json::number(key_id))
+                             .set("payload", Json::string(
+                                      std::string(64, 'x'))));
+        } else if (auto v = cache.get(key)) {
+          EXPECT_EQ(v->at("id").as_int(), key_id);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.size, 8u);
+  EXPECT_EQ(stats.capacity, 8u);
+}
+
 TEST(CacheKey, Fnv1a64IsStable) {
   EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
   EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
@@ -156,6 +224,9 @@ TEST(Metrics, HistogramSummaries) {
   EXPECT_NEAR(s.mean, 50.5, 1e-9);
   EXPECT_NEAR(s.p50, 50.5, 1.0);
   EXPECT_NEAR(s.p95, 95.05, 1.0);
+  EXPECT_NEAR(s.p99, 99.01, 1.0);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
 }
 
 TEST(Metrics, RegistryJsonShape) {
@@ -167,6 +238,7 @@ TEST(Metrics, RegistryJsonShape) {
   EXPECT_EQ(j.at("counters").at("jobs").as_int(), 3);
   EXPECT_DOUBLE_EQ(j.at("gauges").at("depth").as_number(), 2.5);
   EXPECT_EQ(j.at("histograms").at("ms").at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(j.at("histograms").at("ms").at("p99").as_number(), 1.0);
   // Round-trips through the parser.
   const Json back = Json::parse(j.dump());
   EXPECT_EQ(back.at("counters").at("jobs").as_int(), 3);

@@ -218,6 +218,29 @@ TEST(JsonParse, ErrorsCarryLineAndColumn) {
   EXPECT_THROW(Json::parse("tru"), Error);
 }
 
+TEST(JsonParse, RejectsPathologicalNestingWithPositionedError) {
+  // 256 levels parse; 257 must be rejected (the parser is recursive
+  // descent, and request lines arrive from untrusted sockets).
+  const auto nested = [](int depth) {
+    return std::string(static_cast<std::size_t>(depth), '[') + "1" +
+           std::string(static_cast<std::size_t>(depth), ']');
+  };
+  EXPECT_NO_THROW(Json::parse(nested(256)));
+  try {
+    (void)Json::parse(nested(257));
+    FAIL() << "expected depth error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nesting deeper than 256"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("line 1, column 257"), std::string::npos) << what;
+  }
+  // Objects count toward the same budget, and a deep bomb must not crash.
+  std::string bomb;
+  for (int i = 0; i < 100000; ++i) bomb += "{\"a\":[";
+  EXPECT_THROW(Json::parse(bomb), Error);
+}
+
 TEST(JsonParse, TypeMismatchesThrow) {
   const Json j = Json::parse("{\"a\": 1}");
   EXPECT_THROW((void)j.as_string(), Error);

@@ -16,10 +16,20 @@
 //   lowbist optimize <design.dfg>
 //       Run common-subexpression elimination + dead-code removal and
 //       print the cleaned design (unscheduled).
-//   lowbist batch <jobs.jsonl> [-j N] [--metrics out.json] [--cache N]
-//       Run a JSONL job manifest (one synthesis job per line) over a
-//       thread pool with a synthesis cache; stream one JSON result line
-//       per job in completion order (see docs/service.md).
+//   lowbist batch <jobs.jsonl|-> [-j N] [--metrics out.json] [--cache N]
+//       Run a JSONL job manifest (one synthesis job per line, "-" reads
+//       the manifest from stdin) over a thread pool with a synthesis
+//       cache; stream one JSON result line per job in completion order
+//       (see docs/service.md).
+//   lowbist serve [--port P] [-j N] [--cache N] [--max-queue N]
+//                 [--deadline-ms N]
+//       Long-running synthesis server on 127.0.0.1 speaking newline-
+//       delimited JSON with the batch job schema; bounded admission
+//       queue, per-request deadlines, health/metrics requests, graceful
+//       shutdown on SIGINT/SIGTERM (see docs/server.md).
+//   lowbist client <host:port> <jobs.jsonl|->
+//       Send a job manifest to a running server and print one response
+//       line per job.
 //
 // Common options:
 //   --modules SPEC     module assignment, e.g. "1+,2*" or "1+,3[-*/&|]"
@@ -69,6 +79,8 @@
 #include "rtl/verilog_controller.hpp"
 #include "sched/force_directed.hpp"
 #include "sched/list_sched.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "service/batch.hpp"
 #include "service/metrics.hpp"
 #include "support/table.hpp"
@@ -80,6 +92,7 @@ using namespace lbist;
 struct CliOptions {
   std::string command;
   std::string target;
+  std::string target2;  // client: manifest path (target is host:port)
   std::optional<std::string> modules;
   std::string binder = "bist";
   int width = 4;
@@ -100,6 +113,9 @@ struct CliOptions {
   int jobs = 1;
   std::size_t cache_capacity = 256;
   std::optional<std::string> metrics_path;
+  int port = 0;
+  std::size_t max_queue = 64;
+  int deadline_ms = 0;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -114,8 +130,11 @@ struct CliOptions {
       "  lowbist bench <ex1|ex2|tseng|paulin>\n"
       "  lowbist schedule <design.dfg> [--fu \"2*\"]... [--latency N]\n"
       "  lowbist optimize <design.dfg>\n"
-      "  lowbist batch <jobs.jsonl> [-j N] [--metrics out.json]\n"
-      "                [--cache N]\n";
+      "  lowbist batch <jobs.jsonl|-> [-j N] [--metrics out.json]\n"
+      "                [--cache N]            (\"-\" reads stdin)\n"
+      "  lowbist serve [--port P] [-j N] [--cache N] [--max-queue N]\n"
+      "                [--deadline-ms N]\n"
+      "  lowbist client <host:port> <jobs.jsonl|->\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -126,9 +145,14 @@ CliOptions parse_args(int argc, char** argv) {
   int i = 2;
   if (opts.command == "synth" || opts.command == "compare" ||
       opts.command == "bench" || opts.command == "schedule" ||
-      opts.command == "optimize" || opts.command == "batch") {
+      opts.command == "optimize" || opts.command == "batch" ||
+      opts.command == "client") {
     if (i >= argc) usage("missing argument for " + opts.command);
     opts.target = argv[i++];
+  }
+  if (opts.command == "client") {
+    if (i >= argc) usage("client needs <host:port> <jobs.jsonl|->");
+    opts.target2 = argv[i++];
   }
   auto need_value = [&](const std::string& flag) {
     if (i >= argc) usage("missing value for " + flag);
@@ -200,6 +224,18 @@ CliOptions parse_args(int argc, char** argv) {
       opts.cache_capacity = static_cast<std::size_t>(n);
     } else if (flag == "--metrics") {
       opts.metrics_path = need_value(flag);
+    } else if (flag == "--port") {
+      const int p = need_int(flag);
+      if (p < 0 || p > 65535) usage("flag --port needs 0..65535");
+      opts.port = p;
+    } else if (flag == "--max-queue") {
+      const int n = need_int(flag);
+      if (n < 1) usage("flag --max-queue needs a positive bound");
+      opts.max_queue = static_cast<std::size_t>(n);
+    } else if (flag == "--deadline-ms") {
+      const int n = need_int(flag);
+      if (n < 0) usage("flag --deadline-ms needs a non-negative value");
+      opts.deadline_ms = n;
     } else if (flag == "--help" || flag == "-h") {
       usage();
     } else {
@@ -440,12 +476,22 @@ Benchmark builtin_benchmark(const std::string& name) {
   usage("unknown benchmark: " + name);
 }
 
-int cmd_batch(const CliOptions& cli) {
-  std::ifstream in(cli.target);
-  if (!in) throw Error("cannot open manifest: " + cli.target);
+/// Reads a job manifest from a path, or from stdin when the path is "-"
+/// (so shell pipelines and the server client can feed jobs directly).
+std::string read_manifest(const std::string& path) {
   std::ostringstream buf;
-  buf << in.rdbuf();
-  const auto entries = parse_manifest(buf.str());
+  if (path == "-") {
+    buf << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open manifest: " + path);
+    buf << in.rdbuf();
+  }
+  return buf.str();
+}
+
+int cmd_batch(const CliOptions& cli) {
+  const auto entries = parse_manifest(read_manifest(cli.target));
   if (entries.empty()) throw Error("manifest has no jobs: " + cli.target);
 
   MetricsRegistry metrics;
@@ -464,6 +510,37 @@ int cmd_batch(const CliOptions& cli) {
             << summary.errors << " errors, " << summary.cache_hits
             << " cache hits\n";
   return summary.ok > 0 || summary.total == 0 ? 0 : 1;
+}
+
+int cmd_serve(const CliOptions& cli) {
+  ServerOptions opts;
+  opts.port = static_cast<std::uint16_t>(cli.port);
+  opts.jobs = cli.jobs;
+  opts.cache_capacity = cli.cache_capacity;
+  opts.max_queue = cli.max_queue;
+  opts.deadline_ms = cli.deadline_ms;
+  opts.handle_signals = true;
+  opts.log = &std::cerr;
+  Server server(std::move(opts));
+  server.start();
+  server.wait();  // until SIGINT/SIGTERM; drains in-flight requests
+  if (cli.metrics_path.has_value()) {
+    std::ofstream mout(*cli.metrics_path);
+    if (!mout) throw Error("cannot write metrics: " + *cli.metrics_path);
+    mout << server.metrics().to_json().dump() << "\n";
+  }
+  return 0;
+}
+
+int cmd_client(const CliOptions& cli) {
+  std::string host;
+  std::uint16_t port = 0;
+  parse_host_port(cli.target, &host, &port);
+  const std::string manifest = read_manifest(cli.target2);
+  const ClientSummary summary = run_client(host, port, manifest, std::cout);
+  std::cerr << "client: " << summary.responses << " responses, " << summary.ok
+            << " ok, " << summary.errors << " errors\n";
+  return summary.ok > 0 || summary.responses == 0 ? 0 : 1;
 }
 
 int cmd_bench(const CliOptions& cli) {
@@ -485,6 +562,8 @@ int main(int argc, char** argv) {
     if (cli.command == "schedule") return cmd_schedule(cli);
     if (cli.command == "optimize") return cmd_optimize(cli);
     if (cli.command == "batch") return cmd_batch(cli);
+    if (cli.command == "serve") return cmd_serve(cli);
+    if (cli.command == "client") return cmd_client(cli);
     usage("unknown command: " + cli.command);
   } catch (const lbist::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
