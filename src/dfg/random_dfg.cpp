@@ -1,5 +1,6 @@
 #include "dfg/random_dfg.hpp"
 
+#include <algorithm>
 #include <random>
 
 #include "support/check.hpp"
@@ -37,7 +38,10 @@ RandomDfg make_random_dfg(const RandomDfgOptions& opts) {
       auto pick_operand = [&]() {
         const bool reuse =
             !defined.empty() && coin(rng) < opts.reuse_probability;
-        return reuse ? pick(defined) : pick(inputs);
+        if (!reuse) return pick(inputs);
+        // Chain bias: prefer the freshest value so dependence chains grow.
+        if (coin(rng) < opts.chain_probability) return defined.back();
+        return pick(defined);
       };
       VarId a = pick_operand();
       VarId b = pick_operand();
@@ -61,6 +65,37 @@ RandomDfg make_random_dfg(const RandomDfgOptions& opts) {
                            "t" + std::to_string(var_counter++));
       steps.push_back(opts.num_steps + 1);
       dfg.mark_output(r);
+    }
+  }
+  // Loop-carried ties: feed an output result back into an input whose last
+  // read is no later than the carried value's defining step (the loop
+  // binder's non-overlap rule: a value read during step s and one written
+  // at the end of step s can share a register).
+  if (opts.loop_ties > 0) {
+    auto last_use_step = [&](VarId v) {
+      int last = 0;
+      for (OpId use : dfg.var(v).uses) last = std::max(last, steps[use]);
+      return last;
+    };
+    std::vector<VarId> outs;
+    for (const auto& v : dfg.vars()) {
+      if (v.is_output && !v.is_input()) outs.push_back(v.id);
+    }
+    std::stable_sort(outs.begin(), outs.end(), [&](VarId a, VarId b) {
+      return steps[dfg.var(a).def] > steps[dfg.var(b).def];
+    });
+    std::vector<bool> tied(dfg.num_vars(), false);
+    int placed = 0;
+    for (VarId carried : outs) {
+      if (placed == opts.loop_ties) break;
+      const int def_step = steps[dfg.var(carried).def];
+      for (VarId init : inputs) {
+        if (tied[init.index()] || last_use_step(init) > def_step) continue;
+        dfg.tie_loop(carried, init);
+        tied[init.index()] = true;
+        ++placed;
+        break;
+      }
     }
   }
   dfg.validate();

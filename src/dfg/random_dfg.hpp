@@ -1,10 +1,17 @@
 #pragma once
-// Random scheduled-DFG generator for property tests and scaling experiments.
+// Random scheduled-DFG generator for property tests, the differential
+// fuzzer (src/fuzz/) and scaling experiments.
 //
 // Produces straight-line scheduled DFGs layer by layer: operations in step s
 // draw operands from variables produced in earlier steps (or fresh primary
 // inputs), so every generated design is a valid scheduled DFG whose conflict
 // graph is an interval graph — the same class the paper's algorithms target.
+// Two shape knobs stretch the distribution beyond the uniform layered form:
+// `chain_probability` biases operands toward the most recent result
+// (producing deep dependence chains like the diff-eq update), and
+// `loop_ties` adds loop-carried dependences (`Dfg::tie_loop`) whenever a
+// valid non-overlapping (output, input) pair exists — the shape the
+// loop-aware binder extension targets.
 
 #include <cstdint>
 #include <vector>
@@ -22,6 +29,15 @@ struct RandomDfgOptions {
   int ops_per_step = 3;       ///< exact number of operations per control step
   int num_inputs = 4;         ///< pool of primary inputs operands may use
   double reuse_probability = 0.6;  ///< chance an operand reuses a live value
+  /// Chance a reused operand is the most recently produced value instead of
+  /// a uniform pick — 0 keeps the historical layered shape, values near 1
+  /// yield chain-shaped DFGs (long critical paths, skinny conflict graphs).
+  double chain_probability = 0.0;
+  /// Number of loop-carried ties to attempt (carried output fed back into a
+  /// primary input, see Dfg::tie_loop).  Only ties whose live ranges do not
+  /// overlap are added, so the result always satisfies the loop binder's
+  /// validity rules; fewer than requested may be placed.
+  int loop_ties = 0;
   std::vector<OpKind> kinds = {OpKind::Add, OpKind::Mul, OpKind::Sub,
                                OpKind::And};
 };

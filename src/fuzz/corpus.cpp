@@ -1,0 +1,88 @@
+#include "fuzz/corpus.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace lbist {
+
+namespace {
+
+constexpr std::string_view kMagic = "lowbist-fuzz corpus v1";
+
+/// Splits off the first whitespace-delimited word of `s`.
+std::pair<std::string, std::string> split_word(const std::string& s) {
+  std::istringstream in(s);
+  std::string head;
+  in >> head;
+  std::string rest;
+  std::getline(in, rest);
+  if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+  return {head, rest};
+}
+
+}  // namespace
+
+CorpusEntry parse_corpus(std::string_view text) {
+  CorpusEntry entry;
+  bool saw_magic = false;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.rfind("#!", 0) != 0) continue;
+    std::string body = line.substr(2);
+    if (!body.empty() && body.front() == ' ') body.erase(0, 1);
+    if (body == kMagic) {
+      saw_magic = true;
+      continue;
+    }
+    auto [key, value] = split_word(body);
+    const std::string where = " (corpus line " + std::to_string(lineno) + ")";
+    if (key == "seed") {
+      try {
+        entry.seed = std::stoull(value);
+      } catch (const std::exception&) {
+        throw Error("bad corpus seed: " + value + where);
+      }
+    } else if (key == "width") {
+      try {
+        entry.width = std::stoi(value);
+      } catch (const std::exception&) {
+        throw Error("bad corpus width: " + value + where);
+      }
+      LBIST_CHECK(entry.width >= 2 && entry.width <= 32,
+                  "corpus width out of range" + where);
+    } else if (key == "oracle") {
+      LBIST_CHECK(!value.empty(), "corpus oracle directive is empty" + where);
+      entry.oracle = value;
+    } else if (key == "note") {
+      entry.note = value;
+    } else {
+      throw Error("unknown corpus directive: #! " + key + where);
+    }
+  }
+  LBIST_CHECK(saw_magic,
+              "not a corpus file (missing '#! " + std::string(kMagic) + "')");
+  entry.design = parse_dfg(text);  // directives parse as comments
+  LBIST_CHECK(entry.design.schedule.has_value(),
+              "corpus DFG must be scheduled (@step annotations)");
+  return entry;
+}
+
+std::string dump_corpus(const CorpusEntry& entry) {
+  LBIST_CHECK(entry.design.schedule.has_value(),
+              "corpus DFG must be scheduled");
+  std::ostringstream out;
+  out << "#! " << kMagic << "\n";
+  out << "#! seed " << entry.seed << "\n";
+  out << "#! width " << entry.width << "\n";
+  out << "#! oracle " << (entry.oracle.empty() ? "none" : entry.oracle)
+      << "\n";
+  if (!entry.note.empty()) out << "#! note " << entry.note << "\n";
+  out << print_dfg(entry.design.dfg, &*entry.design.schedule);
+  return out.str();
+}
+
+}  // namespace lbist

@@ -1,0 +1,54 @@
+#pragma once
+// Replayable fuzz corpus files.
+//
+// A corpus file is an ordinary textual DFG (dfg/parse.hpp) with a metadata
+// header carried in `#!` directive lines — every corpus file is therefore
+// also parseable by `parse_dfg` (directives read as comments), and every
+// tool that understands the DFG format can open a reproducer directly:
+//
+//   #! lowbist-fuzz corpus v1
+//   #! seed 1234
+//   #! width 4
+//   #! oracle simulation:bist
+//   #! note minimized from 18 ops
+//   dfg random_s1234
+//   input in0 in1
+//   op add0 + in0 in1 -> t0 @1
+//   output t0
+//
+// `dump_corpus` emits a canonical form (fixed directive order, canonical
+// `print_dfg` body) so files round-trip exactly: parse → dump → parse is
+// the identity on the dumped text, a property the fuzz tests enforce.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dfg/parse.hpp"
+
+namespace lbist {
+
+/// One corpus entry: a scheduled design plus fuzz provenance.
+struct CorpusEntry {
+  /// Generator seed that produced the design; 0 for handwritten entries.
+  std::uint64_t seed = 0;
+  /// Datapath bit width the oracles ran at.
+  int width = 4;
+  /// Failing oracle name (e.g. "simulation:trad"), or "none" for corpus
+  /// seeds that are expected to replay clean.
+  std::string oracle = "none";
+  /// Free-text provenance ("minimized from 18 ops", triage notes, ...).
+  std::string note;
+  /// The design itself; the schedule is mandatory (fuzzing replays need
+  /// the exact control steps).
+  ParsedDfg design{Dfg(""), std::nullopt};
+};
+
+/// Parses a corpus file.  Throws lbist::Error on malformed directives, a
+/// missing `lowbist-fuzz corpus` header, or an unscheduled DFG body.
+[[nodiscard]] CorpusEntry parse_corpus(std::string_view text);
+
+/// Serializes to the canonical corpus form.
+[[nodiscard]] std::string dump_corpus(const CorpusEntry& entry);
+
+}  // namespace lbist

@@ -1,0 +1,165 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace lbist {
+namespace {
+
+struct Candidate {
+  Dfg dfg;
+  Schedule sched;
+};
+
+/// Rebuilds the design keeping only the ops with keep[i] set, repairing
+/// dangling references as documented in minimize.hpp.  Returns nullopt when
+/// the repaired design is not a valid scheduled DFG.
+std::optional<Candidate> rebuild(const Dfg& src, const Schedule& sched,
+                                 const std::vector<bool>& keep) {
+  try {
+    Dfg out(src.name());
+    IdMap<VarId, VarId> var_map(src.num_vars(), VarId{});
+
+    // Which variables the kept ops actually read.
+    std::vector<bool> needed(src.num_vars(), false);
+    for (const auto& op : src.ops()) {
+      if (!keep[op.id.index()]) continue;
+      needed[op.lhs.index()] = true;
+      needed[op.rhs.index()] = true;
+    }
+
+    // Original inputs first (id order), then substitute inputs standing in
+    // for removed results, so rebuilds are deterministic.
+    for (const auto& v : src.vars()) {
+      if (v.is_input() && needed[v.id.index()]) {
+        var_map[v.id] = out.add_input(v.name, v.port_resident);
+      }
+    }
+    for (const auto& v : src.vars()) {
+      if (v.is_input() || !needed[v.id.index()]) continue;
+      if (!keep[v.def.index()]) {
+        var_map[v.id] = out.add_input(v.name);
+      }
+    }
+
+    IdMap<OpId, int> steps;
+    std::vector<int> used_steps;
+    for (const auto& op : src.ops()) {
+      if (!keep[op.id.index()]) continue;
+      const auto& result = src.var(op.result);
+      var_map[op.result] = out.add_op(op.kind, var_map[op.lhs],
+                                      var_map[op.rhs], result.name, op.name);
+      steps.push_back(sched.step(op.id));
+      used_steps.push_back(sched.step(op.id));
+    }
+
+    // Flags and sinks: keep output/control marks; anything left without a
+    // reader must become an output for the DFG to validate.
+    for (const auto& op : src.ops()) {
+      if (!keep[op.id.index()]) continue;
+      const auto& result = src.var(op.result);
+      const VarId nv = var_map[op.result];
+      if (result.control_only) {
+        out.mark_control_only(nv);
+      } else if (result.is_output || out.var(nv).uses.empty()) {
+        out.mark_output(nv);
+      }
+    }
+
+    // Loop ties survive only when both endpoints survived in their
+    // original roles (shrinking never adds overlap, so surviving ties stay
+    // valid for the loop binder).
+    for (const auto& [carried, init] : src.loop_ties()) {
+      const VarId c = var_map[carried];
+      const VarId i = var_map[init];
+      if (!c.valid() || !i.valid()) continue;
+      if (out.var(c).is_input() || !out.var(i).is_input()) continue;
+      out.tie_loop(c, i);
+    }
+
+    out.validate();
+
+    // Compact the schedule: squeeze out empty steps, keep relative order.
+    std::sort(used_steps.begin(), used_steps.end());
+    used_steps.erase(std::unique(used_steps.begin(), used_steps.end()),
+                     used_steps.end());
+    std::map<int, int> rank;
+    for (std::size_t i = 0; i < used_steps.size(); ++i) {
+      rank[used_steps[i]] = static_cast<int>(i) + 1;
+    }
+    for (auto& s : steps) s = rank[s];
+
+    Schedule out_sched(out, std::move(steps));
+    return Candidate{std::move(out), std::move(out_sched)};
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+MinimizeResult minimize_dfg(const Dfg& dfg, const Schedule& sched,
+                            const StillFails& still_fails) {
+  int calls = 0;
+  auto fails = [&](const Dfg& d, const Schedule& s) {
+    ++calls;
+    try {
+      return still_fails(d, s);
+    } catch (...) {
+      return false;
+    }
+  };
+  LBIST_CHECK(fails(dfg, sched),
+              "minimize_dfg: the input design does not fail the predicate");
+
+  // Canonicalize through rebuild() so every later candidate differs from
+  // `current` only by the removed ops.
+  std::vector<bool> all(dfg.num_ops(), true);
+  std::optional<Candidate> current = rebuild(dfg, sched, all);
+  LBIST_CHECK(current.has_value(),
+              "minimize_dfg: input design does not rebuild");
+  if (!fails(current->dfg, current->sched)) {
+    // Canonicalization itself changed the verdict (can happen when the
+    // failure depends on unused inputs); minimize the original as-is.
+    current = Candidate{dfg, sched};
+  }
+
+  const std::size_t initial_ops = current->dfg.num_ops();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t chunk = std::max<std::size_t>(
+             1, current->dfg.num_ops() / 2);
+         chunk >= 1; chunk /= 2) {
+      std::size_t start = 0;
+      while (start < current->dfg.num_ops() && current->dfg.num_ops() > 1) {
+        const std::size_t n = current->dfg.num_ops();
+        std::vector<bool> keep(n, true);
+        for (std::size_t i = start; i < std::min(start + chunk, n); ++i) {
+          keep[i] = false;
+        }
+        auto cand = rebuild(current->dfg, current->sched, keep);
+        if (cand.has_value() && cand->dfg.num_ops() < n &&
+            fails(cand->dfg, cand->sched)) {
+          current = std::move(cand);
+          changed = true;
+          // Stay at the same position: the ops shifted down into it.
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  const std::size_t final_ops = current->dfg.num_ops();
+  return MinimizeResult{std::move(current->dfg), std::move(current->sched),
+                        initial_ops, final_ops, calls};
+}
+
+}  // namespace lbist

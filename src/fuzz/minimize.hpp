@@ -1,0 +1,46 @@
+#pragma once
+// Delta-debugging minimizer for failing fuzz cases.
+//
+// Given a scheduled DFG that violates an invariant, `minimize_dfg` shrinks
+// it to a (locally) minimal scheduled DFG that still violates it.  The
+// reduction operator removes a subset of operations and repairs the design:
+// operands that referenced a removed result are rewired to primary inputs
+// with the same name (value provenance is irrelevant to structural
+// invariants), unreferenced inputs are dropped, newly sink variables become
+// primary outputs, loop ties over removed variables are dropped, and the
+// schedule is compacted (empty steps squeezed out, relative order kept).
+//
+// The search is the classic ddmin loop: try removing chunks of size n/2,
+// n/4, ... 1 until a full pass of single-op removals makes no progress.
+// Every candidate is revalidated (`Dfg::validate` + schedule construction);
+// candidates the repair cannot make well-formed are simply skipped.
+
+#include <functional>
+
+#include "dfg/dfg.hpp"
+#include "dfg/schedule.hpp"
+
+namespace lbist {
+
+/// Returns true when the candidate design still exhibits the failure being
+/// minimized.  Must be deterministic.  Exceptions thrown by the predicate
+/// are treated as "does not fail" (the candidate is rejected).
+using StillFails = std::function<bool(const Dfg&, const Schedule&)>;
+
+/// A minimized reproducer.
+struct MinimizeResult {
+  Dfg dfg;
+  Schedule schedule;
+  std::size_t initial_ops = 0;
+  std::size_t final_ops = 0;
+  int predicate_calls = 0;
+};
+
+/// Shrinks `dfg` while `still_fails` holds.  The input design itself must
+/// satisfy the predicate (throws lbist::Error otherwise, so a minimizer
+/// bug cannot silently "minimize" a passing design).
+[[nodiscard]] MinimizeResult minimize_dfg(const Dfg& dfg,
+                                          const Schedule& sched,
+                                          const StillFails& still_fails);
+
+}  // namespace lbist

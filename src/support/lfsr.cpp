@@ -57,7 +57,10 @@ Lfsr::Lfsr(int width, std::uint32_t seed)
       mask_(width_mask(width)),
       taps_(primitive_taps(width)),
       state_(seed & mask_) {
-  LBIST_CHECK(state_ != 0, "LFSR seed must be non-zero");
+  LBIST_CHECK(state_ != 0,
+              "LFSR seed must be non-zero in the low " +
+                  std::to_string(width) +
+                  " bits (the all-zero state locks up the sequence)");
 }
 
 std::uint32_t Lfsr::step() {

@@ -23,7 +23,10 @@ namespace lbist {
 /// This is the TPG mode of a BILBO register.
 class Lfsr {
  public:
-  /// `seed` must be non-zero in the low `width` bits (all-zero locks up).
+  /// `seed` must be non-zero in the low `width` bits: an all-zero state is
+  /// the lock-up state of a maximal-length LFSR (it never leaves it, so a
+  /// TPG seeded with it would emit constant zero patterns forever).
+  /// Throws lbist::Error on an all-zero effective seed.
   Lfsr(int width, std::uint32_t seed);
 
   /// Current parallel output (the register contents).

@@ -1,0 +1,295 @@
+// Tests for the differential fuzzing harness (src/fuzz/): corpus format
+// round-trips, oracle cleanliness and determinism, the delta-debugging
+// minimizer, and the mutation self-test (a deliberately broken binding must
+// be caught and shrunk to a tiny reproducer).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dfg/benchmarks.hpp"
+#include "dfg/random_dfg.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/fuzz.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/oracle.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+namespace {
+
+// ---- Corpus format ------------------------------------------------------
+
+CorpusEntry entry_from_benchmark(const Benchmark& bench) {
+  CorpusEntry entry;
+  entry.width = 4;
+  entry.oracle = "none";
+  entry.note = "built-in benchmark";
+  entry.design = ParsedDfg{bench.design.dfg, bench.design.schedule};
+  return entry;
+}
+
+TEST(Corpus, DumpParsesBackExactly) {
+  CorpusEntry entry = entry_from_benchmark(make_ex1());
+  entry.seed = 42;
+  const std::string text = dump_corpus(entry);
+  const CorpusEntry back = parse_corpus(text);
+  EXPECT_EQ(back.seed, 42u);
+  EXPECT_EQ(back.width, 4);
+  EXPECT_EQ(back.oracle, "none");
+  EXPECT_EQ(back.note, "built-in benchmark");
+  EXPECT_EQ(dump_corpus(back), text);  // parse -> dump is the identity
+}
+
+TEST(Corpus, RejectsMissingMagicAndBadDirectives) {
+  EXPECT_THROW(parse_corpus("dfg x\ninput a b\nop a1 + a b -> c @1\n"
+                            "output c\n"),
+               Error);
+  CorpusEntry entry = entry_from_benchmark(make_ex1());
+  std::string text = dump_corpus(entry);
+  EXPECT_THROW(parse_corpus("#! frobnicate 3\n" + text), Error);
+  EXPECT_THROW(parse_corpus("#! width 99\n" + text), Error);
+}
+
+TEST(Corpus, RejectsUnscheduledBody) {
+  EXPECT_THROW(parse_corpus("#! lowbist-fuzz corpus v1\n"
+                            "dfg x\ninput a b\nop a1 + a b -> c\noutput c\n"),
+               Error);
+}
+
+class CorpusSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorpusSeeds, GeneratedDesignsRoundTripExactly) {
+  const FuzzCase fc = make_fuzz_case(GetParam(), 0, 4, true);
+  CorpusEntry entry;
+  entry.seed = fc.case_seed;
+  entry.width = fc.width;
+  entry.design = ParsedDfg{fc.design.dfg, fc.design.schedule};
+  const std::string text = dump_corpus(entry);
+  const CorpusEntry back = parse_corpus(text);
+  EXPECT_EQ(dump_corpus(back), text);
+  EXPECT_EQ(back.design.dfg.num_ops(), fc.design.dfg.num_ops());
+  EXPECT_EQ(back.design.dfg.loop_ties().size(),
+            fc.design.dfg.loop_ties().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusSeeds,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// ---- Generator shapes ---------------------------------------------------
+
+TEST(FuzzCaseGen, DeterministicPerSeed) {
+  const FuzzCase a = make_fuzz_case(123, 7, 4, true);
+  const FuzzCase b = make_fuzz_case(123, 7, 4, true);
+  EXPECT_EQ(print_dfg(a.design.dfg, &a.design.schedule),
+            print_dfg(b.design.dfg, &b.design.schedule));
+  EXPECT_EQ(a.width, b.width);
+  const FuzzCase c = make_fuzz_case(123, 8, 4, true);
+  EXPECT_NE(print_dfg(a.design.dfg, &a.design.schedule),
+            print_dfg(c.design.dfg, &c.design.schedule));
+}
+
+TEST(FuzzCaseGen, CoversShapeFamilies) {
+  // Across a modest window the generator must exercise loop ties, chains
+  // (via chain_probability) and several widths.
+  bool saw_ties = false, saw_chain = false;
+  std::set<int> widths;
+  for (int i = 0; i < 64; ++i) {
+    const FuzzCase fc = make_fuzz_case(99, i, 4, true);
+    saw_ties |= !fc.design.dfg.loop_ties().empty();
+    saw_chain |= fc.gen.chain_probability > 0.0;
+    widths.insert(fc.width);
+  }
+  EXPECT_TRUE(saw_ties);
+  EXPECT_TRUE(saw_chain);
+  EXPECT_GE(widths.size(), 3u);
+}
+
+TEST(RandomDfgKnobs, ChainShapeMakesDeepSingleOpSteps) {
+  RandomDfgOptions opts;
+  opts.seed = 5;
+  opts.num_steps = 8;
+  opts.ops_per_step = 1;
+  opts.chain_probability = 1.0;
+  opts.reuse_probability = 1.0;
+  const RandomDfg rd = make_random_dfg(opts);
+  // With full chain bias every op past the first consumes the previous
+  // op's result.
+  for (std::size_t i = 1; i < static_cast<std::size_t>(opts.num_steps);
+       ++i) {
+    const auto& op = rd.dfg.ops()[i];
+    const auto& prev = rd.dfg.ops()[i - 1];
+    EXPECT_TRUE(op.lhs == prev.result || op.rhs == prev.result)
+        << "op " << i << " does not extend the chain";
+  }
+}
+
+TEST(RandomDfgKnobs, LoopTiesAreValidForTheLoopBinder) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomDfgOptions opts;
+    opts.seed = seed;
+    opts.loop_ties = 2;
+    const RandomDfg rd = make_random_dfg(opts);
+    for (const auto& [carried, init] : rd.dfg.loop_ties()) {
+      EXPECT_TRUE(rd.dfg.var(carried).is_output);
+      EXPECT_TRUE(rd.dfg.var(init).is_input());
+      // Non-overlap: every read of init happens no later than the step
+      // that writes carried.
+      const int def_step = rd.schedule.step(rd.dfg.var(carried).def);
+      for (OpId use : rd.dfg.var(init).uses) {
+        EXPECT_LE(rd.schedule.step(use), def_step);
+      }
+    }
+  }
+}
+
+// ---- Oracles ------------------------------------------------------------
+
+TEST(Oracles, CleanOnPaperBenchmarks) {
+  for (const Benchmark& bench :
+       {make_ex1(), make_ex2(), make_tseng1(), make_paulin()}) {
+    OracleOptions oo;
+    const OracleVerdict verdict = run_oracles(
+        bench.design.dfg, *bench.design.schedule, oo);
+    for (const auto& f : verdict.failures) {
+      ADD_FAILURE() << bench.name << ": " << f.oracle << ": " << f.detail;
+    }
+  }
+}
+
+TEST(Oracles, DigestIsDeterministic) {
+  const FuzzCase fc = make_fuzz_case(7, 3, 4, true);
+  OracleOptions oo;
+  oo.width = fc.width;
+  oo.stimulus_seed = fc.case_seed;
+  const auto a = run_oracles(fc.design.dfg, fc.design.schedule, oo);
+  const auto b = run_oracles(fc.design.dfg, fc.design.schedule, oo);
+  EXPECT_TRUE(a.ok());
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(Oracles, InjectedBindingBugIsCaught) {
+  // A two-input design always has a register conflict to corrupt.
+  const auto parsed = parse_dfg(R"(
+dfg tiny
+input a b
+op add1 + a b -> c @1
+output c
+)");
+  OracleOptions oo;
+  oo.inject_binding_bug = true;
+  const auto verdict = run_oracles(parsed.dfg, *parsed.schedule, oo);
+  EXPECT_TRUE(verdict.failed("binding-valid:trad"));
+  OracleOptions clean;
+  EXPECT_TRUE(run_oracles(parsed.dfg, *parsed.schedule, clean).ok());
+}
+
+// ---- Minimizer ----------------------------------------------------------
+
+TEST(Minimizer, ShrinksToThePredicateCore) {
+  // Failure model: "the design contains a division" — minimal reproducer
+  // is a single div op.
+  RandomDfgOptions opts;
+  opts.seed = 11;
+  opts.num_steps = 6;
+  opts.ops_per_step = 3;
+  opts.kinds = {OpKind::Add, OpKind::Mul, OpKind::Div, OpKind::Sub};
+  const RandomDfg rd = make_random_dfg(opts);
+  auto has_div = [](const Dfg& d, const Schedule&) {
+    for (const auto& op : d.ops()) {
+      if (op.kind == OpKind::Div) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(has_div(rd.dfg, rd.schedule)) << "seed produced no div";
+  const MinimizeResult min = minimize_dfg(rd.dfg, rd.schedule, has_div);
+  EXPECT_EQ(min.final_ops, 1u);
+  EXPECT_EQ(min.dfg.ops()[0].kind, OpKind::Div);
+  EXPECT_TRUE(has_div(min.dfg, min.schedule));
+  min.dfg.validate();
+}
+
+TEST(Minimizer, RefusesAPassingDesign) {
+  const auto parsed = parse_dfg(R"(
+dfg ok
+input a b
+op add1 + a b -> c @1
+output c
+)");
+  auto never = [](const Dfg&, const Schedule&) { return false; };
+  EXPECT_THROW((void)minimize_dfg(parsed.dfg, *parsed.schedule, never),
+               Error);
+}
+
+TEST(Minimizer, OutputStillFailsOriginalOracle) {
+  // End-to-end self-test property: minimize a real oracle failure (the
+  // injected binding bug) and check the minimized design still fails the
+  // same oracle.
+  const FuzzCase fc = make_fuzz_case(31, 1, 4, false);
+  OracleOptions oo;
+  oo.width = fc.width;
+  oo.inject_binding_bug = true;
+  const auto verdict = run_oracles(fc.design.dfg, fc.design.schedule, oo);
+  ASSERT_FALSE(verdict.ok());
+  const std::string oracle = verdict.failures.front().oracle;
+  auto still_fails = [&](const Dfg& d, const Schedule& s) {
+    return run_oracles(d, s, oo).failed(oracle);
+  };
+  const MinimizeResult min =
+      minimize_dfg(fc.design.dfg, fc.design.schedule, still_fails);
+  EXPECT_LE(min.final_ops, 8u);
+  EXPECT_TRUE(still_fails(min.dfg, min.schedule));
+}
+
+// ---- Driver -------------------------------------------------------------
+
+TEST(FuzzDriver, CleanAndDeterministicAcrossJobCounts) {
+  FuzzOptions fo;
+  fo.seed = 2026;
+  fo.cases = 40;
+  fo.jobs = 1;
+  const FuzzSummary a = run_fuzz(fo);
+  EXPECT_EQ(a.cases, 40);
+  EXPECT_EQ(a.failures, 0);
+  fo.jobs = 4;
+  const FuzzSummary b = run_fuzz(fo);
+  EXPECT_EQ(b.digest, a.digest);
+  EXPECT_EQ(b.failures, 0);
+  fo.seed = 2027;
+  fo.jobs = 1;
+  const FuzzSummary c = run_fuzz(fo);
+  EXPECT_NE(c.digest, a.digest) << "digest ignores the seed";
+}
+
+TEST(FuzzDriver, MutationSelfTestCatchesAndMinimizes) {
+  FuzzOptions fo;
+  fo.seed = 5;
+  fo.cases = 12;
+  fo.jobs = 2;
+  fo.inject_binding_bug = true;
+  fo.max_reports = 4;
+  const FuzzSummary summary = run_fuzz(fo);
+  ASSERT_GT(summary.failures, 0);
+  ASSERT_FALSE(summary.reports.empty());
+  for (const auto& r : summary.reports) {
+    EXPECT_EQ(r.oracle, "binding-valid:trad");
+    EXPECT_LE(r.minimized_ops, 8u);
+    // The written reproducer replays: clean normally, failing under the
+    // injection flag (the corrupted binding is the bug being modeled).
+    const CorpusEntry entry = parse_corpus(r.corpus_text);
+    EXPECT_EQ(entry.oracle, r.oracle);
+    EXPECT_TRUE(replay_corpus_entry(entry, /*inject_binding_bug=*/true)
+                    .failed(r.oracle));
+    EXPECT_TRUE(replay_corpus_entry(entry).ok());
+  }
+}
+
+TEST(FuzzDriver, ReplaysBenchmarkCorpusClean) {
+  CorpusEntry entry = entry_from_benchmark(make_tseng1());
+  const std::string text = dump_corpus(entry);
+  const OracleVerdict verdict = replay_corpus_entry(parse_corpus(text));
+  EXPECT_TRUE(verdict.ok());
+}
+
+}  // namespace
+}  // namespace lbist

@@ -37,6 +37,26 @@ TEST_P(LfsrWidths, VisitsEveryNonZeroState) {
   EXPECT_EQ(seen.count(0), 0u);
 }
 
+TEST(LfsrSeed, RejectsAllZeroSeed) {
+  // The all-zero state is the lock-up state: a TPG seeded with it would
+  // generate constant zero patterns forever, wedging the self-test.
+  EXPECT_THROW(Lfsr(4, 0), Error);
+  EXPECT_THROW(Lfsr(32, 0), Error);
+}
+
+TEST(LfsrSeed, RejectsSeedThatMasksToZero) {
+  // Non-zero seed whose low `width` bits are zero is just as dead.
+  EXPECT_THROW(Lfsr(4, 0xF0), Error);
+  EXPECT_THROW(Lfsr(8, 0x100), Error);
+  // ...while any seed with a low bit set is fine.
+  EXPECT_NO_THROW(Lfsr(4, 0xF1));
+}
+
+TEST(LfsrSeed, CbilboRejectsZeroGeneratorSeed) {
+  EXPECT_THROW(Cbilbo(8, 0), Error);
+  EXPECT_NO_THROW(Cbilbo(8, 1));  // zero signature seed is fine (MISR)
+}
+
 INSTANTIATE_TEST_SUITE_P(SmallWidths, LfsrWidths,
                          ::testing::Values(2, 3, 4, 5, 6, 7, 8, 10, 12, 16));
 

@@ -30,6 +30,14 @@
 //   lowbist client <host:port> <jobs.jsonl|->
 //       Send a job manifest to a running server and print one response
 //       line per job.
+//   lowbist fuzz [--seed N] [--cases N] [-j N] [--width N] [--fixed-width]
+//                [--out DIR] [--no-minimize] [--max-reports N]
+//                [--progress N]
+//       Differential fuzzing: random scheduled DFGs through every binder,
+//       checked against simulation/Lemma-2/area/report oracles; failures
+//       are delta-debugged to minimal corpus reproducers (docs/fuzzing.md).
+//   lowbist fuzz --replay <file.corpus>
+//       Re-judge one corpus reproducer with the same oracles.
 //
 // Common options:
 //   --modules SPEC     module assignment, e.g. "1+,2*" or "1+,3[-*/&|]"
@@ -70,6 +78,7 @@
 #include "core/synthesizer.hpp"
 #include "dfg/benchmarks.hpp"
 #include "dfg/optimize.hpp"
+#include "fuzz/fuzz.hpp"
 #include "graph/conflict.hpp"
 #include "rtl/controller.hpp"
 #include "rtl/simulate.hpp"
@@ -116,6 +125,16 @@ struct CliOptions {
   int port = 0;
   std::size_t max_queue = 64;
   int deadline_ms = 0;
+  // fuzz
+  std::uint64_t fuzz_seed = 1;
+  int fuzz_cases = 1000;
+  bool fuzz_fixed_width = false;
+  bool fuzz_no_minimize = false;
+  int fuzz_max_reports = 10;
+  int fuzz_progress = 0;
+  std::optional<std::string> fuzz_out;
+  std::optional<std::string> fuzz_replay;
+  bool fuzz_inject_binding_bug = false;  // hidden mutation self-test
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -134,7 +153,11 @@ struct CliOptions {
       "                [--cache N]            (\"-\" reads stdin)\n"
       "  lowbist serve [--port P] [-j N] [--cache N] [--max-queue N]\n"
       "                [--deadline-ms N]\n"
-      "  lowbist client <host:port> <jobs.jsonl|->\n";
+      "  lowbist client <host:port> <jobs.jsonl|->\n"
+      "  lowbist fuzz [--seed N] [--cases N] [-j N] [--width N]\n"
+      "               [--fixed-width] [--out DIR] [--no-minimize]\n"
+      "               [--max-reports N] [--progress N]\n"
+      "  lowbist fuzz --replay <file.corpus>\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -236,6 +259,39 @@ CliOptions parse_args(int argc, char** argv) {
       const int n = need_int(flag);
       if (n < 0) usage("flag --deadline-ms needs a non-negative value");
       opts.deadline_ms = n;
+    } else if (flag == "--seed") {
+      const std::string v = need_value(flag);
+      try {
+        std::size_t used = 0;
+        opts.fuzz_seed = std::stoull(v, &used);
+        if (used != v.size()) throw std::invalid_argument(v);
+      } catch (const std::exception&) {
+        usage("flag --seed needs an unsigned integer, got: " + v);
+      }
+    } else if (flag == "--cases") {
+      const int n = need_int(flag);
+      if (n < 1) usage("flag --cases needs a positive count");
+      opts.fuzz_cases = n;
+    } else if (flag == "--fixed-width") {
+      opts.fuzz_fixed_width = true;
+    } else if (flag == "--no-minimize") {
+      opts.fuzz_no_minimize = true;
+    } else if (flag == "--max-reports") {
+      const int n = need_int(flag);
+      if (n < 0) usage("flag --max-reports needs a non-negative count");
+      opts.fuzz_max_reports = n;
+    } else if (flag == "--progress") {
+      const int n = need_int(flag);
+      if (n < 0) usage("flag --progress needs a non-negative interval");
+      opts.fuzz_progress = n;
+    } else if (flag == "--out") {
+      opts.fuzz_out = need_value(flag);
+    } else if (flag == "--replay") {
+      opts.fuzz_replay = need_value(flag);
+    } else if (flag == "--inject-binding-bug") {
+      // Intentionally undocumented: the fuzzing self-test (CI asserts the
+      // harness catches and minimizes a deliberately broken binding).
+      opts.fuzz_inject_binding_bug = true;
     } else if (flag == "--help" || flag == "-h") {
       usage();
     } else {
@@ -543,6 +599,55 @@ int cmd_client(const CliOptions& cli) {
   return summary.ok > 0 || summary.responses == 0 ? 0 : 1;
 }
 
+int cmd_fuzz(const CliOptions& cli) {
+  if (cli.fuzz_replay.has_value()) {
+    std::ifstream in(*cli.fuzz_replay);
+    if (!in) throw Error("cannot open corpus file: " + *cli.fuzz_replay);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const CorpusEntry entry = parse_corpus(buf.str());
+    const OracleVerdict verdict =
+        replay_corpus_entry(entry, cli.fuzz_inject_binding_bug);
+    if (verdict.ok()) {
+      std::cout << "replay: all oracles clean (" << entry.design.dfg.num_ops()
+                << " ops, width " << entry.width << ")\n";
+      if (entry.oracle != "none") {
+        std::cout << "note: recorded failure '" << entry.oracle
+                  << "' did NOT reproduce\n";
+      }
+      return 0;
+    }
+    for (const auto& f : verdict.failures) {
+      std::cout << "replay: " << f.oracle << " FAILED: " << f.detail << "\n";
+    }
+    return 1;
+  }
+
+  FuzzOptions fo;
+  fo.seed = cli.fuzz_seed;
+  fo.cases = cli.fuzz_cases;
+  fo.jobs = cli.jobs;
+  fo.width = cli.width;
+  fo.vary_width = !cli.fuzz_fixed_width;
+  fo.minimize = !cli.fuzz_no_minimize;
+  fo.max_reports = cli.fuzz_max_reports;
+  fo.progress_interval = cli.fuzz_progress;
+  fo.inject_binding_bug = cli.fuzz_inject_binding_bug;
+  if (cli.fuzz_out.has_value()) fo.corpus_dir = *cli.fuzz_out;
+
+  const FuzzSummary summary = run_fuzz(fo, &std::cerr);
+  std::cout << "fuzz: " << summary.cases << " cases, " << summary.failures
+            << " failing, digest 0x" << std::hex << summary.digest
+            << std::dec << "\n";
+  for (const auto& r : summary.reports) {
+    std::cout << "  case " << r.case_index << " seed " << r.case_seed << ": "
+              << r.oracle << " (" << r.original_ops << " -> "
+              << r.minimized_ops << " ops)"
+              << (r.corpus_path.empty() ? "" : " " + r.corpus_path) << "\n";
+  }
+  return summary.ok() ? 0 : 1;
+}
+
 int cmd_bench(const CliOptions& cli) {
   Benchmark bench = builtin_benchmark(cli.target);
   std::cout << "# module spec: " << bench.module_spec << "\n"
@@ -564,6 +669,7 @@ int main(int argc, char** argv) {
     if (cli.command == "batch") return cmd_batch(cli);
     if (cli.command == "serve") return cmd_serve(cli);
     if (cli.command == "client") return cmd_client(cli);
+    if (cli.command == "fuzz") return cmd_fuzz(cli);
     usage("unknown command: " + cli.command);
   } catch (const lbist::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
