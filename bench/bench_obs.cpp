@@ -1,0 +1,75 @@
+// Observability overhead: one full BIST-aware synthesis of paulin (the
+// largest built-in benchmark) with the instrumentation in every state it
+// can be in.  The contract under test (docs/observability.md): the
+// disabled path — a null recorder/sink pointer, which is what every
+// un-instrumented run uses — must be indistinguishable from the baseline
+// (<2% median latency), because it costs one predictable branch per site.
+//
+//   BM_SynthBaseline        opts.trace/events left null (the default)
+//   BM_SynthTraceDisabled   recorder attached but not enabled
+//   BM_SynthTraceEnabled    spans recorded (the price of a flamegraph)
+//   BM_SynthEventsCounters  counters-only event sink (what `serve` runs)
+//   BM_SynthEventsKept      full event retention (--trace-events)
+
+#include <benchmark/benchmark.h>
+
+#include "core/synthesizer.hpp"
+#include "dfg/benchmarks.hpp"
+#include "obs/events.hpp"
+#include "obs/trace.hpp"
+#include "service/metrics.hpp"
+
+namespace {
+
+using namespace lbist;
+
+void run_once(benchmark::State& state, TraceRecorder* trace,
+              AlgorithmEvents* events) {
+  auto bench = make_paulin();
+  const auto protos = parse_module_spec(bench.module_spec);
+  SynthesisOptions opts;
+  opts.binder = BinderKind::BistAware;
+  opts.trace = trace;
+  opts.events = events;
+  for (auto _ : state) {
+    auto result = Synthesizer(opts).run(bench.design.dfg,
+                                        *bench.design.schedule, protos);
+    benchmark::DoNotOptimize(result.bist.extra_area);
+  }
+}
+
+void BM_SynthBaseline(benchmark::State& state) {
+  run_once(state, nullptr, nullptr);
+}
+BENCHMARK(BM_SynthBaseline)->Unit(benchmark::kMicrosecond);
+
+void BM_SynthTraceDisabled(benchmark::State& state) {
+  TraceRecorder rec;  // attached but disabled: the always-compiled-in path
+  run_once(state, &rec, nullptr);
+}
+BENCHMARK(BM_SynthTraceDisabled)->Unit(benchmark::kMicrosecond);
+
+void BM_SynthTraceEnabled(benchmark::State& state) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  run_once(state, &rec, nullptr);
+  state.counters["spans"] = static_cast<double>(rec.event_count());
+}
+BENCHMARK(BM_SynthTraceEnabled)->Unit(benchmark::kMicrosecond);
+
+void BM_SynthEventsCounters(benchmark::State& state) {
+  MetricsRegistry metrics;
+  AlgorithmEvents events(&metrics, /*keep_events=*/false);
+  run_once(state, nullptr, &events);
+}
+BENCHMARK(BM_SynthEventsCounters)->Unit(benchmark::kMicrosecond);
+
+void BM_SynthEventsKept(benchmark::State& state) {
+  AlgorithmEvents events(nullptr, /*keep_events=*/true);
+  run_once(state, nullptr, &events);
+}
+BENCHMARK(BM_SynthEventsKept)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "server/net.hpp"
 #include "server/server.hpp"
 #include "support/table.hpp"
@@ -133,5 +134,35 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cache.misses));
   }
   std::printf("%s\n", table.str().c_str());
+
+  // Tracing overhead at 4 connections, cold cache each time: a recorder
+  // that is attached but disabled must cost nothing measurable; enabled,
+  // every request records a span tree (docs/observability.md).
+  lbist::TextTable trace_table({"tracing", "requests", "seconds", "req/s",
+                                "p50 ms", "p95 ms", "p99 ms", "spans"});
+  trace_table.set_title("tracing overhead (4 connections, cold cache)");
+  for (const bool enabled : {false, true}) {
+    lbist::TraceRecorder rec;
+    rec.set_enabled(enabled);
+    lbist::ServerOptions opts;
+    opts.jobs = 0;
+    opts.max_queue = 256;
+    opts.trace = &rec;
+    lbist::Server server(std::move(opts));
+    server.start();
+    const RunStats stats = run_scenario(server, 4, requests_per_conn);
+    server.stop();
+    const auto n = static_cast<double>(stats.latencies_ms.size());
+    trace_table.add_row(
+        {enabled ? "enabled" : "disabled",
+         std::to_string(stats.latencies_ms.size()),
+         lbist::fmt_double(stats.seconds, 3),
+         lbist::fmt_double(n / stats.seconds, 1),
+         lbist::fmt_double(percentile(stats.latencies_ms, 0.50), 3),
+         lbist::fmt_double(percentile(stats.latencies_ms, 0.95), 3),
+         lbist::fmt_double(percentile(stats.latencies_ms, 0.99), 3),
+         std::to_string(rec.event_count())});
+  }
+  std::printf("%s\n", trace_table.str().c_str());
   return 0;
 }

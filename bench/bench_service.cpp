@@ -12,7 +12,10 @@
 #include <sstream>
 #include <string>
 
+#include "obs/events.hpp"
+#include "obs/trace.hpp"
 #include "service/batch.hpp"
+#include "service/metrics.hpp"
 
 namespace {
 
@@ -77,6 +80,54 @@ void BM_BatchWarmCache(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BatchWarmCache)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Tracing overhead on the same cold-cache manifest (compare against
+// BM_BatchColdCache at the same -j): "disabled" is a recorder that is
+// attached but off — the state every un-traced run pays for — and must
+// stay within noise; "enabled" records per-job + per-phase spans and a
+// counters-only decision-event sink (docs/observability.md).
+void BM_BatchTraceDisabled(benchmark::State& state) {
+  const auto entries = parse_manifest(hundred_job_manifest());
+  TraceRecorder rec;  // not enabled
+  for (auto _ : state) {
+    BatchOptions opts;
+    opts.jobs = static_cast<int>(state.range(0));
+    opts.trace = &rec;
+    std::ostringstream out;
+    const auto summary = run_batch(entries, opts, out);
+    benchmark::DoNotOptimize(summary.ok);
+  }
+  state.counters["jobs/sec"] = benchmark::Counter(
+      static_cast<double>(entries.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchTraceDisabled)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchTraceEnabled(benchmark::State& state) {
+  const auto entries = parse_manifest(hundred_job_manifest());
+  for (auto _ : state) {
+    TraceRecorder rec;
+    rec.set_enabled(true);
+    MetricsRegistry metrics;
+    AlgorithmEvents events(&metrics, /*keep_events=*/false);
+    BatchOptions opts;
+    opts.jobs = static_cast<int>(state.range(0));
+    opts.trace = &rec;
+    opts.events = &events;
+    std::ostringstream out;
+    const auto summary = run_batch(entries, opts, out);
+    benchmark::DoNotOptimize(summary.ok);
+    benchmark::DoNotOptimize(rec.event_count());
+  }
+  state.counters["jobs/sec"] = benchmark::Counter(
+      static_cast<double>(entries.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchTraceEnabled)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "binding/cbilbo_check.hpp"
 #include "binding/sharing.hpp"
 #include "graph/chordal.hpp"
+#include "obs/events.hpp"
 #include "support/check.hpp"
 
 namespace lbist {
@@ -49,7 +50,8 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
                                           const VarConflictGraph& cg,
                                           const ModuleBinding& mb,
                                           const BistBinderOptions& opts,
-                                          std::vector<std::string>* trace) {
+                                          std::vector<std::string>* trace,
+                                          AlgorithmEvents* events) {
   const std::size_t n = cg.graph.num_vertices();
   SharingAnalysis sa(dfg, mb);
   const std::size_t m = sa.num_modules();
@@ -74,6 +76,13 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
                          if (sda != sdb) return sda < sdb;
                          return mcs[a] < mcs[b];
                        });
+      if (events != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t v = by_priority[i];
+          events->pves_rank(dfg.var(cg.vars[v]).name, sa.sd(cg.vars[v]),
+                            mcs[v], i);
+        }
+      }
     }
     for (std::size_t i = 0; i < n; ++i) rank[by_priority[i]] = i;
   }
@@ -135,6 +144,11 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
       assign(v, regs.size() - 1);
       say("assign " + dfg.var(var).name + " -> R" +
           std::to_string(regs.size()) + " (new register)");
+      if (events != nullptr) {
+        events->assign(dfg.var(var).name, regs.size() - 1,
+                       SharingAnalysis::sd_of(vmask),
+                       /*new_register=*/true, {});
+      }
       continue;
     }
 
@@ -178,6 +192,7 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
       if (opts.case_overrides) {
         // Candidate overrides per Cases 1 and 2 of Section III.A.2.
         std::vector<std::size_t> candidates;
+        std::vector<std::size_t> case1_cands;
         const int threshold = sd_with_v(r_i);
         // Case 1: v is an output variable of module j and some feasible
         // register already holds an output variable of j with
@@ -188,6 +203,7 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
             if (r == r_i) continue;
             if (regs[r].share_mask.test(m + j) && sd_now(r) > threshold) {
               candidates.push_back(r);
+              case1_cands.push_back(r);
             }
           }
         }
@@ -221,6 +237,13 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
             say("case override: " + dfg.var(var).name + " prefers R" +
                 std::to_string(chosen + 1) + " over R" +
                 std::to_string(r_i + 1));
+            if (events != nullptr) {
+              const bool from_case1 =
+                  std::find(case1_cands.begin(), case1_cands.end(), chosen) !=
+                  case1_cands.end();
+              events->case_override(from_case1 ? 1 : 2, dfg.var(var).name,
+                                    r_i, chosen);
+            }
           }
         }
       }
@@ -237,7 +260,11 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
         masks[r] = saved;
         return count;
       };
-      if (forced_with(chosen) > baseline) {
+      const bool would_force = forced_with(chosen) > baseline;
+      if (events != nullptr) {
+        events->cbilbo_checked(dfg.var(var).name, chosen, would_force);
+      }
+      if (would_force) {
         std::vector<std::size_t> ordered = feasible;
         std::sort(ordered.begin(), ordered.end(),
                   [&](std::size_t a, std::size_t b) { return better(a, b); });
@@ -247,6 +274,9 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
             say("CBILBO avoidance: " + dfg.var(var).name + " moved to R" +
                 std::to_string(r + 1) + " (R" + std::to_string(chosen + 1) +
                 " would force a CBILBO)");
+            if (events != nullptr) {
+              events->cbilbo_avoided(dfg.var(var).name, chosen, r);
+            }
             chosen = r;
             break;
           }
@@ -260,6 +290,24 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
     assign(v, chosen);
     say("assign " + dfg.var(var).name + " -> R" + std::to_string(chosen + 1) +
         " (dSD=" + std::to_string(gained) + ")");
+    if (events != nullptr) {
+      std::vector<SdCandidate> cands;
+      cands.reserve(feasible.size());
+      for (std::size_t r : feasible) {
+        cands.push_back(SdCandidate{r, delta_sd(r)});
+      }
+      events->assign(dfg.var(var).name, chosen, gained,
+                     /*new_register=*/false, cands);
+    }
+  }
+
+  // Report the CBILBOs the final binding could not avoid (Lemma 2 on the
+  // finished register contents) so cbilbo.forced mirrors what the BIST
+  // allocator will be confronted with.
+  if (events != nullptr) {
+    for (const ForcedCbilbo& f : forced_cbilbos(mb, reg_masks())) {
+      events->cbilbo_forced(f.reg.index(), f.module.index(), f.lemma_case);
+    }
   }
 
   // --- materialize ----------------------------------------------------------

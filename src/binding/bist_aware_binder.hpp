@@ -37,6 +37,8 @@
 
 namespace lbist {
 
+class AlgorithmEvents;  // obs/events.hpp
+
 /// Feature switches (all on = the paper's algorithm).
 struct BistBinderOptions {
   bool sd_ordered_pves = true;
@@ -46,11 +48,14 @@ struct BistBinderOptions {
 };
 
 /// Binds registers maximizing test-resource sharing and avoiding forced
-/// CBILBOs.  Appends a human-readable decision log to `*trace` if non-null.
+/// CBILBOs.  Appends a human-readable decision log to `*trace` if non-null,
+/// and emits typed decision events (PVES order, ΔSD candidate sets, Case
+/// 1/2 overrides, Lemma-2 checks) to `*events` if non-null.
 /// Throws lbist::Error if the conflict graph is not chordal.
 [[nodiscard]] RegisterBinding bind_registers_bist_aware(
     const Dfg& dfg, const VarConflictGraph& cg, const ModuleBinding& mb,
     const BistBinderOptions& opts = {},
-    std::vector<std::string>* trace = nullptr);
+    std::vector<std::string>* trace = nullptr,
+    AlgorithmEvents* events = nullptr);
 
 }  // namespace lbist

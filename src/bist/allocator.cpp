@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "bist/sessions.hpp"
+#include "obs/events.hpp"
 #include "support/check.hpp"
 
 namespace lbist {
@@ -117,6 +118,19 @@ std::string BistSolution::describe(const Datapath& dp) const {
   return os.str();
 }
 
+namespace {
+
+/// Reports the final per-register role assignment (modified registers only).
+void emit_role_events(AlgorithmEvents* events,
+                      const std::vector<BistRole>& roles) {
+  if (events == nullptr) return;
+  for (std::size_t r = 0; r < roles.size(); ++r) {
+    if (roles[r] != BistRole::None) events->bist_role(r, to_string(roles[r]));
+  }
+}
+
+}  // namespace
+
 BistSolution BistAllocator::solve(const Datapath& dp) const {
   const std::size_t nregs = dp.registers.size();
 
@@ -157,7 +171,10 @@ BistSolution BistAllocator::solve(const Datapath& dp) const {
             next.push_back(Entry{std::move(s), p, e});
             // Bail out *during* construction — a single level can exhaust
             // memory long before it completes on large designs.
-            if (next.size() > max_frontier) return solve_greedy(dp);
+            if (next.size() > max_frontier) {
+              if (events != nullptr) events->bist_greedy_fallback();
+              return solve_greedy(dp);
+            }
           }
         }
       }
@@ -194,7 +211,11 @@ BistSolution BistAllocator::solve(const Datapath& dp) const {
     return sol;
   };
 
-  if (!minimize_sessions) return reconstruct(best);
+  if (!minimize_sessions) {
+    BistSolution sol = reconstruct(best);
+    emit_role_events(events, sol.roles);
+    return sol;
+  }
 
   // Among cost-optimal states, pick the solution with the fewest test
   // sessions (total test time).
@@ -213,6 +234,7 @@ BistSolution BistAllocator::solve(const Datapath& dp) const {
       best_sol = std::move(candidate);
     }
   }
+  emit_role_events(events, best_sol.roles);
   return best_sol;
 }
 
@@ -248,6 +270,7 @@ BistSolution BistAllocator::solve_greedy(const Datapath& dp) const {
   }
   sol.roles = roles_of(state);
   sol.extra_area = std::get<0>(cost_of(state, model_));
+  emit_role_events(events, sol.roles);
   return sol;
 }
 

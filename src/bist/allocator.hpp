@@ -24,6 +24,8 @@
 
 namespace lbist {
 
+class AlgorithmEvents;  // obs/events.hpp
+
 /// Per-role counts of a solution (the columns of Tables II and III).
 struct RoleCounts {
   int tpg = 0;
@@ -82,6 +84,10 @@ class BistAllocator {
   /// sessions (shorter total test time).  Evaluates the session count of
   /// every area-optimal final state, so leave off for very large designs.
   bool minimize_sessions = false;
+
+  /// If non-null, receives per-register role assignments and greedy-fallback
+  /// notifications (obs/events.hpp).  Borrowed, not owned.
+  AlgorithmEvents* events = nullptr;
 
  private:
   AreaModel model_;

@@ -4,6 +4,7 @@
 #include <future>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "service/thread_pool.hpp"
 #include "support/table.hpp"
 
@@ -25,10 +26,17 @@ const char* binder_name(BinderKind kind) {
 DesignPoint synthesize_point(const Dfg& dfg, const Schedule& sched,
                              const std::vector<ModuleProto>& protos,
                              const std::string& label, BinderKind binder,
-                             const AreaModel& model) {
+                             const ExplorerOptions& eopts) {
+  auto span = trace_span(eopts.trace, "point");
+  if (span.active()) {
+    span.arg("label", label);
+    span.arg("binder", binder_name(binder));
+  }
   SynthesisOptions opts;
   opts.binder = binder;
-  opts.area = model;
+  opts.area = eopts.area;
+  opts.trace = eopts.trace;
+  opts.events = eopts.events;
   SynthesisResult result = Synthesizer(opts).run(dfg, sched, protos);
 
   DesignPoint point;
@@ -77,7 +85,7 @@ std::vector<DesignPoint> explore_module_specs(
         const std::string& spec = specs[i / per_spec];
         const BinderKind binder = opts.binders[i % per_spec];
         const auto protos = parse_module_spec(spec);
-        return synthesize_point(dfg, sched, protos, spec, binder, opts.area);
+        return synthesize_point(dfg, sched, protos, spec, binder, opts);
       });
 }
 
@@ -99,7 +107,7 @@ std::vector<DesignPoint> explore_resource_budgets(
         }
         label << " @" << sched.num_steps();
         return synthesize_point(dfg, sched, protos, label.str(), binder,
-                                opts.area);
+                                opts);
       });
 }
 

@@ -40,6 +40,11 @@ struct ExplorerOptions {
   /// concurrency.  Results are returned in deterministic input order
   /// (spec-major, binder-minor) regardless of the thread count.
   int jobs = 1;
+  /// Optional observability (obs/): every point's pipeline runs under a
+  /// "point" span and feeds decision events.  Both sinks are thread-safe,
+  /// so they work with jobs != 1.  Borrowed, not owned.
+  TraceRecorder* trace = nullptr;
+  AlgorithmEvents* events = nullptr;
 };
 
 /// Explores a *scheduled* design across module specs (each spec string is

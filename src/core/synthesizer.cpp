@@ -8,6 +8,7 @@
 #include "binding/loop_binder.hpp"
 #include "binding/traditional_binder.hpp"
 #include "graph/conflict.hpp"
+#include "obs/trace.hpp"
 
 namespace lbist {
 
@@ -15,47 +16,80 @@ SynthesisResult Synthesizer::run(const Dfg& dfg, const Schedule& sched,
                                  const std::vector<ModuleProto>& protos)
     const {
   SynthesisResult result;
-  result.modules = ModuleBinding::bind(dfg, sched, protos);
-  result.lifetimes = compute_lifetimes(dfg, sched, opts_.lifetime);
-  const VarConflictGraph cg = build_conflict_graph(dfg, result.lifetimes);
-
-  switch (opts_.binder) {
-    case BinderKind::Traditional:
-      result.registers = bind_registers_traditional(dfg, cg, result.lifetimes);
-      break;
-    case BinderKind::BistAware:
-      result.registers = bind_registers_bist_aware(dfg, cg, result.modules,
-                                                   opts_.bist_binder);
-      break;
-    case BinderKind::Ralloc:
-      result.registers = bind_registers_ralloc(dfg, cg, result.modules);
-      break;
-    case BinderKind::Syntest:
-      result.registers = bind_registers_syntest(dfg, cg, result.modules);
-      break;
-    case BinderKind::CliquePartition:
-      result.registers = bind_registers_clique(dfg, cg, result.modules);
-      break;
-    case BinderKind::LoopAware:
-      result.registers = bind_registers_loop_aware(dfg, result.lifetimes);
-      break;
+  {
+    // "sched" covers the schedule-derived analyses: module binding,
+    // lifetimes, conflict-graph construction (the schedule itself arrives
+    // precomputed).
+    auto span = trace_span(opts_.trace, "sched");
+    if (span.active()) span.arg("design", dfg.name());
+    result.modules = ModuleBinding::bind(dfg, sched, protos);
+    result.lifetimes = compute_lifetimes(dfg, sched, opts_.lifetime);
   }
-  result.registers.validate(dfg, result.lifetimes);
+  const VarConflictGraph cg = [&] {
+    auto span = trace_span(opts_.trace, "conflict_graph");
+    return build_conflict_graph(dfg, result.lifetimes);
+  }();
 
-  result.datapath = build_datapath(dfg, result.modules, result.registers,
-                                   opts_.interconnect);
+  {
+    auto span = trace_span(opts_.trace, "binding");
+    switch (opts_.binder) {
+      case BinderKind::Traditional:
+        result.registers =
+            bind_registers_traditional(dfg, cg, result.lifetimes);
+        break;
+      case BinderKind::BistAware:
+        result.registers = bind_registers_bist_aware(
+            dfg, cg, result.modules, opts_.bist_binder, nullptr,
+            opts_.events);
+        break;
+      case BinderKind::Ralloc:
+        result.registers = bind_registers_ralloc(dfg, cg, result.modules);
+        break;
+      case BinderKind::Syntest:
+        result.registers = bind_registers_syntest(dfg, cg, result.modules);
+        break;
+      case BinderKind::CliquePartition:
+        result.registers = bind_registers_clique(dfg, cg, result.modules);
+        break;
+      case BinderKind::LoopAware:
+        result.registers = bind_registers_loop_aware(dfg, result.lifetimes);
+        break;
+    }
+    result.registers.validate(dfg, result.lifetimes);
+    if (span.active()) {
+      span.arg("registers",
+               static_cast<std::uint64_t>(result.registers.num_regs()));
+    }
+  }
 
-  switch (opts_.binder) {
-    case BinderKind::Ralloc:
-      result.bist = ralloc_bist_labelling(result.datapath, opts_.area);
-      break;
-    case BinderKind::Syntest:
-      result.bist = syntest_bist_labelling(result.datapath, opts_.area);
-      break;
-    default: {
-      const BistAllocator allocator(opts_.area);
-      result.bist = allocator.solve(result.datapath);
-      break;
+  {
+    auto span = trace_span(opts_.trace, "interconnect");
+    result.datapath = build_datapath(dfg, result.modules, result.registers,
+                                     opts_.interconnect, "", opts_.events);
+    if (span.active()) {
+      span.arg("muxes", static_cast<std::uint64_t>(result.datapath.mux_count()));
+    }
+  }
+
+  {
+    auto span = trace_span(opts_.trace, "bist");
+    switch (opts_.binder) {
+      case BinderKind::Ralloc:
+        result.bist = ralloc_bist_labelling(result.datapath, opts_.area);
+        break;
+      case BinderKind::Syntest:
+        result.bist = syntest_bist_labelling(result.datapath, opts_.area);
+        break;
+      default: {
+        BistAllocator allocator(opts_.area);
+        allocator.events = opts_.events;
+        result.bist = allocator.solve(result.datapath);
+        break;
+      }
+    }
+    if (span.active()) {
+      span.arg("extra_area", result.bist.extra_area);
+      span.arg_bool("exact", result.bist.exact);
     }
   }
 

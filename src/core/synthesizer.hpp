@@ -18,6 +18,9 @@
 
 namespace lbist {
 
+class TraceRecorder;   // obs/trace.hpp — pipeline phase spans
+class AlgorithmEvents;  // obs/events.hpp — paper-level decision events
+
 /// Which register-binding strategy the pipeline uses.
 enum class BinderKind {
   Traditional,      ///< left-edge minimum binding, no testability
@@ -30,12 +33,18 @@ enum class BinderKind {
 };
 
 /// Pipeline configuration.
+///
+/// The observability pointers are borrowed (caller keeps ownership, must
+/// outlive the run) and deliberately excluded from synthesis_cache_key():
+/// they do not change what is synthesized, only what is recorded about it.
 struct SynthesisOptions {
   BinderKind binder = BinderKind::BistAware;
   BistBinderOptions bist_binder{};
   InterconnectOptions interconnect{};
   LifetimeOptions lifetime{};
   AreaModel area{};
+  TraceRecorder* trace = nullptr;    ///< phase spans (sched/binding/...)
+  AlgorithmEvents* events = nullptr;  ///< decision events + counters
 };
 
 /// Everything the pipeline produced, with the headline metrics.

@@ -11,6 +11,7 @@
 #include "dfg/lifetime.hpp"
 #include "graph/coloring.hpp"
 #include "graph/conflict.hpp"
+#include "obs/events.hpp"
 #include "rtl/controller.hpp"
 #include "rtl/ipath.hpp"
 #include "rtl/simulate.hpp"
@@ -123,12 +124,17 @@ class OracleRun {
     SynthesisOptions so;
     so.binder = kind;
     so.area.bit_width = opts_.width;
+    // The bist arm runs with the decision-event stream on so the
+    // events-cbilbo oracle can cross-check it against cbilbo_check.
+    AlgorithmEvents events(nullptr, /*keep_events=*/true);
+    if (kind == BinderKind::BistAware) so.events = &events;
     try {
       SynthesisResult result = Synthesizer(so).run(dfg_, sched_, protos_);
       check_binding(arm, kind, so, result);
       check_simulation(arm, kind, so, result);
       check_area(arm, so, result);
       if (kind == BinderKind::BistAware) check_report(result);
+      if (kind == BinderKind::BistAware) check_events(events, result);
       if (kind == BinderKind::Traditional && opts_.check_lemma2) {
         check_lemma2(result);
       }
@@ -253,6 +259,37 @@ class OracleRun {
     expect_num("functional_area", result.functional_area);
     expect_num("bist_extra_area", result.bist.extra_area);
     expect_num("bist_overhead_percent", result.overhead_percent);
+  }
+
+  /// The binder's emitted cbilbo_forced event stream agrees with an
+  /// independent Lemma-2 evaluation of the finished binding (the binder
+  /// derives its events from register *masks* mid-run; cbilbo_check's
+  /// dfg/rb overload rederives everything from the materialized binding —
+  /// the two must name the same forced modules).
+  void check_events(const AlgorithmEvents& events,
+                    const SynthesisResult& result) {
+    const auto independent =
+        forced_cbilbos(dfg_, result.modules, result.registers);
+    std::vector<std::size_t> reported;
+    for (const AlgorithmEvent& ev : events.snapshot()) {
+      if (ev.kind != "cbilbo_forced") continue;
+      reported.push_back(
+          static_cast<std::size_t>(ev.detail.at("module").as_int()));
+    }
+    std::vector<std::size_t> expected;
+    expected.reserve(independent.size());
+    for (const ForcedCbilbo& f : independent) {
+      expected.push_back(f.module.index());
+    }
+    std::sort(reported.begin(), reported.end());
+    std::sort(expected.begin(), expected.end());
+    if (reported != expected) {
+      fail("events-cbilbo",
+           "binder emitted " + std::to_string(reported.size()) +
+               " cbilbo_forced events, independent Lemma-2 check finds " +
+               std::to_string(expected.size()));
+    }
+    digest_ = mix(digest_, events.count("cbilbo_forced"));
   }
 
   /// Lemma 2 agrees with brute force over every embedding (the paper's

@@ -4,13 +4,15 @@
 
 #include "binding/sharing.hpp"
 #include "interconnect/port_assign.hpp"
+#include "obs/events.hpp"
 #include "support/check.hpp"
 
 namespace lbist {
 
 Datapath build_datapath(const Dfg& dfg, const ModuleBinding& mb,
                         const RegisterBinding& rb,
-                        const InterconnectOptions& opts, std::string name) {
+                        const InterconnectOptions& opts, std::string name,
+                        AlgorithmEvents* events) {
   Datapath dp;
   dp.name = name.empty() ? dfg.name() : std::move(name);
   dp.num_allocated = rb.num_regs();
@@ -106,6 +108,7 @@ Datapath build_datapath(const Dfg& dfg, const ModuleBinding& mb,
         if (pa.side[r] == PortSide::Right) agreement -= side_bias[r];
       }
       if (agreement < 0) {
+        if (events != nullptr) events->port_flip(mod.name);
         for (auto& s : pa.side) {
           if (s == PortSide::Left) {
             s = PortSide::Right;
@@ -140,8 +143,12 @@ Datapath build_datapath(const Dfg& dfg, const ModuleBinding& mb,
 
       const std::size_t to_left = lhs_to_left ? lr : rr;
       const std::size_t to_right = lhs_to_left ? rr : lr;
-      mod.left_sources.insert(to_left);
-      mod.right_sources.insert(to_right);
+      const bool left_merged = !mod.left_sources.insert(to_left).second;
+      const bool right_merged = !mod.right_sources.insert(to_right).second;
+      if (events != nullptr) {
+        events->mux_input(mod.name, to_left, 'L', left_merged);
+        events->mux_input(mod.name, to_right, 'R', right_merged);
+      }
       dp.routes[op.id] = {OperandRoute{lr, lhs_to_left},
                           OperandRoute{rr, !lhs_to_left}};
 

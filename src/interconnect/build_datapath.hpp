@@ -15,6 +15,8 @@
 
 namespace lbist {
 
+class AlgorithmEvents;  // obs/events.hpp
+
 /// Options for interconnect assignment.
 struct InterconnectOptions {
   /// Weight IR^LR promotion by register sharing degree (Section IV); turn
@@ -23,10 +25,13 @@ struct InterconnectOptions {
 };
 
 /// Builds the complete data path.  Port-resident primary inputs get
-/// dedicated input registers appended after the allocated ones.
+/// dedicated input registers appended after the allocated ones.  Mux-input
+/// insertions/merges and commutative port flips are reported to `*events`
+/// if non-null.
 [[nodiscard]] Datapath build_datapath(const Dfg& dfg, const ModuleBinding& mb,
                                       const RegisterBinding& rb,
                                       const InterconnectOptions& opts = {},
-                                      std::string name = "");
+                                      std::string name = "",
+                                      AlgorithmEvents* events = nullptr);
 
 }  // namespace lbist

@@ -1,0 +1,142 @@
+#include "obs/prom.hpp"
+
+#include <cstdio>
+
+namespace lbist {
+
+namespace {
+
+bool name_char_ok(char c, bool first) {
+  const bool alpha =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  if (first) return alpha;
+  return alpha || (c >= '0' && c <= '9');
+}
+
+std::string fmt_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+/// `name{labels}` (or bare name), with an optional extra label appended
+/// (used for quantile series).
+std::string series(const std::string& name, const PromLabels& labels,
+                   const char* extra_key = nullptr,
+                   const char* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prom_metric_name(k) + "=\"" + prom_escape_label_value(v) + "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += std::string(extra_key) + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+void emit_header(std::string& out, const std::string& name,
+                 const std::string& raw, const char* type) {
+  out += "# HELP " + name + " lowbist registry instrument " + raw + "\n";
+  out += "# TYPE " + name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string prom_metric_name(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    out += name_char_ok(raw[i], i == 0) ? raw[i] : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string prom_escape_label_value(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_exposition(const Json& registry_dump,
+                                  const std::string& ns,
+                                  const PromLabels& labels) {
+  const std::string prefix = ns.empty() ? "" : prom_metric_name(ns) + "_";
+  std::string out;
+
+  if (const Json* ts = registry_dump.find("snapshot_unix_ms");
+      ts != nullptr && ts->is_number()) {
+    const std::string name = prefix + "snapshot_unix_ms";
+    emit_header(out, name, "snapshot_unix_ms", "gauge");
+    out += series(name, labels) + " " + fmt_value(ts->as_number()) + "\n";
+  }
+
+  if (const Json* counters = registry_dump.find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const std::string& raw : counters->keys()) {
+      const std::string name = prefix + prom_metric_name(raw);
+      emit_header(out, name, raw, "counter");
+      out += series(name, labels) + " " +
+             fmt_value(counters->at(raw).as_number()) + "\n";
+    }
+  }
+
+  if (const Json* gauges = registry_dump.find("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    for (const std::string& raw : gauges->keys()) {
+      const std::string name = prefix + prom_metric_name(raw);
+      emit_header(out, name, raw, "gauge");
+      out += series(name, labels) + " " +
+             fmt_value(gauges->at(raw).as_number()) + "\n";
+    }
+  }
+
+  if (const Json* hists = registry_dump.find("histograms");
+      hists != nullptr && hists->is_object()) {
+    for (const std::string& raw : hists->keys()) {
+      const Json& h = hists->at(raw);
+      const std::string name = prefix + prom_metric_name(raw);
+      const double count = h.at("count").as_number();
+      const double mean = h.at("mean").as_number();
+      emit_header(out, name, raw, "summary");
+      out += series(name, labels, "quantile", "0.5") + " " +
+             fmt_value(h.at("p50").as_number()) + "\n";
+      out += series(name, labels, "quantile", "0.95") + " " +
+             fmt_value(h.at("p95").as_number()) + "\n";
+      out += series(name, labels, "quantile", "0.99") + " " +
+             fmt_value(h.at("p99").as_number()) + "\n";
+      out += series(name + "_sum", labels) + " " + fmt_value(mean * count) +
+             "\n";
+      out += series(name + "_count", labels) + " " + fmt_value(count) + "\n";
+      for (const char* bound : {"min", "max"}) {
+        const std::string gname = name + "_" + bound;
+        emit_header(out, gname, raw + " " + bound, "gauge");
+        out += series(gname, labels) + " " +
+               fmt_value(h.at(bound).as_number()) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_exposition(const MetricsRegistry& reg,
+                                  const std::string& ns,
+                                  const PromLabels& labels) {
+  return prometheus_exposition(reg.to_json(), ns, labels);
+}
+
+}  // namespace lbist

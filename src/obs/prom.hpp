@@ -1,0 +1,50 @@
+#pragma once
+// Prometheus text-format exposition (version 0.0.4: `# HELP`/`# TYPE`
+// lines) generated from a MetricsRegistry — either live, or from the JSON
+// dump `MetricsRegistry::to_json()` writes (so `lowbist metrics --prom`
+// can convert an offline dump and the server can serve a live scrape via
+// the {"type":"prometheus"} control request).
+//
+// Mapping:
+//   counters    -> `counter`  (name sanitized, e.g. binding.case1_overrides
+//                  becomes lowbist_binding_case1_overrides)
+//   gauges      -> `gauge`
+//   histograms  -> `summary` with quantile="0.5|0.95|0.99" series plus
+//                  _sum/_count, and _min/_max emitted as gauges
+//   snapshot_unix_ms -> lowbist_snapshot_unix_ms gauge (scrape alignment)
+//
+// `labels` are attached to every series; values are escaped per the
+// exposition format (backslash, double quote, newline).
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "service/metrics.hpp"
+#include "support/json.hpp"
+
+namespace lbist {
+
+/// Label set applied to every emitted series, in order.
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Sanitizes a registry instrument name into a Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with every other character mapped to '_'.
+[[nodiscard]] std::string prom_metric_name(std::string_view raw);
+
+/// Escapes a label value: \ -> \\, " -> \", newline -> \n.
+[[nodiscard]] std::string prom_escape_label_value(std::string_view raw);
+
+/// Renders a `MetricsRegistry::to_json()` dump.  `ns` prefixes every
+/// metric name ("lowbist" -> lowbist_jobs_ok).
+[[nodiscard]] std::string prometheus_exposition(const Json& registry_dump,
+                                                const std::string& ns = "lowbist",
+                                                const PromLabels& labels = {});
+
+/// Live-registry convenience overload (snapshots, then renders).
+[[nodiscard]] std::string prometheus_exposition(const MetricsRegistry& reg,
+                                                const std::string& ns = "lowbist",
+                                                const PromLabels& labels = {});
+
+}  // namespace lbist

@@ -1,0 +1,237 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+namespace lbist {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+
+/// JSON string escaping for names / string args.
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out += buf;
+}
+
+/// Microseconds with nanosecond precision, as Chrome's `ts`/`dur` expect.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+/// Per-thread event buffer.  Shared ownership: the owning thread's TLS slot
+/// and the recorder both hold a reference, so neither thread exit nor
+/// recorder export can race on a freed buffer.
+struct TraceRecorder::ThreadBuf {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+TraceRecorder::TraceRecorder()
+    : recorder_id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceRecorder::ThreadBuf* TraceRecorder::local_buf() {
+  // Cache keyed by recorder id, not address: a dead recorder's id is never
+  // reused, so a recycled allocation cannot alias a stale cache entry.
+  struct TlsSlot {
+    std::uint64_t recorder_id;
+    std::shared_ptr<ThreadBuf> buf;
+  };
+  thread_local std::vector<TlsSlot> slots;
+  for (const TlsSlot& s : slots) {
+    if (s.recorder_id == recorder_id_) return s.buf.get();
+  }
+  auto buf = std::make_shared<ThreadBuf>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buf->tid = next_tid_++;
+    bufs_.push_back(buf);
+  }
+  slots.push_back(TlsSlot{recorder_id_, buf});
+  return buf.get();
+}
+
+void TraceRecorder::record(std::string name, std::string args,
+                           std::uint64_t start_ns, std::uint64_t dur_ns) {
+  ThreadBuf* buf = local_buf();
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.args_json = std::move(args);
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.tid = buf->tid;
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bufs = bufs_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    events.insert(events.end(), buf->events.begin(), buf->events.end());
+  }
+  // Deterministic merge: by start time, enclosing (longer) spans first on
+  // ties so parents precede children, then thread and name.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.name < b.name;
+            });
+  return events;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bufs = bufs_;
+  }
+  std::size_t n = 0;
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bufs = bufs_;
+  }
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+void TraceRecorder::write_jsonl(std::ostream& os) const {
+  for (const TraceEvent& ev : snapshot()) {
+    std::string line = "{\"name\":";
+    append_escaped(line, ev.name);
+    line += ",\"tid\":";
+    append_number(line, ev.tid);
+    line += ",\"ts_us\":";
+    append_us(line, ev.start_ns);
+    line += ",\"dur_us\":";
+    append_us(line, ev.dur_ns);
+    if (!ev.args_json.empty()) {
+      line += ",\"args\":{" + ev.args_json + "}";
+    }
+    line += "}";
+    os << line << "\n";
+  }
+}
+
+void TraceRecorder::write_chrome(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : snapshot()) {
+    std::string line = first ? "\n" : ",\n";
+    first = false;
+    line += "{\"name\":";
+    append_escaped(line, ev.name);
+    line += ",\"cat\":\"lowbist\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    append_number(line, ev.tid);
+    line += ",\"ts\":";
+    append_us(line, ev.start_ns);
+    line += ",\"dur\":";
+    append_us(line, ev.dur_ns);
+    line += ",\"args\":{" + ev.args_json + "}}";
+    os << line;
+  }
+  os << "\n]}\n";
+}
+
+TraceRecorder::Span::Span(TraceRecorder* rec, const char* name)
+    : rec_(rec), name_(name), start_ns_(rec->now_ns()) {}
+
+void TraceRecorder::Span::arg(std::string_view key, std::string_view value) {
+  if (rec_ == nullptr) return;
+  if (!args_.empty()) args_ += ',';
+  append_escaped(args_, key);
+  args_ += ':';
+  append_escaped(args_, value);
+}
+
+void TraceRecorder::Span::arg(std::string_view key, double value) {
+  if (rec_ == nullptr) return;
+  if (!args_.empty()) args_ += ',';
+  append_escaped(args_, key);
+  args_ += ':';
+  append_number(args_, value);
+}
+
+void TraceRecorder::Span::arg(std::string_view key, std::uint64_t value) {
+  arg(key, static_cast<double>(value));
+}
+
+void TraceRecorder::Span::arg_bool(std::string_view key, bool value) {
+  if (rec_ == nullptr) return;
+  if (!args_.empty()) args_ += ',';
+  append_escaped(args_, key);
+  args_ += value ? ":true" : ":false";
+}
+
+void TraceRecorder::Span::finish() {
+  if (rec_ == nullptr) return;
+  TraceRecorder* rec = rec_;
+  rec_ = nullptr;
+  const std::uint64_t end_ns = rec->now_ns();
+  rec->record(std::move(name_), std::move(args_), start_ns_,
+              end_ns - start_ns_);
+}
+
+}  // namespace lbist

@@ -1,0 +1,168 @@
+#pragma once
+// Low-overhead pipeline tracing: a thread-safe TraceRecorder with RAII
+// Span scopes, exportable as JSONL or as Chrome `trace_event` JSON that
+// chrome://tracing and Perfetto load directly (flamegraphs for free).
+//
+// Design constraints (see docs/observability.md):
+//
+//  * The disabled path costs one branch and zero allocations: trace_span()
+//    checks the recorder pointer / enabled flag before constructing
+//    anything, and a default-constructed Span is inert.  Instrumentation
+//    can therefore stay compiled in everywhere, always.
+//  * Spans record on the calling thread into a per-thread buffer (one
+//    uncontended mutex each); buffers are merged and deterministically
+//    sorted only at export time, so concurrent workers never serialize on
+//    a shared event log.
+//  * Timestamps come from std::chrono::steady_clock, as nanoseconds since
+//    the recorder's construction, so traces are monotone and immune to
+//    wall-clock steps.
+//
+// Typical use:
+//
+//   TraceRecorder rec;
+//   rec.set_enabled(true);
+//   {
+//     auto s = trace_span(&rec, "binding");
+//     if (s.active()) s.arg("binder", "bist");
+//     ...
+//   }
+//   std::ofstream out("t.json");
+//   rec.write_chrome(out);
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbist {
+
+/// One completed span, in recorder-relative time.
+struct TraceEvent {
+  std::string name;
+  std::string args_json;   ///< "" or the members of a JSON object (no {})
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< recorder-assigned thread ordinal
+};
+
+/// Thread-safe span recorder.  References stay valid for the recorder's
+/// lifetime; per-thread buffers outlive their threads (shared ownership),
+/// so export after a worker pool retired is safe.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Runtime switch.  Spans opened while disabled record nothing even if
+  /// the recorder is enabled before they close.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// RAII scope: records one TraceEvent on destruction (or finish()).
+  /// Default-constructed / disabled spans are inert and allocation-free.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        finish();
+        rec_ = other.rec_;
+        name_ = std::move(other.name_);
+        args_ = std::move(other.args_);
+        start_ns_ = other.start_ns_;
+        other.rec_ = nullptr;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { finish(); }
+
+    /// True when this span will record (recorder enabled at open).  Use to
+    /// guard argument construction that would itself allocate.
+    [[nodiscard]] bool active() const { return rec_ != nullptr; }
+
+    /// Attaches "key":"value" / "key":number to the span's args object.
+    /// No-ops (and does not allocate) when inactive.
+    void arg(std::string_view key, std::string_view value);
+    void arg(std::string_view key, double value);
+    void arg(std::string_view key, std::uint64_t value);
+    void arg_bool(std::string_view key, bool value);
+
+    /// Records the event now; subsequent finish()/destruction is a no-op.
+    void finish();
+
+   private:
+    friend class TraceRecorder;
+    Span(TraceRecorder* rec, const char* name);
+
+    TraceRecorder* rec_ = nullptr;
+    std::string name_;
+    std::string args_;
+    std::uint64_t start_ns_ = 0;
+  };
+
+  /// Opens a span.  When the recorder is disabled this returns an inert
+  /// span without allocating.
+  [[nodiscard]] Span span(const char* name) {
+    if (!enabled()) return Span{};
+    return Span{this, name};
+  }
+
+  /// All recorded events, merged across threads and sorted by
+  /// (start, -duration, tid, name) — parents before their children, and
+  /// deterministic for a given set of events.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Number of recorded events (cheaper than snapshot().size()).
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Discards every recorded event (buffers stay registered).
+  void clear();
+
+  /// One JSON object per line: {"name","tid","ts_us","dur_us"[,"args"]}.
+  void write_jsonl(std::ostream& os) const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}) with complete ("X")
+  /// events; loads in chrome://tracing and ui.perfetto.dev.
+  void write_chrome(std::ostream& os) const;
+
+ private:
+  struct ThreadBuf;
+
+  [[nodiscard]] std::uint64_t now_ns() const;
+  ThreadBuf* local_buf();
+  void record(std::string name, std::string args, std::uint64_t start_ns,
+              std::uint64_t dur_ns);
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t recorder_id_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;  // guards bufs_ registration/enumeration
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  std::uint32_t next_tid_ = 0;
+};
+
+/// The single-branch instrumentation entry point: null or disabled
+/// recorders cost one predictable branch and no work at all.
+[[nodiscard]] inline TraceRecorder::Span trace_span(TraceRecorder* rec,
+                                                    const char* name) {
+  if (rec == nullptr || !rec->enabled()) return TraceRecorder::Span{};
+  return rec->span(name);
+}
+
+}  // namespace lbist

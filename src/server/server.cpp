@@ -10,6 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/prom.hpp"
+#include "obs/trace.hpp"
+
 namespace lbist {
 
 namespace {
@@ -54,7 +57,9 @@ struct Server::Conn {
 };
 
 Server::Server(ServerOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cache_capacity) {
+    : opts_(std::move(opts)),
+      events_(&metrics_, opts_.keep_events),
+      cache_(opts_.cache_capacity) {
   if (opts_.max_queue == 0) opts_.max_queue = 1;
 }
 
@@ -235,6 +240,17 @@ bool Server::handle_control(Conn* conn, const std::string& line) {
         .set("workers", Json::number(pool_->size()));
   } else if (type == "metrics") {
     reply.set("status", Json::string("ok")).set("metrics", metrics_json());
+  } else if (type == "prometheus") {
+    // Text exposition of the registry; cache statistics are mirrored into
+    // gauges first so one scrape carries everything.
+    const SynthesisCache::Stats cs = cache_.stats();
+    metrics_.gauge("cache.hits").set(static_cast<double>(cs.hits));
+    metrics_.gauge("cache.misses").set(static_cast<double>(cs.misses));
+    metrics_.gauge("cache.evictions").set(static_cast<double>(cs.evictions));
+    metrics_.gauge("cache.size").set(static_cast<double>(cs.size));
+    metrics_.gauge("cache.capacity").set(static_cast<double>(cs.capacity));
+    reply.set("status", Json::string("ok"))
+        .set("body", Json::string(prometheus_exposition(metrics_)));
   } else {
     reply.set("status", Json::string("error"))
         .set("error", Json::string("unknown request type: " + type));
@@ -288,11 +304,18 @@ void Server::submit_job(Conn* conn, ManifestEntry entry, std::size_t index,
           status = "deadline";
         } else {
           if (opts_.test_hold) opts_.test_hold();
-          JobOutcome outcome = run_entry(entry, index, cache_, metrics_);
+          auto span = trace_span(opts_.trace, "request");
+          JobOutcome outcome =
+              run_entry(entry, index, cache_, metrics_, opts_.trace, &events_);
           metrics_.counter(outcome.ok ? "requests_ok" : "requests_error")
               .inc();
           status = outcome.ok ? "ok" : "error";
           response = std::move(outcome.line);
+          if (span.active()) {
+            span.arg("name", display_name(entry, index));
+            span.arg("conn", static_cast<std::uint64_t>(conn->id));
+            span.arg("status", status);
+          }
         }
         write_line(conn, response);
         in_flight_.fetch_sub(1, std::memory_order_relaxed);

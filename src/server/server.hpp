@@ -38,6 +38,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/events.hpp"
 #include "server/net.hpp"
 #include "service/batch.hpp"
 #include "service/cache.hpp"
@@ -45,6 +46,8 @@
 #include "service/thread_pool.hpp"
 
 namespace lbist {
+
+class TraceRecorder;  // obs/trace.hpp
 
 struct ServerOptions {
   std::uint16_t port = 0;            ///< 0 = kernel-assigned ephemeral port
@@ -54,6 +57,13 @@ struct ServerOptions {
   int deadline_ms = 0;               ///< per-request queue deadline; 0 = none
   bool handle_signals = false;       ///< SIGINT/SIGTERM → graceful shutdown
   std::ostream* log = nullptr;       ///< structured log lines (e.g. &std::cerr)
+  /// Optional: per-request "request" spans (with nested pipeline phase
+  /// spans) are recorded here.  Borrowed; must outlive the server.
+  TraceRecorder* trace = nullptr;
+  /// Retain decision-event objects (exportable via events().write_jsonl)
+  /// in addition to the always-on counters.  Off by default: a long-lived
+  /// server should not accumulate an unbounded event log.
+  bool keep_events = false;
   /// Test seam: when set, workers invoke this before executing each job
   /// (after the deadline check).  Tests block here to hold workers busy and
   /// exercise admission control and shutdown draining deterministically.
@@ -93,6 +103,8 @@ class Server {
   /// Live instruments (shared with every worker).
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] SynthesisCache& cache() { return cache_; }
+  /// Decision-event sink (counters always; objects iff keep_events).
+  [[nodiscard]] const AlgorithmEvents& events() const { return events_; }
 
  private:
   struct Conn;
@@ -110,6 +122,11 @@ class Server {
 
   ServerOptions opts_;
   MetricsRegistry metrics_;
+  /// Decision-event sink: every synthesis run feeds the binding.* /
+  /// cbilbo.* / interconnect.* / bist.* counters of metrics_ (scraped via
+  /// {"type":"prometheus"}); event objects are retained only when
+  /// opts_.keep_events asks for them.
+  AlgorithmEvents events_;
   SynthesisCache cache_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<net::Listener> listener_;

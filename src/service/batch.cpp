@@ -10,6 +10,8 @@
 #include "core/synthesizer.hpp"
 #include "dfg/benchmarks.hpp"
 #include "dfg/parse.hpp"
+#include "obs/events.hpp"
+#include "obs/trace.hpp"
 #include "sched/list_sched.hpp"
 #include "service/thread_pool.hpp"
 
@@ -63,9 +65,12 @@ std::string hex64(std::uint64_t h) {
 }
 
 /// Synthesizes one job (through the cache) and returns the deterministic
-/// result object.  Throws on any failure.
+/// result object.  Throws on any failure.  `*cache_hit` reports whether the
+/// cache served the request (a hit runs no synthesis, so no phase spans or
+/// decision events are produced for it).
 Json synthesize_job(const BatchJob& job, SynthesisCache& cache,
-                    MetricsRegistry& metrics) {
+                    MetricsRegistry& metrics, TraceRecorder* trace,
+                    AlgorithmEvents* events, bool* cache_hit) {
   std::string spec_hint;
   ParsedDfg design = load_job_design(job, &spec_hint);
   const Schedule sched = design.schedule.has_value()
@@ -78,10 +83,16 @@ Json synthesize_job(const BatchJob& job, SynthesisCache& cache,
   SynthesisOptions opts;
   opts.binder = binder_from_name(job.binder);
   opts.area.bit_width = job.width;
+  opts.trace = trace;
+  opts.events = events;
 
   const std::string key =
       synthesis_cache_key(design.dfg, sched, protos, opts, job.patterns);
-  if (auto cached = cache.get(key)) return *cached;
+  if (auto cached = cache.get(key)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return *cached;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
 
   const auto t0 = std::chrono::steady_clock::now();
   SynthesisResult r = Synthesizer(opts).run(design.dfg, sched, protos);
@@ -168,20 +179,24 @@ ManifestEntry decode_manifest_line(int line_no, const std::string& line) {
 }
 
 JobOutcome run_entry(const ManifestEntry& entry, std::size_t index,
-                     SynthesisCache& cache, MetricsRegistry& metrics) {
+                     SynthesisCache& cache, MetricsRegistry& metrics,
+                     TraceRecorder* trace, AlgorithmEvents* events) {
   const auto t0 = std::chrono::steady_clock::now();
+  auto span = trace_span(trace, "job");
   JobOutcome outcome;
   outcome.line = Json::object()
                      .set("job", Json::number(index))
                      .set("name", Json::string(display_name(entry, index)));
   outcome.ok = true;
+  bool cache_hit = false;
   if (!entry.ok()) {
     outcome.line.set("status", Json::string("error"))
         .set("error", Json::string(entry.error));
     outcome.ok = false;
   } else {
     try {
-      Json result = synthesize_job(entry.job, cache, metrics);
+      Json result =
+          synthesize_job(entry.job, cache, metrics, trace, events, &cache_hit);
       outcome.line.set("status", Json::string("ok"))
           .set("result", std::move(result));
     } catch (const std::exception& e) {
@@ -189,6 +204,12 @@ JobOutcome run_entry(const ManifestEntry& entry, std::size_t index,
           .set("error", Json::string(e.what()));
       outcome.ok = false;
     }
+  }
+  if (span.active()) {
+    span.arg("name", display_name(entry, index));
+    span.arg("job", static_cast<std::uint64_t>(index));
+    span.arg_bool("cache_hit", cache_hit);
+    span.arg_bool("ok", outcome.ok);
   }
   metrics.histogram("job_ms").record(
       std::chrono::duration<double, std::milli>(
@@ -234,7 +255,8 @@ BatchSummary run_batch(const std::vector<ManifestEntry>& entries,
     futures.push_back(pool.submit([&, i]() -> bool {
       metrics.gauge("queue_depth")
           .set(static_cast<double>(pool.queue_depth()));
-      JobOutcome outcome = run_entry(entry, i, cache, metrics);
+      JobOutcome outcome =
+          run_entry(entry, i, cache, metrics, opts.trace, opts.events);
       {
         std::lock_guard<std::mutex> lock(out_mutex);
         out << outcome.line.dump_compact() << "\n";

@@ -32,6 +32,9 @@
 
 namespace lbist {
 
+class TraceRecorder;   // obs/trace.hpp
+class AlgorithmEvents;  // obs/events.hpp
+
 /// One synthesis job, decoded from a manifest line.
 struct BatchJob {
   std::string name;
@@ -77,6 +80,8 @@ struct BatchOptions {
   std::size_t cache_capacity = 256; ///< LRU entries (when no external cache)
   MetricsRegistry* metrics = nullptr;  ///< optional external registry
   SynthesisCache* cache = nullptr;     ///< optional external (pre-warmed) cache
+  TraceRecorder* trace = nullptr;      ///< per-job + per-phase spans
+  AlgorithmEvents* events = nullptr;   ///< paper-level decision events
 };
 
 /// One executed request: the complete result line plus its verdict.
@@ -90,9 +95,15 @@ struct JobOutcome {
 /// throws: failures become deterministic status:"error" lines.  Both the
 /// batch runner and the server route every request through here, so their
 /// result lines are identical for identical requests.
+/// Optional tracing: a non-null `trace` wraps the request in a "job" span
+/// (annotated with the display name and whether the cache served it) with
+/// the pipeline's phase spans nested inside; `events` receives the binder /
+/// interconnect / BIST decision stream of cache-miss synthesis runs.
 [[nodiscard]] JobOutcome run_entry(const ManifestEntry& entry,
                                    std::size_t index, SynthesisCache& cache,
-                                   MetricsRegistry& metrics);
+                                   MetricsRegistry& metrics,
+                                   TraceRecorder* trace = nullptr,
+                                   AlgorithmEvents* events = nullptr);
 
 /// Batch outcome tallies (cache numbers also land in the metrics registry).
 struct BatchSummary {

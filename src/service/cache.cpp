@@ -63,6 +63,10 @@ std::string synthesis_cache_key(const Dfg& dfg, const Schedule& sched,
   append_double(key, opts.area.div_gates_per_bit2);
   append_double(key, opts.area.alu_extra_kind_factor);
   key += "|patterns=" + std::to_string(patterns);
+  // opts.trace / opts.events are deliberately NOT part of the key: they
+  // change what gets recorded about a run, never what is synthesized, so a
+  // traced request may be served from a cache entry produced without
+  // tracing (and vice versa).
   return key;
 }
 

@@ -1,5 +1,7 @@
 #include "service/metrics.hpp"
 
+#include <chrono>
+
 namespace lbist {
 
 namespace {
@@ -13,23 +15,51 @@ double percentile(std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+// splitmix64: tiny, stateless-per-step PRNG; good enough for reservoir
+// slot selection and fully deterministic for a given record() sequence.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
+void Histogram::record(double sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(sample);
+  } else {
+    // Algorithm R: replace a uniformly random slot with probability
+    // capacity/count, keeping the reservoir a uniform sample of the stream.
+    const std::uint64_t slot = splitmix64(rng_state_) % count_;
+    if (slot < capacity_) reservoir_[slot] = sample;
+  }
+}
+
 Histogram::Summary Histogram::summarize() const {
+  Summary s;
   std::vector<double> samples;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    samples = samples_;
+    s.count = count_;
+    if (count_ == 0) return s;
+    s.min = min_;
+    s.max = max_;
+    s.mean = sum_ / static_cast<double>(count_);
+    samples = reservoir_;
   }
-  Summary s;
-  s.count = samples.size();
-  if (samples.empty()) return s;
   std::sort(samples.begin(), samples.end());
-  s.min = samples.front();
-  s.max = samples.back();
-  double sum = 0.0;
-  for (double v : samples) sum += v;
-  s.mean = sum / static_cast<double>(samples.size());
   s.p50 = percentile(samples, 0.50);
   s.p95 = percentile(samples, 0.95);
   s.p99 = percentile(samples, 0.99);
@@ -58,18 +88,44 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 }
 
 Json MetricsRegistry::to_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Collect every instrument's value in one tight pass under the registry
+  // lock before any JSON is built, so a dump never mixes a counter read at
+  // time T with a histogram summarized milliseconds later (writers kept
+  // mutating between the per-section loops of the old implementation).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_vals;
+  std::vector<std::pair<std::string, double>> gauge_vals;
+  std::vector<std::pair<std::string, Histogram::Summary>> hist_vals;
+  double snapshot_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counter_vals.reserve(counters_.size());
+    gauge_vals.reserve(gauges_.size());
+    hist_vals.reserve(histograms_.size());
+    snapshot_ms = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    for (const auto& [name, c] : counters_) {
+      counter_vals.emplace_back(name, c->value());
+    }
+    for (const auto& [name, g] : gauges_) {
+      gauge_vals.emplace_back(name, g->value());
+    }
+    for (const auto& [name, h] : histograms_) {
+      hist_vals.emplace_back(name, h->summarize());
+    }
+  }
+
   Json counters = Json::object();
-  for (const auto& [name, c] : counters_) {
-    counters.set(name, Json::number(static_cast<double>(c->value())));
+  for (const auto& [name, v] : counter_vals) {
+    counters.set(name, Json::number(static_cast<double>(v)));
   }
   Json gauges = Json::object();
-  for (const auto& [name, g] : gauges_) {
-    gauges.set(name, Json::number(g->value()));
+  for (const auto& [name, v] : gauge_vals) {
+    gauges.set(name, Json::number(v));
   }
   Json histograms = Json::object();
-  for (const auto& [name, h] : histograms_) {
-    const Histogram::Summary s = h->summarize();
+  for (const auto& [name, s] : hist_vals) {
     histograms.set(name,
                    Json::object()
                        .set("count", Json::number(static_cast<double>(s.count)))
@@ -81,6 +137,7 @@ Json MetricsRegistry::to_json() const {
                        .set("p99", Json::number(s.p99)));
   }
   return Json::object()
+      .set("snapshot_unix_ms", Json::number(snapshot_ms))
       .set("counters", std::move(counters))
       .set("gauges", std::move(gauges))
       .set("histograms", std::move(histograms));

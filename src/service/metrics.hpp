@@ -43,15 +43,24 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Sample distribution with p50/p95/p99/max summaries (exact — samples are
-/// retained; service batches are at most thousands of jobs, so the memory
-/// cost is trivial next to one synthesis run).
+/// Sample distribution with p50/p95/p99/max summaries.
+///
+/// Memory is bounded: the histogram keeps a fixed-size reservoir
+/// (kDefaultReservoir samples, Vitter's Algorithm R with a deterministic
+/// splitmix64 stream so runs are reproducible).  count/min/max/mean stay
+/// exact regardless of volume — they are maintained as running aggregates.
+/// Percentiles are exact until the reservoir fills; past that point they
+/// are unbiased estimates over a uniform sample of the stream.  Long-lived
+/// deployments (the synthesis server) previously grew without bound here;
+/// the reservoir caps a histogram at ~32 KiB forever.
 class Histogram {
  public:
-  void record(double sample) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    samples_.push_back(sample);
-  }
+  static constexpr std::size_t kDefaultReservoir = 4096;
+
+  explicit Histogram(std::size_t reservoir_capacity = kDefaultReservoir)
+      : capacity_(std::max<std::size_t>(1, reservoir_capacity)) {}
+
+  void record(double sample);
 
   struct Summary {
     std::uint64_t count = 0;
@@ -64,9 +73,21 @@ class Histogram {
   };
   [[nodiscard]] Summary summarize() const;
 
+  /// Number of samples currently held (== min(count, capacity)).
+  [[nodiscard]] std::size_t reservoir_size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reservoir_.size();
+  }
+
  private:
+  const std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::vector<double> samples_;
+  std::vector<double> reservoir_;
+  std::uint64_t count_ = 0;  // total samples ever recorded
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;  // deterministic stream
 };
 
 /// Owns named metrics; references returned by counter()/gauge()/histogram()
@@ -77,8 +98,13 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, min,
-  /// max, mean, p50, p95, p99}}} — keys sorted for stable output.
+  /// {"snapshot_unix_ms": ..., "counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, min, max, mean, p50, p95, p99}}} — keys
+  /// sorted for stable output.  All instruments are read in one pass under
+  /// the registry lock so the dump is a single consistent snapshot
+  /// (instrument values cannot move between the counters section and the
+  /// histograms section of the same dump), and snapshot_unix_ms records
+  /// when that pass happened.
   [[nodiscard]] Json to_json() const;
 
  private:

@@ -1,0 +1,401 @@
+// Observability layer tests: TraceRecorder span semantics, export formats,
+// the decision-event sink, the bounded histogram reservoir and Prometheus
+// exposition — plus one end-to-end check that a real BIST-aware synthesis
+// emits the paper-level events the docs promise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "binding/cbilbo_check.hpp"
+#include "core/synthesizer.hpp"
+#include "dfg/benchmarks.hpp"
+#include "obs/events.hpp"
+#include "obs/prom.hpp"
+#include "obs/trace.hpp"
+#include "service/metrics.hpp"
+#include "support/json.hpp"
+
+// Global allocation counter: the disabled-tracing path promises zero
+// allocations, which we verify by replacing operator new for the whole
+// test binary and measuring the delta around the instrumented region.
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace lbist {
+namespace {
+
+TEST(TraceRecorder, NestedSpansExportParentFirst) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  {
+    auto outer = trace_span(&rec, "outer");
+    ASSERT_TRUE(outer.active());
+    outer.arg("design", "ex1");
+    {
+      auto inner = trace_span(&rec, "inner");
+      inner.arg("registers", std::uint64_t{3});
+    }
+  }
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by (start, -duration): the enclosing span comes first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_GE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+}
+
+TEST(TraceRecorder, DisabledRecorderRecordsNothing) {
+  TraceRecorder rec;  // disabled by default
+  {
+    auto s = trace_span(&rec, "ignored");
+    EXPECT_FALSE(s.active());
+    s.arg("k", "v");  // must be a safe no-op
+    rec.set_enabled(true);  // enabling mid-span must not resurrect it
+  }
+  EXPECT_EQ(rec.event_count(), 0u);
+  auto s2 = trace_span(static_cast<TraceRecorder*>(nullptr), "null");
+  EXPECT_FALSE(s2.active());
+}
+
+TEST(TraceRecorder, DisabledPathDoesNotAllocate) {
+  TraceRecorder rec;  // disabled
+  // Warm up any lazy TLS/stream state outside the measured window.
+  { auto warm = trace_span(&rec, "warm"); }
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    auto a = trace_span(static_cast<TraceRecorder*>(nullptr), "a");
+    auto b = trace_span(&rec, "b");
+    b.arg("key", "value");
+    b.arg("n", std::uint64_t{42});
+    b.arg_bool("flag", true);
+  }
+  EXPECT_EQ(g_news.load(std::memory_order_relaxed), before);
+}
+
+TEST(TraceRecorder, PerThreadBuffersMergeDeterministically) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kSpans; ++i) {
+        auto s = trace_span(&rec, "work");
+        s.arg("thread", static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rec.event_count(),
+            static_cast<std::size_t>(kThreads * kSpans));
+
+  const auto a = rec.snapshot();
+  const auto b = rec.snapshot();  // same events -> identical order
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].tid, b[i].tid);
+    EXPECT_EQ(a[i].start_ns, b[i].start_ns);
+    EXPECT_EQ(a[i].args_json, b[i].args_json);
+  }
+  // Thread ordinals are recorder-assigned and dense.
+  for (const auto& e : a) EXPECT_LT(e.tid, kThreads + 1u);
+}
+
+TEST(TraceRecorder, ChromeExportIsValidTraceEventJson) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  {
+    auto s = trace_span(&rec, "binding");
+    s.arg("binder", "bist");
+    s.arg("registers", std::uint64_t{3});
+  }
+  { auto s = trace_span(&rec, "bist"); }
+  std::ostringstream os;
+  rec.write_chrome(os);
+
+  const Json doc = Json::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  const Json& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.size(), 2u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_TRUE(e.at("name").is_string());
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    EXPECT_TRUE(e.at("pid").is_number());
+    EXPECT_TRUE(e.at("tid").is_number());
+  }
+  // The span args made it through as a JSON object.
+  EXPECT_EQ(events.at(0).at("args").at("binder").as_string(), "bist");
+  EXPECT_EQ(events.at(0).at("args").at("registers").as_number(), 3.0);
+}
+
+TEST(TraceRecorder, JsonlExportIsOneObjectPerLine) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  { auto s = trace_span(&rec, "a"); }
+  { auto s = trace_span(&rec, "b"); }
+  std::ostringstream os;
+  rec.write_jsonl(os);
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const Json obj = Json::parse(line);
+    EXPECT_TRUE(obj.is_object());
+    EXPECT_TRUE(obj.at("name").is_string());
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+
+  rec.clear();
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+TEST(AlgorithmEvents, CountersMirrorWithoutRetainingEvents) {
+  MetricsRegistry metrics;
+  AlgorithmEvents sink(&metrics, /*keep_events=*/false);
+  EXPECT_FALSE(sink.recording());
+
+  sink.pves_rank("x", 1, 2, 0);
+  sink.assign("x", 0, 1, true, {});
+  sink.case_override(1, "x", 0, 1);
+  sink.case_override(2, "y", 1, 0);
+  sink.cbilbo_checked("x", 0, false);
+  sink.cbilbo_avoided("x", 0, 1);
+  sink.cbilbo_forced(0, 1, 2);
+  sink.mux_input("M1", 0, 'L', false);
+  sink.mux_input("M1", 1, 'L', true);
+  sink.port_flip("M1");
+  sink.bist_role(0, "TPG");
+  sink.bist_role(1, "CBILBO");
+  sink.bist_greedy_fallback();
+
+  EXPECT_TRUE(sink.snapshot().empty());  // counters-only mode
+  EXPECT_EQ(sink.count("case_override"), 2u);
+  EXPECT_EQ(sink.count("mux_input"), 1u);
+  EXPECT_EQ(sink.count("mux_merge"), 1u);
+
+  const Json dump = metrics.to_json();
+  const Json& counters = dump.at("counters");
+  EXPECT_EQ(counters.at("binding.case1_overrides").as_number(), 1.0);
+  EXPECT_EQ(counters.at("binding.case2_overrides").as_number(), 1.0);
+  EXPECT_EQ(counters.at("cbilbo.forced").as_number(), 1.0);
+  EXPECT_EQ(counters.at("cbilbo.avoided").as_number(), 1.0);
+  EXPECT_EQ(counters.at("interconnect.mux_merges").as_number(), 1.0);
+  EXPECT_EQ(counters.at("interconnect.port_flips").as_number(), 1.0);
+  EXPECT_EQ(counters.at("bist.roles_tpg").as_number(), 1.0);
+  EXPECT_EQ(counters.at("bist.roles_cbilbo").as_number(), 1.0);
+  EXPECT_EQ(counters.at("bist.greedy_fallbacks").as_number(), 1.0);
+}
+
+TEST(AlgorithmEvents, KeepEventsRetainsTypedDetail) {
+  AlgorithmEvents sink(nullptr, /*keep_events=*/true);
+  sink.assign("v3", 2, 1, false, {{0, 3}, {2, 1}});
+  sink.cbilbo_forced(1, 0, 2);
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, "assign");
+  EXPECT_EQ(events[0].detail.at("var").as_string(), "v3");
+  EXPECT_EQ(events[0].detail.at("candidates").size(), 2u);
+  EXPECT_EQ(events[1].kind, "cbilbo_forced");
+  EXPECT_EQ(events[1].detail.at("lemma_case").as_number(), 2.0);
+
+  std::ostringstream os;
+  sink.write_jsonl(os);
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(Json::parse(line).is_object());
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(Histogram, ReservoirBoundsMemoryButKeepsExactAggregates) {
+  Histogram h;  // default 4096-sample reservoir
+  constexpr int kSamples = 20000;
+  for (int i = 1; i <= kSamples; ++i) h.record(static_cast<double>(i));
+
+  EXPECT_EQ(h.reservoir_size(), Histogram::kDefaultReservoir);
+  const auto s = h.summarize();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kSamples));
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, static_cast<double>(kSamples));
+  EXPECT_DOUBLE_EQ(s.mean, (kSamples + 1) / 2.0);
+  // Percentiles are estimates over a uniform sample: loose sanity bands.
+  EXPECT_GT(s.p50, 0.35 * kSamples);
+  EXPECT_LT(s.p50, 0.65 * kSamples);
+  EXPECT_GT(s.p99, s.p95);
+  EXPECT_GE(s.p95, s.p50);
+}
+
+TEST(Histogram, DeterministicAcrossRuns) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = static_cast<double>((i * 37) % 1001);
+    a.record(v);
+    b.record(v);
+  }
+  const auto sa = a.summarize();
+  const auto sb = b.summarize();
+  EXPECT_EQ(sa.p50, sb.p50);
+  EXPECT_EQ(sa.p95, sb.p95);
+  EXPECT_EQ(sa.p99, sb.p99);
+}
+
+TEST(Histogram, ExactPercentilesBelowCapacity) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const auto s = h.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p95, 95.05, 0.01);
+  EXPECT_NEAR(s.p99, 99.01, 0.01);
+}
+
+TEST(MetricsRegistry, DumpHasSnapshotTimestamp) {
+  MetricsRegistry reg;
+  reg.counter("jobs_ok").inc();
+  const Json dump = reg.to_json();
+  ASSERT_TRUE(dump.is_object());
+  EXPECT_GT(dump.at("snapshot_unix_ms").as_number(), 0.0);
+  EXPECT_EQ(dump.at("counters").at("jobs_ok").as_number(), 1.0);
+}
+
+TEST(Prometheus, MetricNamesAreSanitized) {
+  EXPECT_EQ(prom_metric_name("binding.case1_overrides"),
+            "binding_case1_overrides");
+  EXPECT_EQ(prom_metric_name("job ms/synth"), "job_ms_synth");
+}
+
+TEST(Prometheus, LabelValuesEscapeQuoteBackslashNewline) {
+  EXPECT_EQ(prom_escape_label_value("plain"), "plain");
+  EXPECT_EQ(prom_escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label_value("a\nb"), "a\\nb");
+}
+
+TEST(Prometheus, ExpositionRendersEscapedLabelsOnEverySeries) {
+  MetricsRegistry reg;
+  reg.counter("cbilbo.forced").inc(3);
+  reg.gauge("queue_depth").set(2.0);
+  reg.histogram("job_ms").record(1.5);
+  const std::string text = prometheus_exposition(
+      reg, "lowbist", {{"instance", "node\"1\n"}});
+
+  EXPECT_NE(text.find("# TYPE lowbist_cbilbo_forced counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lowbist_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE lowbist_job_ms summary"), std::string::npos);
+  // The escaped label value is attached to series of every instrument
+  // type, with quote and newline escaped exactly once.
+  const std::string label = "instance=\"node\\\"1\\n\"";
+  EXPECT_NE(text.find("lowbist_cbilbo_forced{" + label + "} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("lowbist_queue_depth{" + label + "}"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("lowbist_job_ms_count{" + label + "} 1"),
+            std::string::npos);
+  // No raw newline may survive inside any line's label section.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.find("node\"1"), std::string::npos) << line;
+  }
+}
+
+TEST(Prometheus, RoundTripsThroughRegistryJsonDump) {
+  MetricsRegistry reg;
+  reg.counter("jobs_ok").inc(7);
+  const std::string live = prometheus_exposition(reg);
+  const std::string offline = prometheus_exposition(reg.to_json());
+  EXPECT_EQ(live, offline);
+}
+
+// End-to-end: a real BIST-aware synthesis run must surface the paper's
+// decision points — and its cbilbo_forced events must agree with an
+// independent Lemma-2 evaluation of the final binding (the same
+// cross-check the fuzzer's events oracle applies).
+TEST(ObsIntegration, Ex1SynthesisEmitsPaperDecisions) {
+  auto bench = make_ex1();
+  const auto protos = parse_module_spec(bench.module_spec);
+
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  MetricsRegistry metrics;
+  AlgorithmEvents events(&metrics, /*keep_events=*/true);
+
+  SynthesisOptions opts;
+  opts.binder = BinderKind::BistAware;
+  opts.trace = &rec;
+  opts.events = &events;
+  const SynthesisResult result = Synthesizer(opts).run(
+      bench.design.dfg, *bench.design.schedule, protos);
+
+  // Pipeline phases all appear as spans.
+  std::vector<std::string> names;
+  for (const auto& e : rec.snapshot()) names.push_back(e.name);
+  for (const char* phase :
+       {"sched", "conflict_graph", "binding", "interconnect", "bist"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), phase), names.end())
+        << "missing span: " << phase;
+  }
+
+  // The paper's decision events fired.
+  EXPECT_GT(events.count("pves_rank"), 0u);
+  EXPECT_GT(events.count("assign"), 0u);
+  EXPECT_GE(events.count("case_override"), 1u);
+  EXPECT_GT(events.count("cbilbo_checked"), 0u);
+  EXPECT_GT(events.count("bist_role"), 0u);
+
+  // cbilbo_forced must match an independent Lemma-2 evaluation.
+  const auto lemma =
+      forced_cbilbos(bench.design.dfg, result.modules, result.registers);
+  EXPECT_EQ(events.count("cbilbo_forced"), lemma.size());
+
+  // And the counter mirror saw the same totals.
+  const Json dump = metrics.to_json();
+  EXPECT_EQ(dump.at("counters").at("binding.assignments").as_number(),
+            static_cast<double>(events.count("assign")));
+}
+
+}  // namespace
+}  // namespace lbist

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by `lowbist --trace`.
+
+Checks (exit 0 = pass, 1 = fail, 2 = usage):
+
+  * the file is valid JSON with a `traceEvents` array;
+  * every event is a complete ("X") event with name/pid/tid/ts/dur;
+  * timestamps and durations are non-negative and finite;
+  * per thread, spans are laminar: any two spans either nest or are
+    disjoint — partial overlap means broken RAII scoping;
+  * (optional) --expect NAME may be repeated; each named span must appear.
+
+Usage:
+  check_trace.py trace.json [--expect sched --expect binding ...]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--expect", action="append", default=[],
+                    help="span name that must appear (repeatable)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing traceEvents array")
+
+    by_tid = {}
+    names = set()
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if key not in e:
+                fail(f"event {i} missing {key!r}: {e}")
+        if e["ph"] != "X":
+            fail(f"event {i} is not a complete event: ph={e['ph']!r}")
+        ts, dur = float(e["ts"]), float(e["dur"])
+        if not (math.isfinite(ts) and math.isfinite(dur)):
+            fail(f"event {i} has non-finite time: ts={ts} dur={dur}")
+        if ts < 0 or dur < 0:
+            fail(f"event {i} has negative time: ts={ts} dur={dur}")
+        if "args" in e and not isinstance(e["args"], dict):
+            fail(f"event {i} args is not an object")
+        names.add(e["name"])
+        by_tid.setdefault(e["tid"], []).append((ts, ts + dur, e["name"]))
+
+    # Laminarity per thread: sort by (start, -end); a span must close
+    # before or with every still-open enclosing span.
+    for tid, spans in by_tid.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for start, end, name in spans:
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                fail(f"tid {tid}: span {name!r} [{start},{end}) partially "
+                     f"overlaps {stack[-1][2]!r} [{stack[-1][0]},"
+                     f"{stack[-1][1]})")
+            stack.append((start, end, name))
+
+    missing = [n for n in args.expect if n not in names]
+    if missing:
+        fail(f"expected span(s) not found: {', '.join(missing)}; "
+             f"saw: {', '.join(sorted(names))}")
+
+    threads = len(by_tid)
+    print(f"check_trace: OK: {len(events)} spans across {threads} "
+          f"thread(s), names: {', '.join(sorted(names))}")
+
+
+if __name__ == "__main__":
+    main()

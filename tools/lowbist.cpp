@@ -38,6 +38,12 @@
 //       are delta-debugged to minimal corpus reproducers (docs/fuzzing.md).
 //   lowbist fuzz --replay <file.corpus>
 //       Re-judge one corpus reproducer with the same oracles.
+//   lowbist explore <design.dfg> [--modules "S1;S2;..."] [--binder K[,K]]
+//       Design-space sweep (module specs for scheduled designs, --fu
+//       resource budgets for unscheduled ones) with a Pareto filter.
+//   lowbist metrics <dump.json|-> [--prom]
+//       Pretty-print a MetricsRegistry dump, or convert it to Prometheus
+//       text exposition with --prom.
 //
 // Common options:
 //   --modules SPEC     module assignment, e.g. "1+,2*" or "1+,3[-*/&|]"
@@ -59,11 +65,19 @@
 //   --ctrl-verilog     emit the functional-mode controller FSM
 //   --coverage N       pick the pattern budget by target coverage (0-1)
 //                      instead of --patterns
-//   --trace            print the binder's decision log
+//   --decisions        print the binder's decision log
+//   --trace FILE       write a Chrome trace_event JSON of the pipeline's
+//                      phase spans (load in chrome://tracing / Perfetto)
+//   --trace-events FILE
+//                      write the algorithm decision-event stream (PVES
+//                      order, ΔSD choices, Case overrides, CBILBO checks,
+//                      mux merges, BIST roles) as JSONL
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -74,11 +88,15 @@
 #include "bist/test_length.hpp"
 #include "bist/test_plan.hpp"
 #include "core/compare.hpp"
+#include "core/explorer.hpp"
 #include "core/report.hpp"
 #include "core/synthesizer.hpp"
 #include "dfg/benchmarks.hpp"
 #include "dfg/optimize.hpp"
 #include "fuzz/fuzz.hpp"
+#include "obs/events.hpp"
+#include "obs/prom.hpp"
+#include "obs/trace.hpp"
 #include "graph/conflict.hpp"
 #include "rtl/controller.hpp"
 #include "rtl/simulate.hpp"
@@ -116,7 +134,11 @@ struct CliOptions {
   bool vcd = false;
   bool ctrl_verilog = false;
   std::optional<double> coverage_target;
-  bool trace = false;
+  bool decisions = false;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> trace_events_path;
+  bool prom = false;
+  bool binder_given = false;
   std::vector<std::string> fu;
   std::optional<int> latency;
   int jobs = 1;
@@ -143,7 +165,8 @@ struct CliOptions {
       "usage:\n"
       "  lowbist synth <design.dfg> [--modules SPEC] [--binder KIND]\n"
       "                [--width N] [--patterns N] [--dot] [--verilog]\n"
-      "                [--plan] [--trace]\n"
+      "                [--plan] [--decisions] [--trace FILE]\n"
+      "                [--trace-events FILE]\n"
       "  lowbist compare <design.dfg> [--modules SPEC] [--width N]\n"
       "  lowbist tables\n"
       "  lowbist bench <ex1|ex2|tseng|paulin>\n"
@@ -157,7 +180,14 @@ struct CliOptions {
       "  lowbist fuzz [--seed N] [--cases N] [-j N] [--width N]\n"
       "               [--fixed-width] [--out DIR] [--no-minimize]\n"
       "               [--max-reports N] [--progress N]\n"
-      "  lowbist fuzz --replay <file.corpus>\n";
+      "  lowbist fuzz --replay <file.corpus>\n"
+      "  lowbist explore <design.dfg> [--modules \"S1;S2\"] [--fu \"1+,1*\"]...\n"
+      "                  [--binder KIND[,KIND]] [-j N] [--width N] [--json]\n"
+      "  lowbist metrics <dump.json|-> [--prom]\n"
+      "\n"
+      "observability (synth, batch, serve, explore):\n"
+      "  --trace FILE         Chrome trace_event JSON of pipeline spans\n"
+      "  --trace-events FILE  algorithm decision events as JSONL\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -169,7 +199,8 @@ CliOptions parse_args(int argc, char** argv) {
   if (opts.command == "synth" || opts.command == "compare" ||
       opts.command == "bench" || opts.command == "schedule" ||
       opts.command == "optimize" || opts.command == "batch" ||
-      opts.command == "client") {
+      opts.command == "client" || opts.command == "explore" ||
+      opts.command == "metrics") {
     if (i >= argc) usage("missing argument for " + opts.command);
     opts.target = argv[i++];
   }
@@ -209,6 +240,7 @@ CliOptions parse_args(int argc, char** argv) {
       opts.modules = need_value(flag);
     } else if (flag == "--binder") {
       opts.binder = need_value(flag);
+      opts.binder_given = true;
     } else if (flag == "--width") {
       opts.width = need_int(flag);
     } else if (flag == "--patterns") {
@@ -237,8 +269,14 @@ CliOptions parse_args(int argc, char** argv) {
       opts.fu.push_back(need_value(flag));
     } else if (flag == "--latency") {
       opts.latency = need_int(flag);
+    } else if (flag == "--decisions") {
+      opts.decisions = true;
     } else if (flag == "--trace") {
-      opts.trace = true;
+      opts.trace_path = need_value(flag);
+    } else if (flag == "--trace-events") {
+      opts.trace_events_path = need_value(flag);
+    } else if (flag == "--prom") {
+      opts.prom = true;
     } else if (flag == "-j" || flag == "--jobs") {
       opts.jobs = need_int(flag);
     } else if (flag == "--cache") {
@@ -301,6 +339,42 @@ CliOptions parse_args(int argc, char** argv) {
   return opts;
 }
 
+/// Observability sinks requested via --trace / --trace-events.  Built
+/// up-front, threaded through the command, flushed with write() at the end.
+struct ObsSinks {
+  std::unique_ptr<TraceRecorder> trace;
+  std::unique_ptr<AlgorithmEvents> events;
+
+  static ObsSinks from_cli(const CliOptions& cli,
+                           MetricsRegistry* metrics = nullptr) {
+    ObsSinks obs;
+    if (cli.trace_path.has_value()) {
+      obs.trace = std::make_unique<TraceRecorder>();
+      obs.trace->set_enabled(true);
+    }
+    if (cli.trace_events_path.has_value()) {
+      obs.events =
+          std::make_unique<AlgorithmEvents>(metrics, /*keep_events=*/true);
+    }
+    return obs;
+  }
+
+  void write(const CliOptions& cli) const {
+    if (trace != nullptr) {
+      std::ofstream out(*cli.trace_path);
+      if (!out) throw Error("cannot write trace: " + *cli.trace_path);
+      trace->write_chrome(out);
+    }
+    if (events != nullptr) {
+      std::ofstream out(*cli.trace_events_path);
+      if (!out) {
+        throw Error("cannot write events: " + *cli.trace_events_path);
+      }
+      events->write_jsonl(out);
+    }
+  }
+};
+
 ParsedDfg load_design(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw Error("cannot open file: " + path);
@@ -332,8 +406,11 @@ int cmd_synth(const CliOptions& cli) {
   SynthesisOptions opts;
   opts.binder = binder_from_name(cli.binder);
   opts.area.bit_width = cli.width;
+  ObsSinks obs = ObsSinks::from_cli(cli);
+  opts.trace = obs.trace.get();
+  opts.events = obs.events.get();
 
-  if (cli.trace && opts.binder == BinderKind::BistAware) {
+  if (cli.decisions && opts.binder == BinderKind::BistAware) {
     auto lt = compute_lifetimes(design.dfg, *design.schedule, opts.lifetime);
     auto cg = build_conflict_graph(design.dfg, lt);
     auto mb = ModuleBinding::bind(design.dfg, *design.schedule, protos);
@@ -347,6 +424,7 @@ int cmd_synth(const CliOptions& cli) {
 
   SynthesisResult result =
       Synthesizer(opts).run(design.dfg, *design.schedule, protos);
+  auto rtl_span = trace_span(obs.trace.get(), "rtl");
   if (cli.json) {
     std::cout << report_json(design.dfg, result).dump() << "\n";
   } else {
@@ -419,6 +497,8 @@ int cmd_synth(const CliOptions& cli) {
     std::cout << emit_testbench(design.dfg, result.datapath, ctl, inputs,
                                 sim, cli.width);
   }
+  rtl_span.finish();
+  obs.write(cli);
   return 0;
 }
 
@@ -551,11 +631,19 @@ int cmd_batch(const CliOptions& cli) {
   if (entries.empty()) throw Error("manifest has no jobs: " + cli.target);
 
   MetricsRegistry metrics;
+  ObsSinks obs = ObsSinks::from_cli(cli, &metrics);
+  // The decision counters (binding.*, cbilbo.*, ...) belong in the batch
+  // metrics dump whether or not the event stream is exported; without
+  // --trace-events the sink stays counters-only and never grows.
+  AlgorithmEvents counters_only(&metrics, /*keep_events=*/false);
   BatchOptions opts;
   opts.jobs = cli.jobs;
   opts.cache_capacity = cli.cache_capacity;
   opts.metrics = &metrics;
+  opts.trace = obs.trace.get();
+  opts.events = obs.events != nullptr ? obs.events.get() : &counters_only;
   const BatchSummary summary = run_batch(entries, opts, std::cout);
+  obs.write(cli);
 
   if (cli.metrics_path.has_value()) {
     std::ofstream mout(*cli.metrics_path);
@@ -569,6 +657,11 @@ int cmd_batch(const CliOptions& cli) {
 }
 
 int cmd_serve(const CliOptions& cli) {
+  std::unique_ptr<TraceRecorder> trace;
+  if (cli.trace_path.has_value()) {
+    trace = std::make_unique<TraceRecorder>();
+    trace->set_enabled(true);
+  }
   ServerOptions opts;
   opts.port = static_cast<std::uint16_t>(cli.port);
   opts.jobs = cli.jobs;
@@ -577,6 +670,10 @@ int cmd_serve(const CliOptions& cli) {
   opts.deadline_ms = cli.deadline_ms;
   opts.handle_signals = true;
   opts.log = &std::cerr;
+  opts.trace = trace.get();
+  // The server always counts decision events; keep the event objects only
+  // when the user asked for the JSONL export.
+  opts.keep_events = cli.trace_events_path.has_value();
   Server server(std::move(opts));
   server.start();
   server.wait();  // until SIGINT/SIGTERM; drains in-flight requests
@@ -584,6 +681,16 @@ int cmd_serve(const CliOptions& cli) {
     std::ofstream mout(*cli.metrics_path);
     if (!mout) throw Error("cannot write metrics: " + *cli.metrics_path);
     mout << server.metrics().to_json().dump() << "\n";
+  }
+  if (trace != nullptr) {
+    std::ofstream out(*cli.trace_path);
+    if (!out) throw Error("cannot write trace: " + *cli.trace_path);
+    trace->write_chrome(out);
+  }
+  if (cli.trace_events_path.has_value()) {
+    std::ofstream out(*cli.trace_events_path);
+    if (!out) throw Error("cannot write events: " + *cli.trace_events_path);
+    server.events().write_jsonl(out);
   }
   return 0;
 }
@@ -648,6 +755,127 @@ int cmd_fuzz(const CliOptions& cli) {
   return summary.ok() ? 0 : 1;
 }
 
+std::vector<std::string> split_list(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream in(s);
+  std::string part;
+  while (std::getline(in, part, sep)) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+const char* binder_label(BinderKind kind) {
+  switch (kind) {
+    case BinderKind::Traditional: return "trad";
+    case BinderKind::BistAware: return "bist";
+    case BinderKind::Ralloc: return "ralloc";
+    case BinderKind::Syntest: return "syntest";
+    case BinderKind::CliquePartition: return "clique";
+    case BinderKind::LoopAware: return "loop";
+  }
+  return "?";
+}
+
+int cmd_explore(const CliOptions& cli) {
+  ParsedDfg design = load_design(cli.target);
+  ObsSinks obs = ObsSinks::from_cli(cli);
+  ExplorerOptions opts;
+  opts.area.bit_width = cli.width;
+  opts.jobs = cli.jobs;
+  opts.trace = obs.trace.get();
+  opts.events = obs.events.get();
+  if (cli.binder_given) {
+    opts.binders.clear();
+    for (const std::string& name : split_list(cli.binder, ',')) {
+      opts.binders.push_back(binder_from_name(name));
+    }
+    if (opts.binders.empty()) usage("--binder gave no binders");
+  }
+
+  std::vector<DesignPoint> points;
+  if (design.schedule.has_value()) {
+    if (!cli.fu.empty()) {
+      throw Error(
+          "--fu sweeps unscheduled designs; this one has @step annotations"
+          " (use --modules \"S1;S2;...\")");
+    }
+    std::vector<std::string> specs;
+    if (cli.modules.has_value()) {
+      specs = split_list(*cli.modules, ';');
+      if (specs.empty()) usage("--modules gave no specs");
+    } else {
+      std::string spec;
+      for (const auto& p :
+           minimal_module_spec(design.dfg, *design.schedule)) {
+        if (!spec.empty()) spec += ",";
+        spec += "1" + p.label();
+      }
+      specs.push_back(std::move(spec));
+    }
+    points = explore_module_specs(design.dfg, *design.schedule, specs, opts);
+  } else {
+    std::vector<ResourceLimits> budgets;
+    for (const std::string& fu : cli.fu) {
+      ResourceLimits limits;
+      for (const std::string& part : split_list(fu, ',')) {
+        LBIST_CHECK(part.size() >= 2, "--fu expects e.g. \"2*\" or \"1+,2*\"");
+        const int count = std::stoi(part.substr(0, part.size() - 1));
+        limits[kind_from_symbol(part.substr(part.size() - 1))] = count;
+      }
+      budgets.push_back(std::move(limits));
+    }
+    if (budgets.empty()) {
+      // Default sweep: 1..3 units of every operation kind the design uses.
+      std::set<OpKind> used;
+      for (const auto& op : design.dfg.ops()) used.insert(op.kind);
+      for (int n = 1; n <= 3; ++n) {
+        ResourceLimits limits;
+        for (OpKind kind : used) limits[kind] = n;
+        budgets.push_back(std::move(limits));
+      }
+    }
+    points = explore_resource_budgets(design.dfg, budgets, opts);
+  }
+
+  if (cli.json) {
+    const auto front = pareto_front(points);
+    Json arr = Json::array();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const DesignPoint& p = points[i];
+      const bool on_front =
+          std::find(front.begin(), front.end(), i) != front.end();
+      arr.push_back(Json::object()
+                        .set("label", Json::string(p.label))
+                        .set("binder", Json::string(binder_label(p.binder)))
+                        .set("latency", Json::number(p.latency))
+                        .set("registers", Json::number(p.num_registers))
+                        .set("mux", Json::number(p.num_mux))
+                        .set("functional_area", Json::number(p.functional_area))
+                        .set("bist_extra", Json::number(p.bist_extra))
+                        .set("overhead_percent",
+                             Json::number(p.overhead_percent))
+                        .set("total_area", Json::number(p.total_area()))
+                        .set("pareto", Json::boolean(on_front)));
+    }
+    std::cout << arr.dump() << "\n";
+  } else {
+    std::cout << describe_points(points);
+  }
+  obs.write(cli);
+  return 0;
+}
+
+int cmd_metrics(const CliOptions& cli) {
+  const Json dump = Json::parse(read_manifest(cli.target));
+  if (cli.prom) {
+    std::cout << prometheus_exposition(dump);
+  } else {
+    std::cout << dump.dump() << "\n";
+  }
+  return 0;
+}
+
 int cmd_bench(const CliOptions& cli) {
   Benchmark bench = builtin_benchmark(cli.target);
   std::cout << "# module spec: " << bench.module_spec << "\n"
@@ -670,6 +898,8 @@ int main(int argc, char** argv) {
     if (cli.command == "serve") return cmd_serve(cli);
     if (cli.command == "client") return cmd_client(cli);
     if (cli.command == "fuzz") return cmd_fuzz(cli);
+    if (cli.command == "explore") return cmd_explore(cli);
+    if (cli.command == "metrics") return cmd_metrics(cli);
     usage("unknown command: " + cli.command);
   } catch (const lbist::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
