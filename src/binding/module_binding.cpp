@@ -90,28 +90,67 @@ ModuleBinding ModuleBinding::bind(const Dfg& dfg, const Schedule& sched,
     }
   }
 
+  b.build_derived_sets(dfg);
+  return b;
+}
+
+ModuleBinding ModuleBinding::restore(const Dfg& dfg, const Schedule& sched,
+                                     std::vector<ModuleProto> protos,
+                                     const IdMap<OpId, ModuleId>& module_of) {
+  ModuleBinding b;
+  b.protos_ = std::move(protos);
+  LBIST_CHECK(module_of.size() == dfg.num_ops(),
+              "module assignment does not cover the design");
+  b.module_of_.assign(dfg.num_ops(), ModuleId::invalid());
+  b.instances_.resize(b.protos_.size());
+
+  // Walking steps in order and ops in id order within a step reproduces
+  // bind()'s per-module instance order exactly: a module executes at most
+  // one operation per step, so both traversals append in step order.
+  std::vector<char> taken(b.protos_.size());
+  for (int step = 1; step <= sched.num_steps(); ++step) {
+    std::fill(taken.begin(), taken.end(), 0);
+    for (OpId op : sched.ops_in_step(dfg, step)) {
+      const ModuleId m = module_of[op];
+      LBIST_CHECK(m.valid() && m.index() < b.protos_.size(),
+                  "operation " + dfg.op(op).name +
+                      " assigned to an unknown module");
+      LBIST_CHECK(b.protos_[m.index()].supports_kind(dfg.op(op).kind),
+                  "module cannot execute operation " + dfg.op(op).name);
+      LBIST_CHECK(taken[m.index()] == 0,
+                  "two operations on one module in step " +
+                      std::to_string(step));
+      taken[m.index()] = 1;
+      b.module_of_[op] = m;
+      b.instances_[m.index()].push_back(op);
+    }
+  }
+  b.build_derived_sets(dfg);
+  return b;
+}
+
+void ModuleBinding::build_derived_sets(const Dfg& dfg) {
   // Derived variable sets over allocatable variables.
   auto allocatable = [&](VarId v) { return dfg.var(v).allocatable(); };
-  b.input_vars_.assign(b.protos_.size(), DynBitset(dfg.num_vars()));
-  b.output_vars_.assign(b.protos_.size(), DynBitset(dfg.num_vars()));
-  b.instance_operands_.resize(b.protos_.size());
-  for (std::size_t m = 0; m < b.protos_.size(); ++m) {
-    for (OpId opid : b.instances_[m]) {
+  input_vars_.assign(protos_.size(), DynBitset(dfg.num_vars()));
+  output_vars_.assign(protos_.size(), DynBitset(dfg.num_vars()));
+  instance_operands_.assign(protos_.size(), {});
+  for (std::size_t m = 0; m < protos_.size(); ++m) {
+    for (OpId opid : instances_[m]) {
       const Operation& op = dfg.op(opid);
       DynBitset operands(dfg.num_vars());
       for (VarId v : {op.lhs, op.rhs}) {
         if (allocatable(v)) {
-          b.input_vars_[m].set(v.index());
+          input_vars_[m].set(v.index());
           operands.set(v.index());
         }
       }
       if (allocatable(op.result)) {
-        b.output_vars_[m].set(op.result.index());
+        output_vars_[m].set(op.result.index());
       }
-      b.instance_operands_[m].push_back(std::move(operands));
+      instance_operands_[m].push_back(std::move(operands));
     }
   }
-  return b;
 }
 
 std::string ModuleBinding::module_name(ModuleId m) const {

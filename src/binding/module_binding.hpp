@@ -33,6 +33,16 @@ class ModuleBinding {
   static ModuleBinding bind(const Dfg& dfg, const Schedule& sched,
                             std::vector<ModuleProto> protos);
 
+  /// Rebuilds a binding from a stored assignment σ (as produced by
+  /// bind(); used by the pass-pipeline snapshot restore).  Instances are
+  /// recovered in schedule order and every derived variable set is
+  /// recomputed; throws lbist::Error if the assignment is inconsistent
+  /// with the design or prototypes (unknown module, unsupported kind,
+  /// two operations on one module in the same step).
+  static ModuleBinding restore(const Dfg& dfg, const Schedule& sched,
+                               std::vector<ModuleProto> protos,
+                               const IdMap<OpId, ModuleId>& module_of);
+
   [[nodiscard]] std::size_t num_modules() const { return protos_.size(); }
   [[nodiscard]] const ModuleProto& proto(ModuleId m) const {
     return protos_[m.index()];
@@ -70,6 +80,10 @@ class ModuleBinding {
   [[nodiscard]] std::vector<ModuleId> all_modules() const;
 
  private:
+  /// Fills input_vars_/output_vars_/instance_operands_ from the instance
+  /// lists (shared tail of bind() and restore()).
+  void build_derived_sets(const Dfg& dfg);
+
   std::vector<ModuleProto> protos_;
   IdMap<OpId, ModuleId> module_of_;
   std::vector<std::vector<OpId>> instances_;

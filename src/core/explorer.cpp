@@ -1,43 +1,141 @@
 #include "core/explorer.hpp"
 
+#include <fstream>
 #include <functional>
 #include <future>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <unordered_map>
 
 #include "obs/trace.hpp"
+#include "passes/synth_state.hpp"
 #include "service/thread_pool.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
+#include "support/version.hpp"
 
 namespace lbist {
 
 namespace {
 
-const char* binder_name(BinderKind kind) {
-  switch (kind) {
-    case BinderKind::Traditional: return "traditional";
-    case BinderKind::BistAware: return "bist-aware";
-    case BinderKind::Ralloc: return "ralloc";
-    case BinderKind::Syntest: return "syntest";
-    case BinderKind::CliquePartition: return "clique";
+Json point_to_json(const DesignPoint& p) {
+  return Json::object()
+      .set("label", Json::string(p.label))
+      .set("binder", Json::string(std::string(binder_kind_name(p.binder))))
+      .set("latency", Json::number(p.latency))
+      .set("registers", Json::number(p.num_registers))
+      .set("mux", Json::number(p.num_mux))
+      .set("functional_area", Json::number(p.functional_area))
+      .set("bist_extra", Json::number(p.bist_extra))
+      .set("overhead_percent", Json::number(p.overhead_percent));
+}
+
+DesignPoint point_from_json(const Json& j) {
+  DesignPoint p;
+  p.label = j.at("label").as_string();
+  p.binder = binder_kind_from_name(j.at("binder").as_string());
+  p.latency = j.at("latency").as_int();
+  p.num_registers = j.at("registers").as_int();
+  p.num_mux = j.at("mux").as_int();
+  p.functional_area = j.at("functional_area").as_number();
+  p.bist_extra = j.at("bist_extra").as_number();
+  p.overhead_percent = j.at("overhead_percent").as_number();
+  return p;
+}
+
+/// JSONL sweep checkpoint: one completed DesignPoint per line, keyed by
+/// (label, binder).  The constructor loads whatever a previous run managed
+/// to write — malformed lines (e.g. a tail cut off by a crash) are skipped,
+/// not fatal, since re-synthesizing a point is always safe.  record() is
+/// mutex-guarded so jobs != 1 sweeps can share one checkpoint.
+class Checkpoint {
+ public:
+  explicit Checkpoint(const std::string& path) : path_(path) {
+    if (path_.empty()) return;
+    bool any_line = false;
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      any_line = true;
+      try {
+        Json j = Json::parse(line);
+        if (!j.is_object() || !j.contains("label")) continue;  // header
+        DesignPoint p = point_from_json(j);
+        done_.emplace(key(p.label, p.binder), p);
+      } catch (const Error&) {
+        continue;
+      }
+    }
+    if (!any_line) {
+      // Fresh checkpoint: open with a header naming the writing build.
+      Json header = Json::object()
+                        .set("checkpoint", Json::string("lowbist-explore-v1"))
+                        .set("writer", build_info_json());
+      append_line(header.dump_compact());
+    }
   }
-  return "?";
+
+  [[nodiscard]] std::optional<DesignPoint> lookup(const std::string& label,
+                                                  BinderKind binder) const {
+    if (path_.empty()) return std::nullopt;
+    auto it = done_.find(key(label, binder));
+    if (it == done_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void record(const DesignPoint& p) {
+    if (path_.empty()) return;
+    append_line(point_to_json(p).dump_compact());
+  }
+
+ private:
+  static std::string key(const std::string& label, BinderKind binder) {
+    return label + "\x1f" + binder_kind_name(binder);
+  }
+
+  void append_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ofstream out(path_, std::ios::app);
+    LBIST_CHECK(out.good(), "cannot write checkpoint file: " + path_);
+    out << line << "\n";
+  }
+
+  std::string path_;
+  std::unordered_map<std::string, DesignPoint> done_;
+  std::mutex mu_;
+};
+
+/// One configured Synthesizer per binder style, hoisted out of the sweep
+/// loop: a Synthesizer is stateless across run() calls, so every point
+/// sharing a binder reuses the same instance (also from worker threads).
+std::vector<Synthesizer> make_synthesizers(const ExplorerOptions& eopts) {
+  std::vector<Synthesizer> synths;
+  synths.reserve(eopts.binders.size());
+  for (BinderKind binder : eopts.binders) {
+    SynthesisOptions opts;
+    opts.binder = binder;
+    opts.area = eopts.area;
+    opts.trace = eopts.trace;
+    opts.events = eopts.events;
+    synths.emplace_back(opts);
+  }
+  return synths;
 }
 
 DesignPoint synthesize_point(const Dfg& dfg, const Schedule& sched,
                              const std::vector<ModuleProto>& protos,
-                             const std::string& label, BinderKind binder,
+                             const std::string& label,
+                             const Synthesizer& synth,
                              const ExplorerOptions& eopts) {
+  const BinderKind binder = synth.options().binder;
   auto span = trace_span(eopts.trace, "point");
   if (span.active()) {
     span.arg("label", label);
-    span.arg("binder", binder_name(binder));
+    span.arg("binder", binder_kind_name(binder));
   }
-  SynthesisOptions opts;
-  opts.binder = binder;
-  opts.area = eopts.area;
-  opts.trace = eopts.trace;
-  opts.events = eopts.events;
-  SynthesisResult result = Synthesizer(opts).run(dfg, sched, protos);
+  SynthesisResult result = synth.run(dfg, sched, protos);
 
   DesignPoint point;
   point.label = label;
@@ -80,12 +178,20 @@ std::vector<DesignPoint> explore_module_specs(
     const Dfg& dfg, const Schedule& sched,
     const std::vector<std::string>& specs, const ExplorerOptions& opts) {
   const std::size_t per_spec = opts.binders.size();
+  const std::vector<Synthesizer> synths = make_synthesizers(opts);
+  Checkpoint checkpoint(opts.checkpoint);
   return run_points(
       specs.size() * per_spec, opts.jobs, [&](std::size_t i) {
         const std::string& spec = specs[i / per_spec];
-        const BinderKind binder = opts.binders[i % per_spec];
+        const std::size_t which = i % per_spec;
+        if (auto done = checkpoint.lookup(spec, opts.binders[which])) {
+          return *done;
+        }
         const auto protos = parse_module_spec(spec);
-        return synthesize_point(dfg, sched, protos, spec, binder, opts);
+        DesignPoint point =
+            synthesize_point(dfg, sched, protos, spec, synths[which], opts);
+        checkpoint.record(point);
+        return point;
       });
 }
 
@@ -93,10 +199,12 @@ std::vector<DesignPoint> explore_resource_budgets(
     const Dfg& dfg, const std::vector<ResourceLimits>& budgets,
     const ExplorerOptions& opts) {
   const std::size_t per_budget = opts.binders.size();
+  const std::vector<Synthesizer> synths = make_synthesizers(opts);
+  Checkpoint checkpoint(opts.checkpoint);
   return run_points(
       budgets.size() * per_budget, opts.jobs, [&](std::size_t i) {
         const ResourceLimits& budget = budgets[i / per_budget];
-        const BinderKind binder = opts.binders[i % per_budget];
+        const std::size_t which = i % per_budget;
         Schedule sched = list_schedule(dfg, budget);
         const auto protos = minimal_module_spec(dfg, sched);
         std::ostringstream label;
@@ -106,8 +214,15 @@ std::vector<DesignPoint> explore_resource_budgets(
           first = false;
         }
         label << " @" << sched.num_steps();
-        return synthesize_point(dfg, sched, protos, label.str(), binder,
-                                opts);
+        // The checkpoint only skips synthesis; scheduling (cheap) reruns
+        // because the label — the checkpoint key — depends on it.
+        if (auto done = checkpoint.lookup(label.str(), opts.binders[which])) {
+          return *done;
+        }
+        DesignPoint point = synthesize_point(dfg, sched, protos, label.str(),
+                                             synths[which], opts);
+        checkpoint.record(point);
+        return point;
       });
 }
 
@@ -145,7 +260,8 @@ std::string describe_points(const std::vector<DesignPoint>& points) {
   };
   for (std::size_t i = 0; i < points.size(); ++i) {
     const DesignPoint& p = points[i];
-    t.add_row({p.label + (on_front(i) ? " *" : ""), binder_name(p.binder),
+    t.add_row({p.label + (on_front(i) ? " *" : ""),
+               std::string(binder_kind_name(p.binder)),
                std::to_string(p.latency), std::to_string(p.num_registers),
                std::to_string(p.num_mux), fmt_double(p.functional_area, 0),
                fmt_double(p.bist_extra, 0),

@@ -45,6 +45,13 @@ struct ExplorerOptions {
   /// so they work with jobs != 1.  Borrowed, not owned.
   TraceRecorder* trace = nullptr;
   AlgorithmEvents* events = nullptr;
+  /// Checkpoint file ("" = none): completed design points are appended as
+  /// JSONL while the sweep runs, and points already present are returned
+  /// without re-synthesis — an interrupted sweep resumes where it
+  /// stopped.  The file opens with a header line recording the writing
+  /// build (support/version.hpp).  Keyed by (label, binder): reuse a
+  /// checkpoint only with the same design, width and sweep axes.
+  std::string checkpoint;
 };
 
 /// Explores a *scheduled* design across module specs (each spec string is

@@ -2,101 +2,19 @@
 
 #include <sstream>
 
-#include "baselines/ralloc.hpp"
-#include "baselines/syntest.hpp"
-#include "binding/clique_binder.hpp"
-#include "binding/loop_binder.hpp"
-#include "binding/traditional_binder.hpp"
-#include "graph/conflict.hpp"
-#include "obs/trace.hpp"
+#include "passes/pipeline.hpp"
 
 namespace lbist {
 
 SynthesisResult Synthesizer::run(const Dfg& dfg, const Schedule& sched,
                                  const std::vector<ModuleProto>& protos)
     const {
-  SynthesisResult result;
-  {
-    // "sched" covers the schedule-derived analyses: module binding,
-    // lifetimes, conflict-graph construction (the schedule itself arrives
-    // precomputed).
-    auto span = trace_span(opts_.trace, "sched");
-    if (span.active()) span.arg("design", dfg.name());
-    result.modules = ModuleBinding::bind(dfg, sched, protos);
-    result.lifetimes = compute_lifetimes(dfg, sched, opts_.lifetime);
-  }
-  const VarConflictGraph cg = [&] {
-    auto span = trace_span(opts_.trace, "conflict_graph");
-    return build_conflict_graph(dfg, result.lifetimes);
-  }();
-
-  {
-    auto span = trace_span(opts_.trace, "binding");
-    switch (opts_.binder) {
-      case BinderKind::Traditional:
-        result.registers =
-            bind_registers_traditional(dfg, cg, result.lifetimes);
-        break;
-      case BinderKind::BistAware:
-        result.registers = bind_registers_bist_aware(
-            dfg, cg, result.modules, opts_.bist_binder, nullptr,
-            opts_.events);
-        break;
-      case BinderKind::Ralloc:
-        result.registers = bind_registers_ralloc(dfg, cg, result.modules);
-        break;
-      case BinderKind::Syntest:
-        result.registers = bind_registers_syntest(dfg, cg, result.modules);
-        break;
-      case BinderKind::CliquePartition:
-        result.registers = bind_registers_clique(dfg, cg, result.modules);
-        break;
-      case BinderKind::LoopAware:
-        result.registers = bind_registers_loop_aware(dfg, result.lifetimes);
-        break;
-    }
-    result.registers.validate(dfg, result.lifetimes);
-    if (span.active()) {
-      span.arg("registers",
-               static_cast<std::uint64_t>(result.registers.num_regs()));
-    }
-  }
-
-  {
-    auto span = trace_span(opts_.trace, "interconnect");
-    result.datapath = build_datapath(dfg, result.modules, result.registers,
-                                     opts_.interconnect, "", opts_.events);
-    if (span.active()) {
-      span.arg("muxes", static_cast<std::uint64_t>(result.datapath.mux_count()));
-    }
-  }
-
-  {
-    auto span = trace_span(opts_.trace, "bist");
-    switch (opts_.binder) {
-      case BinderKind::Ralloc:
-        result.bist = ralloc_bist_labelling(result.datapath, opts_.area);
-        break;
-      case BinderKind::Syntest:
-        result.bist = syntest_bist_labelling(result.datapath, opts_.area);
-        break;
-      default: {
-        BistAllocator allocator(opts_.area);
-        allocator.events = opts_.events;
-        result.bist = allocator.solve(result.datapath);
-        break;
-      }
-    }
-    if (span.active()) {
-      span.arg("extra_area", result.bist.extra_area);
-      span.arg_bool("exact", result.bist.exact);
-    }
-  }
-
-  result.functional_area = opts_.area.functional_area(result.datapath);
-  result.overhead_percent =
-      result.bist.overhead_percent(result.datapath, opts_.area);
-  return result;
+  // Thin façade over the pass pipeline (src/passes): same phases, same
+  // order, same trace spans and events — byte-identical to the former
+  // monolithic implementation.
+  SynthState state(dfg, sched, protos, opts_);
+  PassPipeline::standard().run(state);
+  return std::move(state.result);
 }
 
 std::string SynthesisResult::describe(const Dfg& dfg) const {

@@ -2,6 +2,12 @@
 // End-to-end synthesis pipeline: scheduled DFG -> module binding ->
 // register binding -> interconnect -> data path -> minimal-area BIST
 // solution.  This is the library's main entry point.
+//
+// `Synthesizer` is a thin façade over the pass manager (src/passes): the
+// five phases live as `Pass` objects in a `PassPipeline`, which adds
+// checkpoint/resume (serializable IR snapshots), single-pass remote
+// execution and incremental re-synthesis on top of the same code path.
+// Callers that only want a result keep using this header unchanged.
 
 #include <string>
 #include <vector>

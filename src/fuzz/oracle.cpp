@@ -12,6 +12,8 @@
 #include "graph/coloring.hpp"
 #include "graph/conflict.hpp"
 #include "obs/events.hpp"
+#include "passes/incremental.hpp"
+#include "passes/pipeline.hpp"
 #include "rtl/controller.hpp"
 #include "rtl/ipath.hpp"
 #include "rtl/simulate.hpp"
@@ -135,6 +137,11 @@ class OracleRun {
       check_area(arm, so, result);
       if (kind == BinderKind::BistAware) check_report(result);
       if (kind == BinderKind::BistAware) check_events(events, result);
+      const bool deep =
+          kind == BinderKind::BistAware &&
+          dfg_.num_ops() <= static_cast<std::size_t>(opts_.deep_check_max_ops);
+      if (deep) check_snapshot(so, result);
+      if (deep) check_incremental(so, result);
       if (kind == BinderKind::Traditional && opts_.check_lemma2) {
         check_lemma2(result);
       }
@@ -290,6 +297,97 @@ class OracleRun {
                std::to_string(expected.size()));
     }
     digest_ = mix(digest_, events.count("cbilbo_forced"));
+  }
+
+  /// Every stage-boundary IR snapshot resumes to the bit-identical result:
+  /// run the pipeline to each boundary, serialize, re-parse, restore into a
+  /// fresh state (own DFG, rebuilt from the printed design) and finish the
+  /// run — the text report and the JSON report must match the uninterrupted
+  /// run byte for byte.
+  void check_snapshot(const SynthesisOptions& so,
+                      const SynthesisResult& result) {
+    SynthesisOptions clean = so;  // the oracle's replays must not re-emit
+    clean.trace = nullptr;        // decision events into the arm's stream
+    clean.events = nullptr;
+    const PassPipeline& pipeline = PassPipeline::standard();
+    const std::string want_text = result.describe(dfg_);
+    const std::string want_json = report_json(dfg_, result).dump();
+    for (std::size_t stage = 1; stage <= pipeline.num_passes(); ++stage) {
+      const std::string stage_name(pipeline.passes()[stage - 1]->name());
+      SynthState state(dfg_, sched_, protos_, clean);
+      pipeline.run(state, stage);
+      SynthState resumed =
+          pipeline.restore(Json::parse(pipeline.snapshot(state).dump()));
+      pipeline.run(resumed);
+      if (resumed.result.describe(resumed.dfg()) != want_text) {
+        fail("snapshot-roundtrip",
+             "stage " + stage_name + ": resumed report text diverged");
+      }
+      const std::string got_json =
+          report_json(resumed.dfg(), resumed.result).dump();
+      if (got_json != want_json) {
+        fail("snapshot-roundtrip",
+             "stage " + stage_name + ": resumed JSON report diverged");
+      }
+      digest_ = mix(digest_, got_json.size());
+    }
+  }
+
+  /// Incremental re-synthesis is bit-identical to full synthesis, and the
+  /// driver reuses exactly the passes an edit cannot reach: a repeat call
+  /// reuses everything, an area-model edit re-runs only the bist pass, a
+  /// lifetime-policy edit invalidates the whole pipeline.
+  void check_incremental(const SynthesisOptions& so,
+                         const SynthesisResult& result) {
+    SynthesisOptions clean = so;
+    clean.trace = nullptr;
+    clean.events = nullptr;
+    const std::string want_text = result.describe(dfg_);
+    IncrementalSynthesizer inc(clean);
+    const std::size_t n = PassPipeline::standard().num_passes();
+    SynthesisResult r0 = inc.resynthesize(dfg_, sched_, protos_);
+    if (r0.describe(dfg_) != want_text ||
+        report_json(dfg_, r0).dump() != report_json(dfg_, result).dump()) {
+      fail("incremental", "initial run diverged from full synthesis");
+    }
+    // Unchanged inputs: every pass reuses.
+    SynthesisResult r1 = inc.resynthesize(dfg_, sched_, protos_);
+    if (r1.describe(dfg_) != want_text) {
+      fail("incremental", "no-op re-run diverged");
+    }
+    if (inc.stats().passes_run != n || inc.stats().passes_reused != n) {
+      fail("incremental",
+           "no-op re-run executed " +
+               std::to_string(inc.stats().passes_run - n) + " passes");
+    }
+    // Area-only edit: only the bist pass reads the area model.
+    SynthesisOptions wider = clean;
+    wider.area.bit_width = clean.area.bit_width + 1;
+    inc.options() = wider;
+    SynthesisResult r2 = inc.resynthesize(dfg_, sched_, protos_);
+    SynthesisResult full2 = Synthesizer(wider).run(dfg_, sched_, protos_);
+    if (r2.describe(dfg_) != full2.describe(dfg_) ||
+        report_json(dfg_, r2).dump() != report_json(dfg_, full2).dump()) {
+      fail("incremental", "area edit diverged from full synthesis");
+    }
+    if (inc.stats().passes_run != n + 1) {
+      fail("incremental",
+           "area edit re-ran " + std::to_string(inc.stats().passes_run - n) +
+               " passes, expected exactly the bist pass");
+    }
+    // Lifetime-policy edit: changes the sched pass's inputs, so the whole
+    // pipeline re-runs.
+    SynthesisOptions held = wider;
+    held.lifetime.hold_outputs_to_end = !wider.lifetime.hold_outputs_to_end;
+    inc.options() = held;
+    SynthesisResult r3 = inc.resynthesize(dfg_, sched_, protos_);
+    SynthesisResult full3 = Synthesizer(held).run(dfg_, sched_, protos_);
+    if (r3.describe(dfg_) != full3.describe(dfg_) ||
+        report_json(dfg_, r3).dump() != report_json(dfg_, full3).dump()) {
+      fail("incremental", "lifetime edit diverged from full synthesis");
+    }
+    digest_ = mix(digest_, inc.stats().passes_run);
+    digest_ = mix(digest_, inc.stats().passes_reused);
   }
 
   /// Lemma 2 agrees with brute force over every embedding (the paper's

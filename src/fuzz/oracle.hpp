@@ -22,6 +22,13 @@
 //                           exact allocator never loses to the greedy one
 //   report-consistency      the JSON report round-trips and its metrics
 //                           equal the synthesis result
+//   snapshot-roundtrip      every stage-boundary IR snapshot (src/passes)
+//                           serializes, re-parses and resumes to the byte-
+//                           identical text and JSON reports
+//   incremental             IncrementalSynthesizer matches full synthesis
+//                           bit for bit across no-op, area-model and
+//                           lifetime-policy edits, reusing exactly the
+//                           passes each edit cannot reach
 //
 // `inject_binding_bug` deliberately breaks the traditional binding before
 // validation (moves a variable into a conflicting register) — the fuzzing
@@ -46,6 +53,11 @@ struct OracleOptions {
   /// the embedding space exceeds `lemma2_budget` combinations).
   bool check_lemma2 = true;
   double lemma2_budget = 50000;
+  /// Size gate for the snapshot-roundtrip and incremental oracles: they
+  /// re-run the full pipeline (exact BIST allocator included) about a
+  /// dozen times per case, so they only fire on designs with at most this
+  /// many operations.  0 disables them.
+  int deep_check_max_ops = 12;
   /// Mutation self-test: corrupt the traditional binding before validation.
   bool inject_binding_bug = false;
 };

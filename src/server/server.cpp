@@ -12,6 +12,8 @@
 
 #include "obs/prom.hpp"
 #include "obs/trace.hpp"
+#include "passes/pipeline.hpp"
+#include "support/version.hpp"
 
 namespace lbist {
 
@@ -222,8 +224,9 @@ void Server::serve_connection(Conn* conn) {
 
 bool Server::handle_control(Conn* conn, const std::string& line) {
   std::string type;
+  Json doc;
   try {
-    const Json doc = Json::parse(line);
+    doc = Json::parse(line);
     const Json* t = doc.find("type");
     if (t == nullptr || !t->is_string()) return false;
     type = t->as_string();
@@ -237,7 +240,50 @@ bool Server::handle_control(Conn* conn, const std::string& line) {
         .set("in_flight", Json::number(static_cast<double>(
                               in_flight_.load(std::memory_order_relaxed))))
         .set("max_queue", Json::number(opts_.max_queue))
-        .set("workers", Json::number(pool_->size()));
+        .set("workers", Json::number(pool_->size()))
+        .set("build", build_info_json());
+  } else if (type == "pass") {
+    // Remote single-pass execution: restore the posted IR snapshot, run
+    // exactly the named pass, reply with the advanced snapshot.  Served
+    // inline on the connection thread (one pass is far cheaper than a full
+    // job) with its own LRU entry keyed on the writer-independent snapshot.
+    try {
+      const Json* name = doc.find("pass");
+      LBIST_CHECK(name != nullptr && name->is_string(),
+                  "pass request needs a \"pass\" name");
+      const Json* snap = doc.find("snapshot");
+      LBIST_CHECK(snap != nullptr && snap->is_object(),
+                  "pass request needs a \"snapshot\" object");
+      const PassPipeline& pipeline = PassPipeline::standard();
+      const std::size_t index = pipeline.index_of(name->as_string());
+      const std::string key = pass_cache_key(name->as_string(), *snap);
+      Json out;
+      if (auto cached = cache_.get(key)) {
+        out = std::move(*cached);
+      } else {
+        SynthState state = pipeline.restore(*snap);
+        LBIST_CHECK(
+            state.completed == index,
+            "snapshot stage \"" +
+                (state.completed == 0
+                     ? std::string("none")
+                     : std::string(
+                           pipeline.passes()[state.completed - 1]->name())) +
+                "\" is not the predecessor of pass \"" + name->as_string() +
+                "\"");
+        state.options().trace = opts_.trace;
+        state.options().events = &events_;
+        pipeline.run(state, index + 1);
+        out = pipeline.snapshot(state);
+        cache_.put(key, out);
+      }
+      reply.set("status", Json::string("ok"))
+          .set("pass", Json::string(name->as_string()))
+          .set("snapshot", std::move(out));
+    } catch (const Error& e) {
+      reply.set("status", Json::string("error"))
+          .set("error", Json::string(e.what()));
+    }
   } else if (type == "metrics") {
     reply.set("status", Json::string("ok")).set("metrics", metrics_json());
   } else if (type == "prometheus") {

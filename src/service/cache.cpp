@@ -70,4 +70,14 @@ std::string synthesis_cache_key(const Dfg& dfg, const Schedule& sched,
   return key;
 }
 
+std::string pass_cache_key(const std::string& pass_name,
+                           const Json& snapshot) {
+  Json canonical = Json::object();
+  for (const std::string& key : snapshot.keys()) {
+    if (key == "writer") continue;
+    canonical.set(key, snapshot.at(key));
+  }
+  return "pass:" + pass_name + ":" + canonical.dump_compact();
+}
+
 }  // namespace lbist

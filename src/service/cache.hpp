@@ -41,6 +41,13 @@ struct SynthesisOptions;
     const std::vector<ModuleProto>& protos, const SynthesisOptions& opts,
     int patterns);
 
+/// Canonical cache key of one remote pass execution (the server's
+/// {"type":"pass"} request): the pass name plus the posted IR snapshot
+/// re-rendered compactly with the informational "writer" record dropped —
+/// clients on different builds posting the same IR must share an entry.
+[[nodiscard]] std::string pass_cache_key(const std::string& pass_name,
+                                         const Json& snapshot);
+
 /// Thread-safe bounded LRU map with hit/miss/eviction accounting.
 template <class Value>
 class LruCache {

@@ -1,0 +1,56 @@
+#include "support/version.hpp"
+
+#include <sstream>
+
+// The build system injects these via target_compile_definitions; the
+// fallbacks keep non-CMake builds (e.g. single-file experiments) working.
+#ifndef LOWBIST_VERSION
+#define LOWBIST_VERSION "0.0.0"
+#endif
+#ifndef LOWBIST_GIT_DESCRIBE
+#define LOWBIST_GIT_DESCRIBE "unknown"
+#endif
+#ifndef LOWBIST_SANITIZE_PRESET
+#define LOWBIST_SANITIZE_PRESET ""
+#endif
+#ifndef LOWBIST_BUILD_TYPE
+#define LOWBIST_BUILD_TYPE ""
+#endif
+#ifdef __VERSION__
+#define LOWBIST_COMPILER __VERSION__
+#else
+#define LOWBIST_COMPILER "unknown"
+#endif
+
+namespace lbist {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      LOWBIST_VERSION, LOWBIST_GIT_DESCRIBE, LOWBIST_COMPILER,
+      LOWBIST_SANITIZE_PRESET, LOWBIST_BUILD_TYPE};
+  return info;
+}
+
+Json build_info_json() {
+  const BuildInfo& info = build_info();
+  Json j = Json::object();
+  j.set("version", Json::string(info.version));
+  j.set("git", Json::string(info.git));
+  j.set("compiler", Json::string(info.compiler));
+  j.set("sanitizer", Json::string(info.sanitizer));
+  j.set("build_type", Json::string(info.build_type));
+  return j;
+}
+
+std::string build_info_string() {
+  const BuildInfo& info = build_info();
+  std::ostringstream os;
+  os << "lowbist " << info.version << " (" << info.git << ")\n";
+  os << "compiler:  " << info.compiler << "\n";
+  os << "sanitizer: " << (info.sanitizer.empty() ? "none" : info.sanitizer)
+     << "\n";
+  os << "build:     " << info.build_type << "\n";
+  return os.str();
+}
+
+}  // namespace lbist

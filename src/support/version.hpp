@@ -1,0 +1,35 @@
+#pragma once
+// Build identification: which build of lowbist produced an artifact.
+//
+// Checkpoint snapshots, the server health reply and the batch metrics
+// dump all embed this record so that a saved file can always be traced
+// back to the build that wrote it (`lowbist version` prints the same
+// data).  The values are informational only: snapshot compatibility is
+// governed by the snapshot "format" tag, never by the writer record.
+
+#include <string>
+
+#include "support/json.hpp"
+
+namespace lbist {
+
+/// Identity of this binary, fixed at configure/compile time.
+struct BuildInfo {
+  std::string version;     ///< project version (CMake PROJECT_VERSION)
+  std::string git;         ///< `git describe --always --dirty --tags`
+  std::string compiler;    ///< compiler identification (__VERSION__)
+  std::string sanitizer;   ///< LBIST_SANITIZE preset ("" = none)
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+};
+
+/// The process-wide build record.
+[[nodiscard]] const BuildInfo& build_info();
+
+/// {"version": ..., "git": ..., "compiler": ..., "sanitizer": ...,
+///  "build_type": ...}
+[[nodiscard]] Json build_info_json();
+
+/// Multi-line human-readable rendering (the `lowbist version` output).
+[[nodiscard]] std::string build_info_string();
+
+}  // namespace lbist

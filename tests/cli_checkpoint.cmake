@@ -1,0 +1,113 @@
+# Checkpoint/resume smoke: for every stage boundary, `synth --dump-ir` then
+# `synth --resume-from` must reproduce the uninterrupted run byte for byte —
+# both the text report and the --json report.  Also exercises the explore
+# checkpoint file (a rerun must add no lines and print identical output)
+# and the version subcommand.
+
+execute_process(COMMAND ${LOWBIST} bench ex1
+                OUTPUT_FILE ${WORKDIR}/ckpt_ex1.dfg RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench dump failed")
+endif()
+
+execute_process(
+  COMMAND ${LOWBIST} synth ${WORKDIR}/ckpt_ex1.dfg --modules "1+,1*"
+  OUTPUT_VARIABLE want_text RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "full synth failed")
+endif()
+execute_process(
+  COMMAND ${LOWBIST} synth ${WORKDIR}/ckpt_ex1.dfg --modules "1+,1*" --json
+  OUTPUT_VARIABLE want_json RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "full synth --json failed")
+endif()
+
+foreach(stage sched conflict_graph binding interconnect bist)
+  execute_process(
+    COMMAND ${LOWBIST} synth ${WORKDIR}/ckpt_ex1.dfg --modules "1+,1*"
+            --dump-ir ${stage} --ir-out ${WORKDIR}/ckpt_${stage}.json
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--dump-ir ${stage} failed")
+  endif()
+  execute_process(
+    COMMAND ${LOWBIST} synth --resume-from ${WORKDIR}/ckpt_${stage}.json
+    OUTPUT_VARIABLE got_text RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--resume-from ${stage} failed")
+  endif()
+  if(NOT got_text STREQUAL want_text)
+    message(FATAL_ERROR "resume from ${stage}: text report differs")
+  endif()
+  execute_process(
+    COMMAND ${LOWBIST} synth --resume-from ${WORKDIR}/ckpt_${stage}.json --json
+    OUTPUT_VARIABLE got_json RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--resume-from ${stage} --json failed")
+  endif()
+  if(NOT got_json STREQUAL want_json)
+    message(FATAL_ERROR "resume from ${stage}: JSON report differs")
+  endif()
+endforeach()
+
+# Resuming a completed snapshot past its stage must fail cleanly.
+execute_process(
+  COMMAND ${LOWBIST} synth --resume-from ${WORKDIR}/ckpt_bist.json
+          --dump-ir sched
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "dump-ir of an already-passed stage should fail")
+endif()
+
+# Explore checkpoint: a rerun against the same file must add no lines and
+# print byte-identical output.
+file(REMOVE ${WORKDIR}/ckpt_explore.jsonl)
+execute_process(
+  COMMAND ${LOWBIST} explore ${WORKDIR}/ckpt_ex1.dfg
+          --modules "1+,1*;2+,1*" --binder trad,bist
+          --checkpoint ${WORKDIR}/ckpt_explore.jsonl
+  OUTPUT_VARIABLE first RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "explore with checkpoint failed")
+endif()
+file(READ ${WORKDIR}/ckpt_explore.jsonl lines_before)
+execute_process(
+  COMMAND ${LOWBIST} explore ${WORKDIR}/ckpt_ex1.dfg
+          --modules "1+,1*;2+,1*" --binder trad,bist
+          --checkpoint ${WORKDIR}/ckpt_explore.jsonl
+  OUTPUT_VARIABLE second RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "explore resume from checkpoint failed")
+endif()
+if(NOT second STREQUAL first)
+  message(FATAL_ERROR "explore checkpoint rerun output differs")
+endif()
+file(READ ${WORKDIR}/ckpt_explore.jsonl lines_after)
+if(NOT lines_after STREQUAL lines_before)
+  message(FATAL_ERROR "explore checkpoint rerun appended lines")
+endif()
+string(FIND "${lines_before}" "lowbist-explore-v1" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "checkpoint header missing")
+endif()
+
+# Version surface.
+execute_process(COMMAND ${LOWBIST} version
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "version failed")
+endif()
+string(FIND "${out}" "lowbist " pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "version output missing banner")
+endif()
+execute_process(COMMAND ${LOWBIST} version --json
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "version --json failed")
+endif()
+string(FIND "${out}" "\"compiler\"" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "version --json missing compiler key")
+endif()

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "core/explorer.hpp"
 #include "dfg/benchmarks.hpp"
 
@@ -79,6 +84,62 @@ TEST(Explorer, BistAwareNeverLosesToTraditionalInSweep) {
   EXPECT_EQ(trad.binder, BinderKind::Traditional);
   EXPECT_EQ(ours.binder, BinderKind::BistAware);
   EXPECT_LE(ours.bist_extra, trad.bist_extra + 1e-9);
+}
+
+// The sweep builds one Synthesizer per binder and reuses it across every
+// point; a parallel run must still match the serial result point for point.
+TEST(Explorer, ParallelSweepMatchesSerial) {
+  auto bench = make_tseng1();
+  const std::vector<std::string> specs = {"2+,1*,1-,1&,1|,1/", "1+,3[-*/&|]"};
+  ExplorerOptions serial;
+  ExplorerOptions parallel;
+  parallel.jobs = 4;
+  const auto a = explore_module_specs(bench.design.dfg,
+                                      *bench.design.schedule, specs, serial);
+  const auto b = explore_module_specs(bench.design.dfg,
+                                      *bench.design.schedule, specs, parallel);
+  EXPECT_EQ(describe_points(a), describe_points(b));
+}
+
+std::size_t count_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) ++n;
+  return n;
+}
+
+TEST(Explorer, CheckpointSkipsFinishedPointsAndMatchesUncheckpointedRun) {
+  auto bench = make_ex1();
+  const std::vector<std::string> specs = {"1+,1*", "2+,1*"};
+  const auto baseline = explore_module_specs(bench.design.dfg,
+                                             *bench.design.schedule, specs);
+
+  ExplorerOptions opts;
+  opts.checkpoint = testing::TempDir() + "/explorer_ckpt_test.jsonl";
+  std::remove(opts.checkpoint.c_str());
+  const auto first = explore_module_specs(bench.design.dfg,
+                                          *bench.design.schedule, specs, opts);
+  EXPECT_EQ(describe_points(first), describe_points(baseline));
+  // One header line plus one line per (spec, binder) point.
+  EXPECT_EQ(count_lines(opts.checkpoint), 1 + specs.size() * 2);
+
+  // The rerun serves every point from the file: no new lines, same output.
+  const auto second = explore_module_specs(bench.design.dfg,
+                                           *bench.design.schedule, specs, opts);
+  EXPECT_EQ(describe_points(second), describe_points(baseline));
+  EXPECT_EQ(count_lines(opts.checkpoint), 1 + specs.size() * 2);
+
+  // Corrupt trailing data (a torn write) is skipped, not fatal, and the
+  // missing point is re-synthesized.
+  {
+    std::ofstream out(opts.checkpoint, std::ios::app);
+    out << "{\"label\": \"2+,1*\", \"binder\": tor" << "\n";
+  }
+  const auto third = explore_module_specs(bench.design.dfg,
+                                          *bench.design.schedule, specs, opts);
+  EXPECT_EQ(describe_points(third), describe_points(baseline));
+  std::remove(opts.checkpoint.c_str());
 }
 
 }  // namespace

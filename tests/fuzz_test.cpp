@@ -5,14 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
+#include <sstream>
 
+#include "binding/module_spec.hpp"
+#include "core/report.hpp"
 #include "dfg/benchmarks.hpp"
 #include "dfg/random_dfg.hpp"
 #include "fuzz/corpus.hpp"
 #include "fuzz/fuzz.hpp"
 #include "fuzz/minimize.hpp"
 #include "fuzz/oracle.hpp"
+#include "passes/pipeline.hpp"
 #include "support/check.hpp"
 
 namespace lbist {
@@ -289,6 +294,50 @@ TEST(FuzzDriver, ReplaysBenchmarkCorpusClean) {
   const std::string text = dump_corpus(entry);
   const OracleVerdict verdict = replay_corpus_entry(parse_corpus(text));
   EXPECT_TRUE(verdict.ok());
+}
+
+// ---- IR snapshots on the checked-in corpus seeds ------------------------
+
+// Every checked-in reproducer seed must round-trip through the pass
+// pipeline's IR snapshots at every stage boundary, bit for bit — the same
+// property the fuzzer's snapshot-roundtrip oracle enforces on generated
+// designs (src/fuzz/oracle.cpp).
+TEST(FuzzDriver, CheckedInCorpusSeedsRoundTripThroughSnapshots) {
+  const PassPipeline& pipeline = PassPipeline::standard();
+  for (const char* name : {"ex1.corpus", "loop-tied.corpus"}) {
+    std::ifstream in(std::string(LOWBIST_SOURCE_DIR) + "/examples/corpus/" +
+                     name);
+    ASSERT_TRUE(in.good()) << name;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const CorpusEntry entry = parse_corpus(buf.str());
+    ASSERT_TRUE(entry.design.schedule.has_value()) << name;
+    const Dfg& dfg = entry.design.dfg;
+    const Schedule& sched = *entry.design.schedule;
+    const auto protos = minimal_module_spec(dfg, sched);
+
+    for (BinderKind kind : {BinderKind::BistAware, BinderKind::LoopAware}) {
+      SynthesisOptions opts;
+      opts.binder = kind;
+      opts.area.bit_width = entry.width;
+      SynthState full(dfg, sched, protos, opts);
+      pipeline.run(full);
+      const std::string want_text = full.result.describe(dfg);
+      const std::string want_json = report_json(dfg, full.result).dump();
+      for (std::size_t stage = 0; stage <= pipeline.num_passes(); ++stage) {
+        SynthState state(dfg, sched, protos, opts);
+        pipeline.run(state, stage);
+        SynthState resumed =
+            pipeline.restore(Json::parse(pipeline.snapshot(state).dump()));
+        pipeline.run(resumed);
+        EXPECT_EQ(resumed.result.describe(resumed.dfg()), want_text)
+            << name << " stage " << stage;
+        EXPECT_EQ(report_json(resumed.dfg(), resumed.result).dump(),
+                  want_json)
+            << name << " stage " << stage;
+      }
+    }
+  }
 }
 
 }  // namespace

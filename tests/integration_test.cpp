@@ -8,10 +8,12 @@
 #include "binding/cbilbo_check.hpp"
 #include "core/chip.hpp"
 #include "core/compare.hpp"
+#include "core/report.hpp"
 #include "core/synthesizer.hpp"
 #include "dfg/benchmarks.hpp"
 #include "graph/coloring.hpp"
 #include "graph/conflict.hpp"
+#include "passes/pipeline.hpp"
 
 namespace lbist {
 namespace {
@@ -185,6 +187,37 @@ TEST(ChipFacade, RunsOnEveryPaperBenchmark) {
         parse_module_spec(bench.module_spec), opts);
     EXPECT_GT(chip.selftest.coverage(), 0.9) << bench.name;
     EXPECT_FALSE(chip.bist_verilog.empty()) << bench.name;
+  }
+}
+
+// Checkpoint/resume property over the whole paper suite: for both arms of
+// every Table I row, interrupting synthesis at any stage boundary, dumping
+// the IR snapshot and resuming from the re-parsed dump must reproduce the
+// uninterrupted run byte for byte (text report and JSON report alike).
+TEST(PassSnapshots, EveryPaperBenchmarkResumesFromEveryStage) {
+  const PassPipeline& pipeline = PassPipeline::standard();
+  for (const auto& bench : paper_benchmarks()) {
+    const auto protos = parse_module_spec(bench.module_spec);
+    for (BinderKind kind : {BinderKind::Traditional, BinderKind::BistAware}) {
+      SynthesisOptions opts;
+      opts.binder = kind;
+      const SynthesisResult full = Synthesizer(opts).run(
+          bench.design.dfg, *bench.design.schedule, protos);
+      const std::string want_text = full.describe(bench.design.dfg);
+      const std::string want_json = report_json(bench.design.dfg, full).dump();
+      for (std::size_t stage = 0; stage <= pipeline.num_passes(); ++stage) {
+        SynthState state(bench.design.dfg, *bench.design.schedule, protos,
+                         opts);
+        pipeline.run(state, stage);
+        SynthState resumed =
+            pipeline.restore(Json::parse(pipeline.snapshot(state).dump()));
+        pipeline.run(resumed);
+        EXPECT_EQ(resumed.result.describe(resumed.dfg()), want_text)
+            << bench.name << " stage " << stage;
+        EXPECT_EQ(report_json(resumed.dfg(), resumed.result).dump(), want_json)
+            << bench.name << " stage " << stage;
+      }
+    }
   }
 }
 

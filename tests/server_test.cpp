@@ -19,6 +19,9 @@
 #include <thread>
 #include <vector>
 
+#include "binding/module_spec.hpp"
+#include "dfg/benchmarks.hpp"
+#include "passes/pipeline.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
 #include "service/batch.hpp"
@@ -324,6 +327,87 @@ TEST(ServerEndToEnd, UnknownControlTypeGetsStructuredError) {
   EXPECT_EQ(j.at("status").as_string(), "error");
   EXPECT_NE(j.at("error").as_string().find("unknown request type"),
             std::string::npos);
+}
+
+// Remote single-pass execution: post a binding-stage snapshot, ask the
+// server to run the interconnect pass, and compare against running the
+// same pass locally.  A repeat of the identical request must be served
+// from the cache, and a stage-mismatched request must fail cleanly.
+TEST(ServerEndToEnd, PassRequestAdvancesSnapshotAndCaches) {
+  const Benchmark bench = make_ex1();
+  const auto protos = parse_module_spec(bench.module_spec);
+  const PassPipeline& pipeline = PassPipeline::standard();
+  const std::size_t index = pipeline.index_of("interconnect");
+
+  SynthState state(bench.design.dfg, *bench.design.schedule, protos,
+                   SynthesisOptions{});
+  pipeline.run(state, index);
+  const Json snap = pipeline.snapshot(state);
+  pipeline.run(state, index + 1);
+  const std::string want = pipeline.snapshot(state).dump_compact();
+
+  const std::string request =
+      Json::object()
+          .set("type", Json::string("pass"))
+          .set("pass", Json::string("interconnect"))
+          .set("snapshot", snap)
+          .dump_compact() +
+      "\n";
+
+  Server server(ServerOptions{});
+  server.start();
+  std::ostringstream first, second;
+  const ClientSummary s1 =
+      run_client("127.0.0.1", server.port(), request, first);
+  const ClientSummary s2 =
+      run_client("127.0.0.1", server.port(), request, second);
+  const SynthesisCache::Stats cache = server.cache().stats();
+
+  // A snapshot that is already past "binding" cannot feed the binding pass.
+  const std::string mismatched =
+      Json::object()
+          .set("type", Json::string("pass"))
+          .set("pass", Json::string("binding"))
+          .set("snapshot", snap)
+          .dump_compact() +
+      "\n";
+  std::ostringstream bad;
+  run_client("127.0.0.1", server.port(), mismatched, bad);
+  server.stop();
+
+  ASSERT_EQ(s1.responses, 1);
+  ASSERT_EQ(s2.responses, 1);
+  const Json r1 = Json::parse(sorted_lines(first.str()).at(0));
+  EXPECT_EQ(r1.at("status").as_string(), "ok");
+  EXPECT_EQ(r1.at("pass").as_string(), "interconnect");
+  EXPECT_EQ(r1.at("snapshot").at("stage").as_string(), "interconnect");
+  EXPECT_EQ(r1.at("snapshot").dump_compact(), want);
+  // Identical request, identical bytes — the second served from the cache.
+  EXPECT_EQ(sorted_lines(first.str()), sorted_lines(second.str()));
+  EXPECT_GE(cache.hits, 1u);
+
+  const Json rbad = Json::parse(sorted_lines(bad.str()).at(0));
+  EXPECT_EQ(rbad.at("status").as_string(), "error");
+  EXPECT_NE(rbad.at("error").as_string().find("is not the predecessor"),
+            std::string::npos);
+}
+
+// The health reply carries the build record so clients can detect
+// server/client version skew before posting snapshots.
+TEST(ServerEndToEnd, HealthReplyCarriesBuildInfo) {
+  Server server(ServerOptions{});
+  server.start();
+  std::ostringstream out;
+  const ClientSummary summary = run_client(
+      "127.0.0.1", server.port(), "{\"type\": \"health\"}\n", out);
+  server.stop();
+  ASSERT_EQ(summary.responses, 1);
+  const Json j = Json::parse(sorted_lines(out.str()).at(0));
+  EXPECT_EQ(j.at("type").as_string(), "health");
+  const Json& build = j.at("build");
+  for (const char* key : {"version", "git", "compiler", "sanitizer"}) {
+    EXPECT_TRUE(build.contains(key)) << key;
+  }
 }
 
 TEST(ClientHelpers, ParseHostPort) {

@@ -44,6 +44,9 @@
 //   lowbist metrics <dump.json|-> [--prom]
 //       Pretty-print a MetricsRegistry dump, or convert it to Prometheus
 //       text exposition with --prom.
+//   lowbist version [--json]
+//       Print the build identity (version, git describe, compiler,
+//       sanitizer preset, build type).
 //
 // Common options:
 //   --modules SPEC     module assignment, e.g. "1+,2*" or "1+,3[-*/&|]"
@@ -72,6 +75,16 @@
 //                      write the algorithm decision-event stream (PVES
 //                      order, ΔSD choices, Case overrides, CBILBO checks,
 //                      mux merges, BIST roles) as JSONL
+//   --dump-ir STAGE    (synth) stop after STAGE (sched, conflict_graph,
+//                      binding, interconnect, bist) and print the IR
+//                      snapshot as JSON instead of the report
+//   --ir-out FILE      (synth) write the --dump-ir snapshot to FILE
+//   --resume-from FILE (synth) restore an IR snapshot ("-" reads stdin)
+//                      and continue from its recorded stage; replaces the
+//                      design-file argument, and the snapshot's recorded
+//                      synthesis options win over --binder/--width
+//   --checkpoint FILE  (explore) append finished design points to a JSONL
+//                      checkpoint and skip points already recorded there
 
 #include <algorithm>
 #include <fstream>
@@ -80,6 +93,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "binding/bist_aware_binder.hpp"
@@ -98,6 +112,8 @@
 #include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "graph/conflict.hpp"
+#include "passes/pipeline.hpp"
+#include "support/version.hpp"
 #include "rtl/controller.hpp"
 #include "rtl/simulate.hpp"
 #include "rtl/testbench.hpp"
@@ -135,6 +151,10 @@ struct CliOptions {
   bool ctrl_verilog = false;
   std::optional<double> coverage_target;
   bool decisions = false;
+  std::optional<std::string> dump_ir;      // synth: stop after this pass
+  std::optional<std::string> ir_out;       // synth: snapshot destination
+  std::optional<std::string> resume_from;  // synth: snapshot to restore
+  std::optional<std::string> checkpoint;   // explore: JSONL sweep checkpoint
   std::optional<std::string> trace_path;
   std::optional<std::string> trace_events_path;
   bool prom = false;
@@ -167,6 +187,8 @@ struct CliOptions {
       "                [--width N] [--patterns N] [--dot] [--verilog]\n"
       "                [--plan] [--decisions] [--trace FILE]\n"
       "                [--trace-events FILE]\n"
+      "                [--dump-ir STAGE] [--ir-out FILE]\n"
+      "  lowbist synth --resume-from <snap.json|-> [--dump-ir STAGE]\n"
       "  lowbist compare <design.dfg> [--modules SPEC] [--width N]\n"
       "  lowbist tables\n"
       "  lowbist bench <ex1|ex2|tseng|paulin>\n"
@@ -183,7 +205,9 @@ struct CliOptions {
       "  lowbist fuzz --replay <file.corpus>\n"
       "  lowbist explore <design.dfg> [--modules \"S1;S2\"] [--fu \"1+,1*\"]...\n"
       "                  [--binder KIND[,KIND]] [-j N] [--width N] [--json]\n"
+      "                  [--checkpoint FILE]\n"
       "  lowbist metrics <dump.json|-> [--prom]\n"
+      "  lowbist version [--json]\n"
       "\n"
       "observability (synth, batch, serve, explore):\n"
       "  --trace FILE         Chrome trace_event JSON of pipeline spans\n"
@@ -196,11 +220,17 @@ CliOptions parse_args(int argc, char** argv) {
   if (argc < 2) usage("missing command");
   opts.command = argv[1];
   int i = 2;
-  if (opts.command == "synth" || opts.command == "compare" ||
-      opts.command == "bench" || opts.command == "schedule" ||
-      opts.command == "optimize" || opts.command == "batch" ||
-      opts.command == "client" || opts.command == "explore" ||
-      opts.command == "metrics") {
+  if (opts.command == "synth") {
+    // The design file is optional here: `synth --resume-from snap.json`
+    // carries the design inside the snapshot.  Anything starting with
+    // "--" is a flag, not the positional argument.
+    if (i < argc && std::string_view(argv[i]).substr(0, 2) != "--") {
+      opts.target = argv[i++];
+    }
+  } else if (opts.command == "compare" || opts.command == "bench" ||
+             opts.command == "schedule" || opts.command == "optimize" ||
+             opts.command == "batch" || opts.command == "client" ||
+             opts.command == "explore" || opts.command == "metrics") {
     if (i >= argc) usage("missing argument for " + opts.command);
     opts.target = argv[i++];
   }
@@ -271,6 +301,14 @@ CliOptions parse_args(int argc, char** argv) {
       opts.latency = need_int(flag);
     } else if (flag == "--decisions") {
       opts.decisions = true;
+    } else if (flag == "--dump-ir") {
+      opts.dump_ir = need_value(flag);
+    } else if (flag == "--ir-out") {
+      opts.ir_out = need_value(flag);
+    } else if (flag == "--resume-from") {
+      opts.resume_from = need_value(flag);
+    } else if (flag == "--checkpoint") {
+      opts.checkpoint = need_value(flag);
     } else if (flag == "--trace") {
       opts.trace_path = need_value(flag);
     } else if (flag == "--trace-events") {
@@ -393,42 +431,84 @@ BinderKind binder_from_name(const std::string& name) {
   usage("unknown binder: " + name);
 }
 
-int cmd_synth(const CliOptions& cli) {
-  ParsedDfg design = load_design(cli.target);
-  if (!design.schedule.has_value()) {
-    throw Error("design has no @step annotations; schedule it first");
-  }
-  const auto protos =
-      cli.modules.has_value()
-          ? parse_module_spec(*cli.modules)
-          : minimal_module_spec(design.dfg, *design.schedule);
+std::string read_manifest(const std::string& path);
 
-  SynthesisOptions opts;
-  opts.binder = binder_from_name(cli.binder);
-  opts.area.bit_width = cli.width;
+int cmd_synth(const CliOptions& cli) {
+  if (cli.target.empty() && !cli.resume_from.has_value()) {
+    usage("synth needs a design file or --resume-from");
+  }
   ObsSinks obs = ObsSinks::from_cli(cli);
-  opts.trace = obs.trace.get();
-  opts.events = obs.events.get();
+  const PassPipeline& pipeline = PassPipeline::standard();
+
+  // Build the synthesis state: restored from an IR snapshot, or fresh from
+  // the design file.
+  std::optional<ParsedDfg> design;  // keeps the live path's DFG alive
+  std::optional<SynthState> state;
+  if (cli.resume_from.has_value()) {
+    if (!cli.target.empty()) {
+      usage("--resume-from replaces the design file argument");
+    }
+    // The snapshot's recorded options win over --binder/--width: resumed
+    // passes must agree with the ones that produced the snapshot.
+    const Json snap = Json::parse(read_manifest(*cli.resume_from));
+    state.emplace(pipeline.restore(snap));
+  } else {
+    design.emplace(load_design(cli.target));
+    if (!design->schedule.has_value()) {
+      throw Error("design has no @step annotations; schedule it first");
+    }
+    auto protos = cli.modules.has_value()
+                      ? parse_module_spec(*cli.modules)
+                      : minimal_module_spec(design->dfg, *design->schedule);
+    SynthesisOptions fresh;
+    fresh.binder = binder_from_name(cli.binder);
+    fresh.area.bit_width = cli.width;
+    state.emplace(design->dfg, *design->schedule, std::move(protos), fresh);
+  }
+  state->options().trace = obs.trace.get();
+  state->options().events = obs.events.get();
+
+  const Dfg& dfg = state->dfg();
+  const Schedule& sched = state->sched();
+  const SynthesisOptions opts = state->options();
 
   if (cli.decisions && opts.binder == BinderKind::BistAware) {
-    auto lt = compute_lifetimes(design.dfg, *design.schedule, opts.lifetime);
-    auto cg = build_conflict_graph(design.dfg, lt);
-    auto mb = ModuleBinding::bind(design.dfg, *design.schedule, protos);
+    auto lt = compute_lifetimes(dfg, sched, opts.lifetime);
+    auto cg = build_conflict_graph(dfg, lt);
+    auto mb = ModuleBinding::bind(dfg, sched, state->protos());
     std::vector<std::string> trace;
-    auto rb = bind_registers_bist_aware(design.dfg, cg, mb,
+    auto rb = bind_registers_bist_aware(dfg, cg, mb,
                                         opts.bist_binder, &trace);
     (void)rb;
     std::cout << "--- binder trace ---\n";
     for (const auto& line : trace) std::cout << "  " << line << "\n";
   }
 
-  SynthesisResult result =
-      Synthesizer(opts).run(design.dfg, *design.schedule, protos);
+  if (cli.dump_ir.has_value()) {
+    // Stop after the named pass and emit the snapshot instead of a report.
+    const std::size_t end = pipeline.index_of(*cli.dump_ir) + 1;
+    LBIST_CHECK(state->completed <= end,
+                "snapshot is already past stage " + *cli.dump_ir);
+    pipeline.run(*state, end);
+    const std::string text = pipeline.snapshot(*state).dump() + "\n";
+    if (cli.ir_out.has_value()) {
+      std::ofstream out(*cli.ir_out);
+      if (!out) throw Error("cannot write snapshot: " + *cli.ir_out);
+      out << text;
+    } else {
+      std::cout << text;
+    }
+    obs.write(cli);
+    return 0;
+  }
+
+  pipeline.run(*state);
+  const SynthesisResult result = std::move(state->result);
   auto rtl_span = trace_span(obs.trace.get(), "rtl");
   if (cli.json) {
-    std::cout << report_json(design.dfg, result).dump() << "\n";
+    std::cout << report_json(dfg, result).dump() << "\n";
   } else {
-    std::cout << result.describe(design.dfg);
+    std::cout << result.describe(dfg);
   }
   int patterns = cli.patterns;
   if (cli.coverage_target.has_value()) {
@@ -463,38 +543,38 @@ int cmd_synth(const CliOptions& cli) {
     std::cout << emit_verilog(result.datapath, cli.width);
   }
   if (cli.ctrl_verilog) {
-    auto lt = compute_lifetimes(design.dfg, *design.schedule, opts.lifetime);
-    auto ctl = Controller::generate(design.dfg, *design.schedule,
+    auto lt = compute_lifetimes(dfg, sched, opts.lifetime);
+    auto ctl = Controller::generate(dfg, sched,
                                     result.registers, result.datapath, lt);
     std::cout << emit_controller_verilog(result.datapath, ctl);
   }
   if (cli.vcd) {
-    auto lt = compute_lifetimes(design.dfg, *design.schedule, opts.lifetime);
-    auto ctl = Controller::generate(design.dfg, *design.schedule,
+    auto lt = compute_lifetimes(dfg, sched, opts.lifetime);
+    auto ctl = Controller::generate(dfg, sched,
                                     result.registers, result.datapath, lt);
-    IdMap<VarId, std::uint32_t> inputs(design.dfg.num_vars(), 0);
+    IdMap<VarId, std::uint32_t> inputs(dfg.num_vars(), 0);
     std::uint32_t next = 1;
-    for (const auto& v : design.dfg.vars()) {
+    for (const auto& v : dfg.vars()) {
       if (v.is_input()) inputs[v.id] = next++;
     }
-    auto sim = simulate_datapath(design.dfg, result.datapath, ctl, inputs,
+    auto sim = simulate_datapath(dfg, result.datapath, ctl, inputs,
                                  cli.width);
     std::cout << emit_vcd(result.datapath, sim, cli.width);
   }
   if (cli.testbench) {
-    auto lt = compute_lifetimes(design.dfg, *design.schedule, opts.lifetime);
-    auto ctl = Controller::generate(design.dfg, *design.schedule,
+    auto lt = compute_lifetimes(dfg, sched, opts.lifetime);
+    auto ctl = Controller::generate(dfg, sched,
                                     result.registers, result.datapath, lt);
     // Deterministic example stimulus: input i gets value i+1.
-    IdMap<VarId, std::uint32_t> inputs(design.dfg.num_vars(), 0);
+    IdMap<VarId, std::uint32_t> inputs(dfg.num_vars(), 0);
     std::uint32_t next = 1;
-    for (const auto& v : design.dfg.vars()) {
+    for (const auto& v : dfg.vars()) {
       if (v.is_input()) inputs[v.id] = next++;
     }
-    auto sim = simulate_datapath(design.dfg, result.datapath, ctl, inputs,
+    auto sim = simulate_datapath(dfg, result.datapath, ctl, inputs,
                                  cli.width);
     LBIST_CHECK(sim.ok(), "internal error: simulation mismatch");
-    std::cout << emit_testbench(design.dfg, result.datapath, ctl, inputs,
+    std::cout << emit_testbench(dfg, result.datapath, ctl, inputs,
                                 sim, cli.width);
   }
   rtl_span.finish();
@@ -648,7 +728,9 @@ int cmd_batch(const CliOptions& cli) {
   if (cli.metrics_path.has_value()) {
     std::ofstream mout(*cli.metrics_path);
     if (!mout) throw Error("cannot write metrics: " + *cli.metrics_path);
-    mout << metrics.to_json().dump() << "\n";
+    // Stamp the dump with the writing build so archived metrics stay
+    // attributable; prometheus conversion ignores the extra key.
+    mout << metrics.to_json().set("build", build_info_json()).dump() << "\n";
   }
   std::cerr << "batch: " << summary.ok << "/" << summary.total << " ok, "
             << summary.errors << " errors, " << summary.cache_hits
@@ -785,6 +867,7 @@ int cmd_explore(const CliOptions& cli) {
   opts.jobs = cli.jobs;
   opts.trace = obs.trace.get();
   opts.events = obs.events.get();
+  if (cli.checkpoint.has_value()) opts.checkpoint = *cli.checkpoint;
   if (cli.binder_given) {
     opts.binders.clear();
     for (const std::string& name : split_list(cli.binder, ',')) {
@@ -876,6 +959,15 @@ int cmd_metrics(const CliOptions& cli) {
   return 0;
 }
 
+int cmd_version(const CliOptions& cli) {
+  if (cli.json) {
+    std::cout << build_info_json().dump() << "\n";
+  } else {
+    std::cout << build_info_string();
+  }
+  return 0;
+}
+
 int cmd_bench(const CliOptions& cli) {
   Benchmark bench = builtin_benchmark(cli.target);
   std::cout << "# module spec: " << bench.module_spec << "\n"
@@ -900,6 +992,7 @@ int main(int argc, char** argv) {
     if (cli.command == "fuzz") return cmd_fuzz(cli);
     if (cli.command == "explore") return cmd_explore(cli);
     if (cli.command == "metrics") return cmd_metrics(cli);
+    if (cli.command == "version") return cmd_version(cli);
     usage("unknown command: " + cli.command);
   } catch (const lbist::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
