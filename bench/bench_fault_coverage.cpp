@@ -4,18 +4,24 @@
 //   * the independent-vs-correlated TPG experiment — the quantitative
 //     reason an embedding needs two *distinct* TPG registers,
 //   * the full test plan (sessions, clocks, coverage) for every paper
-//     benchmark's testable data path.
+//     benchmark's testable data path,
+//   * the hybrid test-session comparison (src/hybrid): pure pseudo-random
+//     vs reseed/top-up vs the evolved-seed baseline on every paper
+//     benchmark's testable data path at the gate level.
 //
-// Timing benchmark: fault simulation cost per module type.
+// Timing benchmark: fault simulation cost per module type.  The tables
+// are also written as BENCH_fault_coverage.json (bench_json.hpp).
 
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "bist/fault_sim.hpp"
 #include "bist/test_plan.hpp"
 #include "core/compare.hpp"
 #include "dfg/benchmarks.hpp"
+#include "hybrid/session.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -24,7 +30,7 @@ using namespace lbist;
 
 constexpr int kWidth = 8;
 
-void print_coverage_curves() {
+void print_coverage_curves(benchjson::BenchJson& artifact) {
   TextTable t({"module", "8 pat", "32 pat", "128 pat", "512 pat",
                "512 pat, 1 TPG"});
   t.set_title("Fault coverage (%) vs pattern count — stuck-at port faults");
@@ -40,9 +46,12 @@ void print_coverage_curves() {
   for (const auto& [label, proto] : units) {
     std::vector<std::string> row{label};
     for (int patterns : {8, 32, 128, 512}) {
-      row.push_back(fmt_double(
-          100.0 * simulate_module_bist(proto, kWidth, patterns).coverage(),
-          1));
+      const double coverage =
+          simulate_module_bist(proto, kWidth, patterns).coverage();
+      artifact.add("port_coverage",
+                   std::string(label) + " @" + std::to_string(patterns), {},
+                   Json::object().set("coverage", Json::number(coverage)));
+      row.push_back(fmt_double(100.0 * coverage, 1));
     }
     row.push_back(fmt_double(
         100.0 *
@@ -54,7 +63,7 @@ void print_coverage_curves() {
   std::cout << t << std::endl;
 }
 
-void print_test_plans() {
+void print_test_plans(benchjson::BenchJson& artifact) {
   TextTable t({"DFG", "sessions", "clocks", "min coverage %",
                "avg coverage %"});
   t.set_title("Test plans for the testable (BIST-aware) data paths");
@@ -62,10 +71,50 @@ void print_test_plans() {
     TestPlan plan =
         build_test_plan(row.testable.datapath, row.testable.bist, 250,
                         kWidth);
+    artifact.add("test_plan", row.name, {},
+                 Json::object()
+                     .set("sessions", Json::number(plan.num_sessions))
+                     .set("clocks", Json::number(plan.total_clocks))
+                     .set("min_coverage", Json::number(plan.min_coverage))
+                     .set("avg_coverage", Json::number(plan.avg_coverage)));
     t.add_row({row.name, std::to_string(plan.num_sessions),
                std::to_string(plan.total_clocks),
                fmt_double(100.0 * plan.min_coverage, 1),
                fmt_double(100.0 * plan.avg_coverage, 1)});
+  }
+  std::cout << t << std::endl;
+}
+
+/// The hybrid comparison: every paper benchmark's testable data path
+/// graded under the default configuration ladder at the gate level.  The
+/// interesting contrast is "pr" (the chip-seed pseudo-random session the
+/// paper's plan implies) against "hybrid+topup" (same area, reseeding
+/// recovers the hard faults at a fraction of the clocks).
+void print_hybrid_comparison(benchjson::BenchJson& artifact) {
+  TextTable t({"DFG", "config", "coverage %", "test clocks", "hard",
+               "reseeds", "topups"});
+  t.set_title("Hybrid test sessions on the testable data paths (width " +
+              std::to_string(kWidth) + ")");
+  for (const auto& row : compare_paper_benchmarks()) {
+    for (const HybridConfig& config : default_hybrid_configs(250)) {
+      const HybridSessionResult r = run_hybrid_session(
+          row.testable.datapath, row.testable.bist, config, kWidth);
+      artifact.add(
+          "hybrid_session", row.name + " " + config.name, {},
+          Json::object()
+              .set("coverage", Json::number(r.coverage()))
+              .set("test_length",
+                   Json::number(static_cast<std::int64_t>(r.test_clocks)))
+              .set("hard_faults", Json::number(r.hard_faults))
+              .set("reseeds", Json::number(r.reseeds_used))
+              .set("topups", Json::number(r.topups_used)));
+      t.add_row({row.name, config.name,
+                 fmt_double(100.0 * r.coverage(), 2),
+                 std::to_string(r.test_clocks),
+                 std::to_string(r.hard_faults),
+                 std::to_string(r.reseeds_used),
+                 std::to_string(r.topups_used)});
+    }
   }
   std::cout << t << std::endl;
 }
@@ -98,10 +147,13 @@ BENCHMARK(BM_BuildTestPlan);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_coverage_curves();
-  print_test_plans();
+  lbist::benchjson::BenchJson artifact("fault_coverage");
+  print_coverage_curves(artifact);
+  print_test_plans(artifact);
+  print_hybrid_comparison(artifact);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  artifact.write();
   return 0;
 }

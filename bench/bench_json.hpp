@@ -1,0 +1,90 @@
+#pragma once
+// Machine-readable benchmark artifacts (shared by the bench binaries).
+//
+// A bench binary collects one row per scenario and writes
+// `BENCH_<name>.json` into the working directory when it exits, alongside
+// the human-readable tables it already prints.  Each row carries the
+// scenario name + configuration label, the sample count, and the
+// p50/p95/p99 of its timing samples; extra keys (coverage, throughput,
+// test length, ...) ride along verbatim.  Every file is stamped with the
+// writing build (support/version.hpp) so archived results stay
+// attributable:
+//
+//   {"bench": "server", "build": {...}, "results": [
+//     {"name": "loopback", "config": "4 conn, warm", "samples": 128,
+//      "p50_ms": 0.41, "p95_ms": 0.93, "p99_ms": 1.72,
+//      "req_per_sec": 2140.3}, ...]}
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/version.hpp"
+
+namespace lbist::benchjson {
+
+/// Linear-interpolation percentile of an ascending-sorted sample vector.
+inline double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Collects scenario rows for one bench binary and writes the artifact.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Adds one row.  `samples_ms` need not be sorted; pass an empty vector
+  /// for rows that are pure measurements (coverage tables) — the
+  /// percentile keys are then omitted.  `extra` keys are merged into the
+  /// row as-is.
+  void add(const std::string& name, const std::string& config,
+           std::vector<double> samples_ms, Json extra = Json::object()) {
+    Json row = Json::object()
+                   .set("name", Json::string(name))
+                   .set("config", Json::string(config));
+    if (!samples_ms.empty()) {
+      std::sort(samples_ms.begin(), samples_ms.end());
+      row.set("samples",
+              Json::number(static_cast<std::int64_t>(samples_ms.size())))
+          .set("p50_ms", Json::number(percentile(samples_ms, 0.50)))
+          .set("p95_ms", Json::number(percentile(samples_ms, 0.95)))
+          .set("p99_ms", Json::number(percentile(samples_ms, 0.99)));
+    }
+    for (const std::string& key : extra.keys()) row.set(key, extra.at(key));
+    results_.push_back(std::move(row));
+  }
+
+  /// Writes `BENCH_<bench>.json` (working directory) and reports the path
+  /// on stdout; a row-less collector still writes a valid artifact.
+  void write() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    Json results = Json::array();
+    for (const Json& row : results_) results.push_back(row);
+    const Json doc = Json::object()
+                         .set("bench", Json::string(bench_))
+                         .set("build", build_info_json())
+                         .set("results", std::move(results));
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    out << doc.dump() << "\n";
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), results_.size());
+  }
+
+ private:
+  std::string bench_;
+  std::vector<Json> results_;
+};
+
+}  // namespace lbist::benchjson

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "obs/trace.hpp"
 #include "server/net.hpp"
 #include "server/server.hpp"
@@ -87,14 +88,7 @@ RunStats run_scenario(lbist::Server& server, int connections,
   return stats;
 }
 
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double idx = q * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(idx);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = idx - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
+using lbist::benchjson::percentile;
 
 }  // namespace
 
@@ -106,6 +100,7 @@ int main(int argc, char** argv) {
   lbist::TextTable table({"connections", "cache", "requests", "seconds",
                           "req/s", "p50 ms", "p95 ms", "p99 ms"});
   table.set_title("lowbist serve loopback load (closed loop per connection)");
+  lbist::benchjson::BenchJson artifact("server");
 
   for (int connections : {1, 4, 8}) {
     // A fresh server per connection count: "cold" means an empty cache,
@@ -119,6 +114,11 @@ int main(int argc, char** argv) {
       const RunStats stats =
           run_scenario(server, connections, requests_per_conn);
       const auto n = static_cast<double>(stats.latencies_ms.size());
+      artifact.add("loopback",
+                   std::to_string(connections) + " conn, " + label,
+                   stats.latencies_ms,
+                   lbist::Json::object().set(
+                       "req_per_sec", lbist::Json::number(n / stats.seconds)));
       table.add_row({std::to_string(connections), label,
                      std::to_string(stats.latencies_ms.size()),
                      lbist::fmt_double(stats.seconds, 3),
@@ -153,6 +153,12 @@ int main(int argc, char** argv) {
     const RunStats stats = run_scenario(server, 4, requests_per_conn);
     server.stop();
     const auto n = static_cast<double>(stats.latencies_ms.size());
+    artifact.add("tracing", enabled ? "enabled" : "disabled",
+                 stats.latencies_ms,
+                 lbist::Json::object()
+                     .set("req_per_sec", lbist::Json::number(n / stats.seconds))
+                     .set("spans", lbist::Json::number(static_cast<std::int64_t>(
+                                       rec.event_count()))));
     trace_table.add_row(
         {enabled ? "enabled" : "disabled",
          std::to_string(stats.latencies_ms.size()),
@@ -164,5 +170,6 @@ int main(int argc, char** argv) {
          std::to_string(rec.event_count())});
   }
   std::printf("%s\n", trace_table.str().c_str());
+  artifact.write();
   return 0;
 }

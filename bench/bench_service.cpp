@@ -9,9 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <sstream>
 #include <string>
 
+#include "bench_json.hpp"
 #include "obs/events.hpp"
 #include "obs/trace.hpp"
 #include "service/batch.hpp"
@@ -130,6 +132,59 @@ void BM_BatchTraceEnabled(benchmark::State& state) {
 BENCHMARK(BM_BatchTraceEnabled)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// Sampled repetitions of the manifest for the BENCH_service.json
+/// artifact: wall-time per whole-manifest run (the percentile basis) plus
+/// the jobs/sec the median run sustained.
+void write_artifact() {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kReps = 5;
+  const auto entries = parse_manifest(hundred_job_manifest());
+  benchjson::BenchJson artifact("service");
+  for (const int jobs : {1, 4}) {
+    for (const bool warm : {false, true}) {
+      SynthesisCache cache(256);
+      if (warm) {
+        BatchOptions opts;
+        opts.jobs = jobs;
+        opts.cache = &cache;
+        std::ostringstream out;
+        run_batch(entries, opts, out);
+      }
+      std::vector<double> samples_ms;
+      for (int rep = 0; rep < kReps; ++rep) {
+        BatchOptions opts;
+        opts.jobs = jobs;
+        if (warm) opts.cache = &cache;
+        std::ostringstream out;
+        const Clock::time_point t0 = Clock::now();
+        const auto summary = run_batch(entries, opts, out);
+        samples_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count());
+        benchmark::DoNotOptimize(summary.ok);
+      }
+      std::sort(samples_ms.begin(), samples_ms.end());
+      const double median_ms = benchjson::percentile(samples_ms, 0.50);
+      artifact.add(
+          "batch_manifest",
+          "-j" + std::to_string(jobs) + (warm ? " warm" : " cold"),
+          samples_ms,
+          Json::object().set(
+              "jobs_per_sec",
+              Json::number(static_cast<double>(entries.size()) * 1000.0 /
+                           median_ms)));
+    }
+  }
+  artifact.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_artifact();
+  return 0;
+}

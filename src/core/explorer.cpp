@@ -2,15 +2,14 @@
 
 #include <fstream>
 #include <functional>
-#include <future>
 #include <mutex>
 #include <optional>
 #include <sstream>
 #include <unordered_map>
 
+#include "core/sweep.hpp"
 #include "obs/trace.hpp"
 #include "passes/synth_state.hpp"
-#include "service/thread_pool.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
 #include "support/version.hpp"
@@ -149,29 +148,6 @@ DesignPoint synthesize_point(const Dfg& dfg, const Schedule& sched,
   return point;
 }
 
-/// Runs one independent task per design point, serially for jobs == 1 or
-/// over a ThreadPool otherwise.  Each task writes its own slot, so results
-/// come back in input order either way; a task's exception propagates
-/// through its future after every task has finished.
-std::vector<DesignPoint> run_points(
-    std::size_t count, int jobs,
-    const std::function<DesignPoint(std::size_t)>& make_point) {
-  std::vector<DesignPoint> points(count);
-  if (jobs == 1) {
-    for (std::size_t i = 0; i < count; ++i) points[i] = make_point(i);
-    return points;
-  }
-  ThreadPool pool(ThreadPool::resolve_jobs(jobs));
-  std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(
-        pool.submit([&, i] { points[i] = make_point(i); }));
-  }
-  for (auto& f : futures) f.get();
-  return points;
-}
-
 }  // namespace
 
 std::vector<DesignPoint> explore_module_specs(
@@ -180,7 +156,7 @@ std::vector<DesignPoint> explore_module_specs(
   const std::size_t per_spec = opts.binders.size();
   const std::vector<Synthesizer> synths = make_synthesizers(opts);
   Checkpoint checkpoint(opts.checkpoint);
-  return run_points(
+  return run_sweep<DesignPoint>(
       specs.size() * per_spec, opts.jobs, [&](std::size_t i) {
         const std::string& spec = specs[i / per_spec];
         const std::size_t which = i % per_spec;
@@ -201,7 +177,7 @@ std::vector<DesignPoint> explore_resource_budgets(
   const std::size_t per_budget = opts.binders.size();
   const std::vector<Synthesizer> synths = make_synthesizers(opts);
   Checkpoint checkpoint(opts.checkpoint);
-  return run_points(
+  return run_sweep<DesignPoint>(
       budgets.size() * per_budget, opts.jobs, [&](std::size_t i) {
         const ResourceLimits& budget = budgets[i / per_budget];
         const std::size_t which = i % per_budget;

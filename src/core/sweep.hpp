@@ -1,0 +1,41 @@
+#pragma once
+// Deterministic parallel fan-out shared by the design-space explorer and
+// the hybrid-BIST Pareto sweep.
+//
+// The contract that makes `-j 1` and `-j N` bit-identical: every task is an
+// independent pure function of its index, and each writes only its own
+// result slot, so the output vector is in input order regardless of the
+// thread count or completion order.
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "service/thread_pool.hpp"
+
+namespace lbist {
+
+/// Runs one independent task per point, serially for jobs == 1 or over a
+/// ThreadPool otherwise (jobs < 1 = hardware concurrency).  A task's
+/// exception propagates through its future after every task has finished.
+template <class Point>
+[[nodiscard]] std::vector<Point> run_sweep(
+    std::size_t count, int jobs,
+    const std::function<Point(std::size_t)>& make_point) {
+  std::vector<Point> points(count);
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < count; ++i) points[i] = make_point(i);
+    return points;
+  }
+  ThreadPool pool(ThreadPool::resolve_jobs(jobs));
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool.submit([&, i] { points[i] = make_point(i); }));
+  }
+  for (auto& f : futures) f.get();
+  return points;
+}
+
+}  // namespace lbist

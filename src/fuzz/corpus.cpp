@@ -59,6 +59,8 @@ CorpusEntry parse_corpus(std::string_view text) {
       entry.oracle = value;
     } else if (key == "note") {
       entry.note = value;
+    } else if (key == "build") {
+      entry.build = value;
     } else {
       throw Error("unknown corpus directive: #! " + key + where);
     }
@@ -81,6 +83,7 @@ std::string dump_corpus(const CorpusEntry& entry) {
   out << "#! oracle " << (entry.oracle.empty() ? "none" : entry.oracle)
       << "\n";
   if (!entry.note.empty()) out << "#! note " << entry.note << "\n";
+  if (!entry.build.empty()) out << "#! build " << entry.build << "\n";
   out << print_dfg(entry.design.dfg, &*entry.design.schedule);
   return out.str();
 }

@@ -11,6 +11,7 @@
 //   #! width 4
 //   #! oracle simulation:bist
 //   #! note minimized from 18 ops
+//   #! build lowbist 0.5.0 (a1b2c3d) Release
 //   dfg random_s1234
 //   input in0 in1
 //   op add0 + in0 in1 -> t0 @1
@@ -39,6 +40,10 @@ struct CorpusEntry {
   std::string oracle = "none";
   /// Free-text provenance ("minimized from 18 ops", triage notes, ...).
   std::string note;
+  /// Identity of the build that wrote the reproducer (build_info_line()):
+  /// a failure that stops reproducing can be traced to the writing binary.
+  /// Empty for handwritten entries.
+  std::string build;
   /// The design itself; the schedule is mandatory (fuzzing replays need
   /// the exact control steps).
   ParsedDfg design{Dfg(""), std::nullopt};

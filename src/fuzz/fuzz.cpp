@@ -10,6 +10,7 @@
 #include "fuzz/minimize.hpp"
 #include "service/thread_pool.hpp"
 #include "support/check.hpp"
+#include "support/version.hpp"
 
 namespace lbist {
 namespace {
@@ -160,6 +161,7 @@ FuzzFailureReport build_report(int index, const FuzzCase& fc,
   entry.seed = fc.case_seed;
   entry.width = fc.width;
   entry.oracle = report.oracle;
+  entry.build = build_info_line();
 
   const OracleOptions oo = oracle_options_for(fc, opts);
   if (opts.minimize) {

@@ -36,23 +36,15 @@ std::vector<std::uint64_t> pack_patterns(Lfsr& lfsr, int count, int width) {
   return words;
 }
 
-}  // namespace
+/// One 64-pattern-parallel stimulus block for both operand ports.
+struct Block {
+  std::vector<std::uint64_t> a, b;
+  int count = 0;
+};
 
-CoverageResult simulate_gate_bist(const ModuleNetlist& module, int patterns,
-                                  bool independent_tpgs) {
-  const int width = module.width;
-  const std::uint64_t period = (std::uint64_t{1} << width) - 1;
-  if (static_cast<std::uint64_t>(patterns) > period) {
-    patterns = static_cast<int>(period);
-  }
-
-  // Pre-pack the pattern stream in 64-pattern blocks.
-  Lfsr gen_a(width, 0x5);
-  Lfsr gen_b(width, independent_tpgs ? 0x13 : 0x5);
-  struct Block {
-    std::vector<std::uint64_t> a, b;
-    int count;
-  };
+/// Pre-packs a whole session's stimulus in 64-pattern blocks.
+std::vector<Block> pack_session(Lfsr& gen_a, Lfsr& gen_b, int patterns,
+                                int width) {
   std::vector<Block> blocks;
   for (int done = 0; done < patterns; done += 64) {
     const int count = std::min(64, patterns - done);
@@ -62,29 +54,123 @@ CoverageResult simulate_gate_bist(const ModuleNetlist& module, int patterns,
     blk.count = count;
     blocks.push_back(std::move(blk));
   }
+  return blocks;
+}
 
-  auto run = [&](int fault_node, bool fault_value) {
-    Misr sa(width);
-    for (const Block& blk : blocks) {
-      const auto out = module.eval(blk.a, blk.b, fault_node, fault_value);
-      for (int p = 0; p < blk.count; ++p) {
-        std::uint32_t word = 0;
-        for (int b = 0; b < width; ++b) {
-          if ((out[static_cast<std::size_t>(b)] >> p) & 1u) word |= 1u << b;
-        }
-        sa.absorb(word);
+/// MISR signature of one (possibly faulty) run over the packed blocks.
+std::uint32_t run_signature(const ModuleNetlist& module,
+                            const std::vector<Block>& blocks, int fault_node,
+                            bool fault_value) {
+  const int width = module.width;
+  Misr sa(width);
+  for (const Block& blk : blocks) {
+    const auto out = module.eval(blk.a, blk.b, fault_node, fault_value);
+    for (int p = 0; p < blk.count; ++p) {
+      std::uint32_t word = 0;
+      for (int b = 0; b < width; ++b) {
+        if ((out[static_cast<std::size_t>(b)] >> p) & 1u) word |= 1u << b;
       }
+      sa.absorb(word);
     }
-    return sa.signature();
-  };
+  }
+  return sa.signature();
+}
 
-  const std::uint32_t golden = run(-1, false);
+int cap_to_period(int patterns, int width) {
+  const std::uint64_t period = (std::uint64_t{1} << width) - 1;
+  if (static_cast<std::uint64_t>(patterns) > period) {
+    return static_cast<int>(period);
+  }
+  return patterns;
+}
+
+}  // namespace
+
+CoverageResult simulate_gate_bist(const ModuleNetlist& module, int patterns,
+                                  bool independent_tpgs) {
+  const int width = module.width;
+  patterns = cap_to_period(patterns, width);
+
+  Lfsr gen_a(width, 0x5);
+  Lfsr gen_b(width, independent_tpgs ? 0x13 : 0x5);
+  const std::vector<Block> blocks =
+      pack_session(gen_a, gen_b, patterns, width);
+
+  const std::uint32_t golden = run_signature(module, blocks, -1, false);
   CoverageResult result;
   for (const GateFault& f : enumerate_gate_faults(module.netlist)) {
     ++result.total;
-    if (run(f.node, f.stuck_one) != golden) ++result.detected;
+    if (run_signature(module, blocks, f.node, f.stuck_one) != golden) {
+      ++result.detected;
+    }
   }
   return result;
+}
+
+GateBistDetail simulate_gate_bist_seeded(const ModuleNetlist& module,
+                                         std::uint32_t seed_a,
+                                         std::uint32_t seed_b, int patterns) {
+  const int width = module.width;
+  patterns = cap_to_period(patterns, width);
+
+  Lfsr gen_a(width, seed_a);
+  Lfsr gen_b(width, seed_b);
+  const std::vector<Block> blocks =
+      pack_session(gen_a, gen_b, patterns, width);
+
+  GateBistDetail detail;
+  detail.golden_signature = run_signature(module, blocks, -1, false);
+  for (const GateFault& f : enumerate_gate_faults(module.netlist)) {
+    ++detail.summary.total;
+    if (run_signature(module, blocks, f.node, f.stuck_one) !=
+        detail.golden_signature) {
+      ++detail.summary.detected;
+    } else {
+      detail.undetected.push_back(f);
+    }
+  }
+  return detail;
+}
+
+std::vector<int> fault_cone_inputs(const GateNetlist& netlist, int node) {
+  LBIST_CHECK(node >= 0 && static_cast<std::size_t>(node) < netlist.num_nodes(),
+              "fault_cone_inputs: node out of range");
+  // Nodes are in topological order, so one backward sweep with a reach
+  // mask collects the transitive fan-in.
+  std::vector<char> reach(netlist.num_nodes(), 0);
+  reach[static_cast<std::size_t>(node)] = 1;
+  std::vector<int> inputs;
+  for (int n = node; n >= 0; --n) {
+    if (!reach[static_cast<std::size_t>(n)]) continue;
+    const GateNode& g = netlist.node(static_cast<std::size_t>(n));
+    if (g.kind == GateKind::Input) {
+      inputs.push_back(n);
+      continue;
+    }
+    if (g.fanin0 >= 0) reach[static_cast<std::size_t>(g.fanin0)] = 1;
+    if (g.fanin1 >= 0) reach[static_cast<std::size_t>(g.fanin1)] = 1;
+  }
+  std::reverse(inputs.begin(), inputs.end());
+  return inputs;
+}
+
+bool pattern_detects_fault(const ModuleNetlist& module, std::uint32_t a,
+                           std::uint32_t b, const GateFault& fault) {
+  const int width = module.width;
+  std::vector<std::uint64_t> a_bits(static_cast<std::size_t>(width), 0);
+  std::vector<std::uint64_t> b_bits(static_cast<std::size_t>(width), 0);
+  for (int bit = 0; bit < width; ++bit) {
+    if ((a >> bit) & 1u) a_bits[static_cast<std::size_t>(bit)] = 1;
+    if ((b >> bit) & 1u) b_bits[static_cast<std::size_t>(bit)] = 1;
+  }
+  // Only lane 0 carries the pattern; the other 63 lanes are a spurious
+  // all-zeros stimulus and must not contribute to the verdict.
+  const auto golden = module.eval(a_bits, b_bits);
+  const auto faulty = module.eval(a_bits, b_bits, fault.node, fault.stuck_one);
+  for (std::size_t o = 0; o < golden.size(); ++o) {
+    if (((golden[o] ^ faulty[o]) & 1u) != 0) return true;
+  }
+  return false;
 }
 
 }  // namespace lbist

@@ -8,17 +8,17 @@
 
 namespace lbist {
 
-namespace {
-
-/// Chip seed per register — must match bist/selftest.cpp so the emitted
-/// hardware, the word-level engine and this grader agree on the stimulus.
-std::uint32_t seed_for(std::size_t reg, int width) {
+// Chip seed per register — must match bist/selftest.cpp so the emitted
+// hardware, the word-level engine and this grader agree on the stimulus.
+std::uint32_t chip_seed(std::size_t reg, int width) {
   const std::uint32_t mask =
       width == 32 ? 0xFFFFFFFFu : ((std::uint32_t{1} << width) - 1);
   const std::uint32_t seed =
       (0x9E3779B9u * (static_cast<std::uint32_t>(reg) + 1)) & mask;
   return seed == 0 ? 1 : seed;
 }
+
+namespace {
 
 /// Signature of one module-function session through the gate netlist.
 std::uint32_t session_signature(const ModuleNetlist& net,
@@ -77,8 +77,8 @@ GateSelfTestResult run_gate_self_test(const Datapath& dp,
     const BistEmbedding& e = *solution.embeddings[m];
     LBIST_CHECK(!e.uses_transparency(),
                 "gate-level grading of transparent paths is not supported");
-    const std::uint32_t seed_l = seed_for(e.tpg_left, width);
-    const std::uint32_t seed_r = seed_for(e.tpg_right, width);
+    const std::uint32_t seed_l = chip_seed(e.tpg_left, width);
+    const std::uint32_t seed_r = chip_seed(e.tpg_right, width);
 
     GateSelfTestModule report;
     report.module = m;

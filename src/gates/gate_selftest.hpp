@@ -39,6 +39,12 @@ struct GateSelfTestResult {
   }
 };
 
+/// Chip seed of TPG register `reg` at `width` bits — the per-register
+/// power-on constant the emitted hardware, the word-level engine
+/// (bist/selftest.cpp), this grader and the hybrid session model all agree
+/// on.  Never zero (an all-zero LFSR state is absorbing).
+[[nodiscard]] std::uint32_t chip_seed(std::size_t reg, int width);
+
 /// Grades every testable module of the solution at gate level, using the
 /// embedding's TPG registers (chip seeds) and a per-function MISR session,
 /// `patterns` clocks each (period-capped).

@@ -1,0 +1,38 @@
+#pragma once
+// Evolutionary test-generation baseline (cf. "Evolutionary Approach to
+// Test Generation for Functional BIST"): a small, fully deterministic GA
+// over the TPG seed pair.  Instead of reseeding per hard fault, this arm
+// asks how far a *single* well-chosen seed pair gets within the same
+// pattern budget — the comparison point that shows whether hybrid
+// reseeding earns its scan-load clocks.
+//
+// Determinism: fixed population size, generation count and splitmix64
+// stream (keyed by the config's evolve_seed and the netlist shape), so
+// the winning pair is a pure function of (netlist, budget, config).
+
+#include <cstdint>
+
+#include "gates/gate_fault_sim.hpp"
+#include "hybrid/reseed.hpp"
+
+namespace lbist {
+
+struct EvolveParams {
+  int population = 8;
+  int generations = 6;
+  std::uint64_t seed = 0x105EB157ULL;  ///< GA stream seed
+};
+
+struct EvolveOutcome {
+  SeedPair best;
+  int detected = 0;  ///< faults the best pair detects within the budget
+};
+
+/// Evolves a seed pair maximizing faults detected by a `patterns`-clock
+/// pseudo-random session (period-capped).  Fitness ties break toward the
+/// earlier candidate, keeping the result order-independent.
+[[nodiscard]] EvolveOutcome evolve_seed_pair(const ModuleNetlist& module,
+                                             int patterns,
+                                             const EvolveParams& params);
+
+}  // namespace lbist

@@ -1,0 +1,184 @@
+#include "hybrid/pareto.hpp"
+
+#include <utility>
+
+#include "core/sweep.hpp"
+#include "obs/trace.hpp"
+#include "passes/synth_state.hpp"
+#include "service/metrics.hpp"
+#include "support/table.hpp"
+
+namespace lbist {
+
+namespace {
+
+/// One synthesized binder arm, shared by every configuration point.
+struct Arm {
+  std::string spec;
+  BinderKind binder = BinderKind::BistAware;
+  SynthesisResult result;
+};
+
+}  // namespace
+
+std::vector<HybridPoint> explore_hybrid(const Dfg& dfg, const Schedule& sched,
+                                        const std::vector<std::string>& specs,
+                                        const HybridSweepOptions& opts) {
+  const std::vector<HybridConfig> configs =
+      opts.configs.empty() ? default_hybrid_configs(opts.patterns)
+                           : opts.configs;
+  const std::size_t num_binders = opts.binders.size();
+  const std::size_t num_configs = configs.size();
+  const int width = opts.area.bit_width;
+
+  // Stage 1: synthesize every (spec, binder) arm once — the allocator's
+  // area objective does not depend on the test scheme.
+  std::vector<Arm> arms = run_sweep<Arm>(
+      specs.size() * num_binders, opts.jobs, [&](std::size_t i) {
+        Arm arm;
+        arm.spec = specs[i / num_binders];
+        arm.binder = opts.binders[i % num_binders];
+        SynthesisOptions sopts;
+        sopts.binder = arm.binder;
+        sopts.area = opts.area;
+        sopts.trace = opts.trace;
+        arm.result =
+            Synthesizer(sopts).run(dfg, sched, parse_module_spec(arm.spec));
+        return arm;
+      });
+
+  // Stage 2: grade every (arm, config) point.
+  std::vector<HybridPoint> points = run_sweep<HybridPoint>(
+      arms.size() * num_configs, opts.jobs, [&](std::size_t i) {
+        const Arm& arm = arms[i / num_configs];
+        const HybridConfig& cfg = configs[i % num_configs];
+        auto span = trace_span(opts.trace, "hybrid_point");
+        if (span.active()) {
+          span.arg("label", arm.spec);
+          span.arg("binder", binder_kind_name(arm.binder));
+          span.arg("config", cfg.name);
+        }
+        const HybridSessionResult session = run_hybrid_session(
+            arm.result.datapath, arm.result.bist, cfg, width, opts.trace);
+
+        HybridPoint p;
+        p.label = arm.spec;
+        p.binder = arm.binder;
+        p.config = cfg.name;
+        p.num_registers = arm.result.num_registers();
+        p.num_mux = arm.result.num_mux();
+        p.functional_area = arm.result.functional_area;
+        p.bist_area = arm.result.bist.extra_area;
+        p.fault_coverage = session.coverage();
+        p.test_length = session.test_clocks;
+        p.faults_total = session.faults_total;
+        p.hard_faults = session.hard_faults;
+        p.reseeds = session.reseeds_used;
+        p.topups = session.topups_used;
+        p.sessions = session.num_sessions;
+        return p;
+      });
+
+  // Session statistics are recorded from the final (deterministic) points,
+  // not inside the workers, so the metrics dump is identical for any -j.
+  if (opts.metrics != nullptr) {
+    MetricsRegistry& m = *opts.metrics;
+    for (const HybridPoint& p : points) {
+      m.counter("hybrid_points").inc();
+      m.counter("hybrid_hard_faults")
+          .inc(static_cast<std::uint64_t>(p.hard_faults));
+      m.counter("hybrid_reseeds").inc(static_cast<std::uint64_t>(p.reseeds));
+      m.counter("hybrid_topups").inc(static_cast<std::uint64_t>(p.topups));
+      m.histogram("hybrid_coverage_percent").record(p.fault_coverage * 100.0);
+      m.histogram("hybrid_test_length_clocks")
+          .record(static_cast<double>(p.test_length));
+    }
+  }
+  return points;
+}
+
+bool hybrid_dominates(const HybridPoint& x, const HybridPoint& y) {
+  const bool no_worse = x.bist_area <= y.bist_area &&
+                        x.fault_coverage >= y.fault_coverage &&
+                        x.test_length <= y.test_length;
+  const bool better = x.bist_area < y.bist_area ||
+                      x.fault_coverage > y.fault_coverage ||
+                      x.test_length < y.test_length;
+  return no_worse && better;
+}
+
+std::vector<std::size_t> hybrid_pareto_front(
+    const std::vector<HybridPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i != j && hybrid_dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::string describe_hybrid_points(const std::vector<HybridPoint>& points) {
+  TextTable t({"point", "binder", "config", "BIST area", "coverage %",
+               "test clocks", "hard", "reseeds", "topups", "sessions"});
+  const auto front = hybrid_pareto_front(points);
+  auto on_front = [&](std::size_t i) {
+    for (std::size_t f : front) {
+      if (f == i) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const HybridPoint& p = points[i];
+    t.add_row({p.label + (on_front(i) ? " *" : ""),
+               std::string(binder_kind_name(p.binder)), p.config,
+               fmt_double(p.bist_area, 0),
+               fmt_double(p.fault_coverage * 100.0),
+               std::to_string(p.test_length), std::to_string(p.hard_faults),
+               std::to_string(p.reseeds), std::to_string(p.topups),
+               std::to_string(p.sessions)});
+  }
+  return t.str() +
+         "(* = on the (BIST area, fault coverage, test length) Pareto "
+         "front)\n";
+}
+
+Json hybrid_points_json(const std::vector<HybridPoint>& points) {
+  const auto front = hybrid_pareto_front(points);
+  std::vector<bool> on_front(points.size(), false);
+  for (std::size_t f : front) on_front[f] = true;
+
+  Json arr = Json::array();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const HybridPoint& p = points[i];
+    arr.push_back(
+        Json::object()
+            .set("label", Json::string(p.label))
+            .set("binder",
+                 Json::string(std::string(binder_kind_name(p.binder))))
+            .set("config", Json::string(p.config))
+            .set("registers", Json::number(p.num_registers))
+            .set("mux", Json::number(p.num_mux))
+            .set("functional_area", Json::number(p.functional_area))
+            .set("bist_area", Json::number(p.bist_area))
+            .set("fault_coverage", Json::number(p.fault_coverage))
+            .set("test_length",
+                 Json::number(static_cast<std::int64_t>(p.test_length)))
+            .set("faults_total", Json::number(p.faults_total))
+            .set("hard_faults", Json::number(p.hard_faults))
+            .set("reseeds", Json::number(p.reseeds))
+            .set("topups", Json::number(p.topups))
+            .set("sessions", Json::number(p.sessions))
+            .set("pareto", Json::boolean(on_front[i])));
+  }
+  return Json::object()
+      .set("objectives", Json::array()
+                             .push_back(Json::string("bist_area"))
+                             .push_back(Json::string("fault_coverage"))
+                             .push_back(Json::string("test_length")))
+      .set("points", std::move(arr));
+}
+
+}  // namespace lbist

@@ -1,0 +1,84 @@
+#pragma once
+// The hybrid-BIST Pareto engine: sweeps (binder arm × hybrid
+// configuration) for a scheduled design and grades every point on three
+// objectives at once —
+//
+//   bist_area       extra gates of the BIST register conversions
+//                   (minimize; from the existing allocator)
+//   fault_coverage  gate-level stuck-at coverage of the hybrid session
+//                   (maximize)
+//   test_length     total test clocks across the session plan (minimize)
+//
+// The DAC'95 paper optimizes the first objective only; this engine
+// surfaces the trade-offs the other two introduce (ROADMAP item 3).
+// Results are bit-identical across `-j 1` and `-j N` (core/sweep.hpp).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "hybrid/session.hpp"
+#include "support/json.hpp"
+
+namespace lbist {
+
+class MetricsRegistry;  // service/metrics.hpp
+
+/// One (design, binder, configuration) evaluation.
+struct HybridPoint {
+  std::string label;   ///< module spec
+  BinderKind binder = BinderKind::BistAware;
+  std::string config;  ///< HybridConfig name
+  int num_registers = 0;
+  int num_mux = 0;
+  double functional_area = 0.0;
+  double bist_area = 0.0;      ///< objective 1 (minimize)
+  double fault_coverage = 0.0; ///< objective 2 (maximize), 0..1
+  long long test_length = 0;   ///< objective 3 (minimize), clocks
+  int faults_total = 0;
+  int hard_faults = 0;
+  int reseeds = 0;
+  int topups = 0;
+  int sessions = 0;
+};
+
+/// Sweep configuration.
+struct HybridSweepOptions {
+  std::vector<BinderKind> binders = {BinderKind::Traditional,
+                                     BinderKind::BistAware};
+  /// Test-scheme axis; empty = default_hybrid_configs(patterns).
+  std::vector<HybridConfig> configs;
+  AreaModel area{};
+  int patterns = 256;  ///< budget the default config ladder scales from
+  /// Worker threads (1 = serial, < 1 = hardware concurrency); results are
+  /// in input order (spec-major, binder, config) regardless.
+  int jobs = 1;
+  TraceRecorder* trace = nullptr;      ///< borrowed, not owned
+  MetricsRegistry* metrics = nullptr;  ///< borrowed, not owned
+};
+
+/// Evaluates every (spec, binder, config) point of a scheduled design.
+[[nodiscard]] std::vector<HybridPoint> explore_hybrid(
+    const Dfg& dfg, const Schedule& sched,
+    const std::vector<std::string>& specs,
+    const HybridSweepOptions& opts = {});
+
+/// True when `x` is at least as good as `y` on all three objectives and
+/// strictly better on one.
+[[nodiscard]] bool hybrid_dominates(const HybridPoint& x,
+                                    const HybridPoint& y);
+
+/// Indices of the non-dominated points.
+[[nodiscard]] std::vector<std::size_t> hybrid_pareto_front(
+    const std::vector<HybridPoint>& points);
+
+/// Renders the sweep as an aligned table (front members starred).
+[[nodiscard]] std::string describe_hybrid_points(
+    const std::vector<HybridPoint>& points);
+
+/// Machine-readable sweep report: every point with its objectives and a
+/// "pareto" flag.
+[[nodiscard]] Json hybrid_points_json(const std::vector<HybridPoint>& points);
+
+}  // namespace lbist

@@ -1,0 +1,45 @@
+#pragma once
+// Deterministic per-fault seed computation for LFSR reseeding.
+//
+// After the pseudo-random phase, each remaining hard fault needs an
+// operand pattern that sensitizes it.  Loading that pattern into the TPG
+// pair as a fresh seed (a reseed: one scan load of `width` clocks) changes
+// the *relative phase* of the two lockstep LFSRs, so the following burst
+// walks (a, b) pairs the chip-seed trajectory can never visit — that, not
+// extra pattern count, is where reseeding's coverage comes from.
+//
+// The search is a deterministic function of the netlist and the fault
+// (independent of call order and thread count):
+//
+//   1. Cone phase — when the fault's input support is small (the usual
+//      case for ripple/array structures: a cell sees a handful of operand
+//      bits), exhaustively enumerate the support assignments over three
+//      fixed backgrounds.  Complete for small cones: if no test exists
+//      there with these backgrounds, fall through.
+//   2. Probe phase — a fixed splitmix64 stream keyed by the fault probes
+//      `random_budget` full-width operand pairs.
+//
+// Returns nullopt when both phases fail (redundant or hard-to-excite
+// faults); callers count those as permanently undetected.
+
+#include <cstdint>
+#include <optional>
+
+#include "gates/gate_fault_sim.hpp"
+
+namespace lbist {
+
+/// An operand pattern, doubling as a TPG seed pair when non-zero.
+struct SeedPair {
+  std::uint32_t a = 1;
+  std::uint32_t b = 1;
+};
+
+/// Searches for a pattern that detects `fault` on `module` (alias-free
+/// output comparison).  Deterministic; see the header comment for the
+/// two-phase strategy.
+[[nodiscard]] std::optional<SeedPair> find_detecting_pattern(
+    const ModuleNetlist& module, const GateFault& fault,
+    int random_budget = 2048);
+
+}  // namespace lbist

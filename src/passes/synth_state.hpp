@@ -14,13 +14,16 @@
 // copies.  A state restored from a snapshot owns its DFG/schedule (parsed
 // back from the snapshot's canonical textual design) via `owned_`.
 
+#include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/synthesizer.hpp"
 #include "dfg/parse.hpp"
 #include "graph/conflict.hpp"
+#include "support/json.hpp"
 
 namespace lbist {
 
@@ -75,6 +78,12 @@ class SynthState {
 
   /// Number of pipeline passes completed so far (0 = fresh state).
   std::size_t completed = 0;
+
+  /// Auxiliary post-pipeline analysis results keyed by name (e.g. the
+  /// hybrid-BIST evaluation stores its report under "hybrid").  Never read
+  /// by the five passes; carried through snapshot/restore when non-empty,
+  /// so existing snapshots stay byte-identical.
+  std::map<std::string, Json> aux;
 
  private:
   std::unique_ptr<ParsedDfg> owned_;  ///< set only on the restore path

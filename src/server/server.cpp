@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "hybrid/eval.hpp"
 #include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "passes/pipeline.hpp"
@@ -280,6 +281,39 @@ bool Server::handle_control(Conn* conn, const std::string& line) {
       reply.set("status", Json::string("ok"))
           .set("pass", Json::string(name->as_string()))
           .set("snapshot", std::move(out));
+    } catch (const Error& e) {
+      reply.set("status", Json::string("error"))
+          .set("error", Json::string(e.what()));
+    }
+  } else if (type == "hybrid") {
+    // Hybrid-BIST evaluation of a posted IR snapshot: restore, run every
+    // remaining pass, grade the allocated plan under the posted (or
+    // default) configuration.  Cached like {"type":"pass"} — the key drops
+    // the snapshot's writer record and canonicalizes the config, so
+    // clients on different builds share entries.
+    try {
+      const Json* snap = doc.find("snapshot");
+      LBIST_CHECK(snap != nullptr && snap->is_object(),
+                  "hybrid request needs a \"snapshot\" object");
+      const Json* cfg_json = doc.find("config");
+      const HybridConfig config = cfg_json != nullptr
+                                      ? hybrid_config_from_json(*cfg_json)
+                                      : HybridConfig{};
+      const std::string key = pass_cache_key(
+          "hybrid#" + hybrid_config_to_json(config).dump_compact(), *snap);
+      Json out;
+      if (auto cached = cache_.get(key)) {
+        out = std::move(*cached);
+      } else {
+        SynthState state = PassPipeline::standard().restore(*snap);
+        state.options().trace = opts_.trace;
+        state.options().events = &events_;
+        out = evaluate_hybrid(state, config);
+        cache_.put(key, out);
+      }
+      metrics_.counter("requests_hybrid").inc();
+      reply.set("status", Json::string("ok"))
+          .set("hybrid", std::move(out));
     } catch (const Error& e) {
       reply.set("status", Json::string("error"))
           .set("error", Json::string(e.what()));

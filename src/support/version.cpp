@@ -53,4 +53,13 @@ std::string build_info_string() {
   return os.str();
 }
 
+std::string build_info_line() {
+  const BuildInfo& info = build_info();
+  std::ostringstream os;
+  os << "lowbist " << info.version << " (" << info.git << ")";
+  if (!info.build_type.empty()) os << " " << info.build_type;
+  if (!info.sanitizer.empty()) os << " sanitize=" << info.sanitizer;
+  return os.str();
+}
+
 }  // namespace lbist

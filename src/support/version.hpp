@@ -32,4 +32,8 @@ struct BuildInfo {
 /// Multi-line human-readable rendering (the `lowbist version` output).
 [[nodiscard]] std::string build_info_string();
 
+/// Single-line rendering for log lines and `#!` directives, e.g.
+/// "lowbist 0.5.0 (a1b2c3d) Release".  Never contains a newline.
+[[nodiscard]] std::string build_info_line();
+
 }  // namespace lbist

@@ -21,6 +21,7 @@
 
 #include "binding/module_spec.hpp"
 #include "dfg/benchmarks.hpp"
+#include "hybrid/eval.hpp"
 #include "passes/pipeline.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
@@ -389,6 +390,55 @@ TEST(ServerEndToEnd, PassRequestAdvancesSnapshotAndCaches) {
   const Json rbad = Json::parse(sorted_lines(bad.str()).at(0));
   EXPECT_EQ(rbad.at("status").as_string(), "error");
   EXPECT_NE(rbad.at("error").as_string().find("is not the predecessor"),
+            std::string::npos);
+}
+
+// Remote hybrid evaluation: post a snapshot plus a hybrid configuration,
+// get the (config, bist_area, result) report back; identical requests are
+// served from the pass-snapshot cache and the result matches running
+// evaluate_hybrid locally.
+TEST(ServerEndToEnd, HybridRequestEvaluatesAndCaches) {
+  const Benchmark bench = make_ex1();
+  const auto protos = parse_module_spec(bench.module_spec);
+  const PassPipeline& pipeline = PassPipeline::standard();
+  SynthesisOptions so;
+  so.area.bit_width = 8;
+  SynthState state(bench.design.dfg, *bench.design.schedule, protos, so);
+  pipeline.run(state, pipeline.index_of("binding") + 1);
+  const Json snap = pipeline.snapshot(state);
+
+  HybridConfig config;
+  config.name = "hybrid+topup";
+  config.mode = HybridMode::ReseedTopup;
+  config.pr_patterns = 62;
+  const Json want = evaluate_hybrid(state, config);
+
+  const std::string request =
+      Json::object()
+          .set("type", Json::string("hybrid"))
+          .set("config", hybrid_config_to_json(config))
+          .set("snapshot", snap)
+          .dump_compact() +
+      "\n";
+  Server server(ServerOptions{});
+  server.start();
+  std::ostringstream first, second, bad;
+  run_client("127.0.0.1", server.port(), request, first);
+  run_client("127.0.0.1", server.port(), request, second);
+  const SynthesisCache::Stats cache = server.cache().stats();
+  // A request without a snapshot is a structured error, not a hangup.
+  run_client("127.0.0.1", server.port(), "{\"type\": \"hybrid\"}\n", bad);
+  server.stop();
+
+  const Json r1 = Json::parse(sorted_lines(first.str()).at(0));
+  EXPECT_EQ(r1.at("type").as_string(), "hybrid");
+  EXPECT_EQ(r1.at("status").as_string(), "ok");
+  EXPECT_EQ(r1.at("hybrid").dump_compact(), want.dump_compact());
+  EXPECT_EQ(sorted_lines(first.str()), sorted_lines(second.str()));
+  EXPECT_GE(cache.hits, 1u);
+  const Json rbad = Json::parse(sorted_lines(bad.str()).at(0));
+  EXPECT_EQ(rbad.at("status").as_string(), "error");
+  EXPECT_NE(rbad.at("error").as_string().find("snapshot"),
             std::string::npos);
 }
 

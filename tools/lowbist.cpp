@@ -108,6 +108,7 @@
 #include "dfg/benchmarks.hpp"
 #include "dfg/optimize.hpp"
 #include "fuzz/fuzz.hpp"
+#include "hybrid/pareto.hpp"
 #include "obs/events.hpp"
 #include "obs/prom.hpp"
 #include "obs/trace.hpp"
@@ -155,6 +156,7 @@ struct CliOptions {
   std::optional<std::string> ir_out;       // synth: snapshot destination
   std::optional<std::string> resume_from;  // synth: snapshot to restore
   std::optional<std::string> checkpoint;   // explore: JSONL sweep checkpoint
+  std::optional<std::string> pareto;       // explore: objective set ("bist")
   std::optional<std::string> trace_path;
   std::optional<std::string> trace_events_path;
   bool prom = false;
@@ -206,6 +208,10 @@ struct CliOptions {
       "  lowbist explore <design.dfg> [--modules \"S1;S2\"] [--fu \"1+,1*\"]...\n"
       "                  [--binder KIND[,KIND]] [-j N] [--width N] [--json]\n"
       "                  [--checkpoint FILE]\n"
+      "  lowbist explore <design.dfg> --pareto bist [--patterns N]\n"
+      "                  [--binder KIND[,KIND]] [-j N] [--width N] [--json]\n"
+      "                  [--metrics FILE]   hybrid-BIST sweep: area x\n"
+      "                  coverage x test-length (docs/hybrid-bist.md)\n"
       "  lowbist metrics <dump.json|-> [--prom]\n"
       "  lowbist version [--json]\n"
       "\n"
@@ -309,6 +315,8 @@ CliOptions parse_args(int argc, char** argv) {
       opts.resume_from = need_value(flag);
     } else if (flag == "--checkpoint") {
       opts.checkpoint = need_value(flag);
+    } else if (flag == "--pareto") {
+      opts.pareto = need_value(flag);
     } else if (flag == "--trace") {
       opts.trace_path = need_value(flag);
     } else if (flag == "--trace-events") {
@@ -825,9 +833,12 @@ int cmd_fuzz(const CliOptions& cli) {
   if (cli.fuzz_out.has_value()) fo.corpus_dir = *cli.fuzz_out;
 
   const FuzzSummary summary = run_fuzz(fo, &std::cerr);
+  // The build record ties a campaign digest (and its reproducers, which
+  // carry the same record as a `#! build` directive) to the binary that
+  // produced it.
   std::cout << "fuzz: " << summary.cases << " cases, " << summary.failures
             << " failing, digest 0x" << std::hex << summary.digest
-            << std::dec << "\n";
+            << std::dec << " [" << build_info_line() << "]\n";
   for (const auto& r : summary.reports) {
     std::cout << "  case " << r.case_index << " seed " << r.case_seed << ": "
               << r.oracle << " (" << r.original_ops << " -> "
@@ -859,8 +870,75 @@ const char* binder_label(BinderKind kind) {
   return "?";
 }
 
+/// `explore --pareto bist`: the hybrid-BIST sweep grading every
+/// (module spec, binder, test configuration) point on BIST area, gate-level
+/// fault coverage and total test length at once (docs/hybrid-bist.md).
+int cmd_explore_hybrid(const CliOptions& cli, const ParsedDfg& design) {
+  if (*cli.pareto != "bist") {
+    usage("--pareto supports only 'bist', got: " + *cli.pareto);
+  }
+  if (!design.schedule.has_value()) {
+    throw Error(
+        "--pareto bist needs a scheduled design (@step annotations)");
+  }
+  if (!cli.fu.empty()) {
+    throw Error("--pareto bist sweeps module specs, not --fu budgets");
+  }
+  MetricsRegistry metrics;
+  ObsSinks obs = ObsSinks::from_cli(cli, &metrics);
+
+  HybridSweepOptions opts;
+  opts.area.bit_width = cli.width;
+  opts.patterns = cli.patterns;
+  opts.jobs = cli.jobs;
+  opts.trace = obs.trace.get();
+  opts.metrics = cli.metrics_path.has_value() ? &metrics : nullptr;
+  if (cli.binder_given) {
+    opts.binders.clear();
+    for (const std::string& name : split_list(cli.binder, ',')) {
+      opts.binders.push_back(binder_from_name(name));
+    }
+    if (opts.binders.empty()) usage("--binder gave no binders");
+  }
+
+  std::vector<std::string> specs;
+  if (cli.modules.has_value()) {
+    specs = split_list(*cli.modules, ';');
+    if (specs.empty()) usage("--modules gave no specs");
+  } else {
+    std::string spec;
+    for (const auto& p :
+         minimal_module_spec(design.dfg, *design.schedule)) {
+      if (!spec.empty()) spec += ",";
+      spec += "1" + p.label();
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  const std::vector<HybridPoint> points =
+      explore_hybrid(design.dfg, *design.schedule, specs, opts);
+
+  if (cli.json) {
+    Json out = hybrid_points_json(points);
+    out.set("design", Json::string(design.dfg.name()))
+        .set("width", Json::number(cli.width))
+        .set("patterns", Json::number(cli.patterns));
+    std::cout << out.dump() << "\n";
+  } else {
+    std::cout << describe_hybrid_points(points);
+  }
+  if (cli.metrics_path.has_value()) {
+    std::ofstream mout(*cli.metrics_path);
+    if (!mout) throw Error("cannot write metrics: " + *cli.metrics_path);
+    mout << metrics.to_json().set("build", build_info_json()).dump() << "\n";
+  }
+  obs.write(cli);
+  return 0;
+}
+
 int cmd_explore(const CliOptions& cli) {
   ParsedDfg design = load_design(cli.target);
+  if (cli.pareto.has_value()) return cmd_explore_hybrid(cli, design);
   ObsSinks obs = ObsSinks::from_cli(cli);
   ExplorerOptions opts;
   opts.area.bit_width = cli.width;
