@@ -1,7 +1,10 @@
 // Load generator for the synthesis server (ISSUE 3): spins up an
 // in-process Server, drives it over real loopback sockets with 1, 4 and 8
 // concurrent client connections, and reports throughput and per-request
-// round-trip p50/p95/p99 — cold cache vs warm cache.
+// round-trip p50/p95/p99 — cold cache vs warm cache.  A sustained-load
+// section (ISSUE 8) pushes 64-256 concurrent connections at a sharded
+// server and compares a cold persistent cache against a restart that
+// rewarms from disk.
 //
 // This is a plain main() (not google-benchmark): each scenario is one
 // timed run over a fixed request mix, which maps better onto "N
@@ -9,6 +12,8 @@
 // model.
 //
 //   ./bench/bench_server [requests-per-connection]   (default 32)
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -22,6 +27,7 @@
 #include "obs/trace.hpp"
 #include "server/net.hpp"
 #include "server/server.hpp"
+#include "service/diskcache/diskcache.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -86,6 +92,82 @@ RunStats run_scenario(lbist::Server& server, int connections,
   }
   std::sort(stats.latencies_ms.begin(), stats.latencies_ms.end());
   return stats;
+}
+
+/// One connection issuing `requests` lines drawn from `mix` in closed
+/// loop (used by the sustained-load section, where the rotation is wider
+/// than kJobs so the persistent tier has real work to absorb).
+void run_connection_mix(std::uint16_t port, int requests, int seed,
+                        const std::vector<std::string>* mix,
+                        std::vector<double>* latencies) {
+  lbist::net::Socket sock = lbist::net::connect_to("127.0.0.1", port);
+  lbist::net::LineReader reader(sock.fd());
+  std::string line;
+  latencies->reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    const std::string& request =
+        (*mix)[static_cast<std::size_t>(seed + i) % mix->size()];
+    const Clock::time_point t0 = Clock::now();
+    lbist::net::send_all(sock.fd(), request);
+    if (!reader.read_line(&line)) break;
+    latencies->push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count());
+  }
+  sock.shutdown_write();
+}
+
+RunStats run_scenario_mix(lbist::Server& server, int connections,
+                          int requests_per_conn,
+                          const std::vector<std::string>& mix) {
+  std::vector<std::vector<double>> per_conn(
+      static_cast<std::size_t>(connections));
+  std::vector<std::thread> threads;
+  const Clock::time_point t0 = Clock::now();
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back(run_connection_mix, server.port(),
+                         requests_per_conn, c, &mix,
+                         &per_conn[static_cast<std::size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  RunStats stats;
+  stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (auto& v : per_conn) {
+    stats.latencies_ms.insert(stats.latencies_ms.end(), v.begin(), v.end());
+  }
+  std::sort(stats.latencies_ms.begin(), stats.latencies_ms.end());
+  return stats;
+}
+
+/// A wide rotation (4 benches x 6 widths = 24 distinct syntheses) so the
+/// cold arm pays for real synthesis work that the persistent-warm arm
+/// recovers from disk instead.
+std::vector<std::string> sustained_mix() {
+  std::vector<std::string> mix;
+  for (const char* bench : {"ex1", "ex2", "paulin", "tseng"}) {
+    for (const int width : {8, 12, 16, 20, 24, 32}) {
+      mix.push_back("{\"bench\": \"" + std::string(bench) +
+                    "\", \"width\": " + std::to_string(width) + "}\n");
+    }
+  }
+  return mix;
+}
+
+std::string make_cache_dir() {
+  char tmpl[] = "/tmp/lowbist-bench-cache-XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed; persistent arm disabled\n");
+    return std::string();
+  }
+  return tmpl;
+}
+
+void remove_cache_dir(const std::string& dir) {
+  if (dir.empty()) return;
+  for (const char* name : {"cache.dat", "cache.lock", "cache.dat.compact"}) {
+    std::remove((dir + "/" + name).c_str());
+  }
+  ::rmdir(dir.c_str());
 }
 
 using lbist::benchjson::percentile;
@@ -170,6 +252,65 @@ int main(int argc, char** argv) {
          std::to_string(rec.event_count())});
   }
   std::printf("%s\n", trace_table.str().c_str());
+
+  // Sustained load against the sharded server: 64-256 concurrent
+  // connections in closed loop over a 24-job rotation.  "cold" starts
+  // with an empty persistent cache and pays for every distinct synthesis;
+  // "warm-persistent" is a *restarted* server (empty in-memory LRU)
+  // pointed at the cache directory the cold run populated, so repeated
+  // work is answered from disk.
+  lbist::TextTable sustained_table({"connections", "cache", "requests",
+                                    "seconds", "req/s", "p50 ms", "p95 ms",
+                                    "p99 ms"});
+  sustained_table.set_title(
+      "sustained sharded load (4 shards, persistent cache restart-rewarm)");
+  const std::vector<std::string> mix = sustained_mix();
+  for (const int connections : {64, 128, 256}) {
+    const std::string cache_dir = make_cache_dir();
+    for (const char* label : {"cold", "warm-persistent"}) {
+      // A fresh server per arm: the warm arm rewarms from disk alone.
+      lbist::ServerOptions opts;
+      opts.jobs = 0;
+      opts.shards = 4;
+      opts.max_queue = 1024;
+      opts.cache_dir = cache_dir;
+      lbist::Server server(std::move(opts));
+      server.start();
+      const RunStats stats =
+          run_scenario_mix(server, connections, requests_per_conn, mix);
+      const auto n = static_cast<double>(stats.latencies_ms.size());
+      lbist::Json extra = lbist::Json::object()
+                              .set("req_per_sec",
+                                   lbist::Json::number(n / stats.seconds))
+                              .set("shards", lbist::Json::number(4));
+      if (server.disk() != nullptr) {
+        const lbist::DiskCache::Stats disk = server.disk()->stats();
+        extra
+            .set("disk_hits", lbist::Json::number(
+                                  static_cast<std::int64_t>(disk.hits)))
+            .set("disk_entries", lbist::Json::number(static_cast<std::int64_t>(
+                                     disk.entries)))
+            .set("persistent_hits",
+                 lbist::Json::number(static_cast<std::int64_t>(
+                     server.cache().persistent_hits())));
+      }
+      server.stop();
+      artifact.add("sustained",
+                   std::to_string(connections) + " conn, " + label,
+                   stats.latencies_ms, std::move(extra));
+      sustained_table.add_row(
+          {std::to_string(connections), label,
+           std::to_string(stats.latencies_ms.size()),
+           lbist::fmt_double(stats.seconds, 3),
+           lbist::fmt_double(n / stats.seconds, 1),
+           lbist::fmt_double(percentile(stats.latencies_ms, 0.50), 3),
+           lbist::fmt_double(percentile(stats.latencies_ms, 0.95), 3),
+           lbist::fmt_double(percentile(stats.latencies_ms, 0.99), 3)});
+    }
+    remove_cache_dir(cache_dir);
+  }
+  std::printf("%s\n", sustained_table.str().c_str());
+
   artifact.write();
   return 0;
 }

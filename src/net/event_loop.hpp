@@ -1,0 +1,64 @@
+#pragma once
+// Minimal epoll event loop for the sharded synthesis server.
+//
+// One EventLoop per shard thread: the shard registers its SO_REUSEPORT
+// listener and every accepted connection (level-triggered, tagged with a
+// 64-bit cookie the shard maps back to its connection table), then blocks
+// in wait().  Any thread may call wakeup() — worker threads do so after
+// queueing a response so the loop flushes it — which is a single eventfd
+// write and therefore cheap and async-signal-safe.
+//
+// The loop itself is intentionally policy-free: it knows nothing about
+// sockets, framing or draining.  Shard logic lives in src/server.
+
+#include <cstdint>
+#include <vector>
+
+namespace lbist::net {
+
+class EventLoop {
+ public:
+  /// Readiness interest / result bits (mirrors EPOLLIN/EPOLLOUT so callers
+  /// avoid including <sys/epoll.h> everywhere).
+  static constexpr std::uint32_t kRead = 1u;
+  static constexpr std::uint32_t kWrite = 4u;
+
+  /// One readiness notification: the registration tag plus what fired.
+  struct Ready {
+    std::uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;  ///< EPOLLHUP / EPOLLERR / EPOLLRDHUP
+  };
+
+  EventLoop();   // epoll_create1 + wakeup eventfd; throws Error on failure
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` (level-triggered) with interest `events` (kRead |
+  /// kWrite) under `tag`.  Tags must be unique per registered fd.
+  void add(int fd, std::uint32_t events, std::uint64_t tag);
+  /// Changes the interest set of a registered fd.
+  void mod(int fd, std::uint32_t events, std::uint64_t tag);
+  /// Deregisters a fd (safe to call for already-closed fds is NOT — call
+  /// before closing).
+  void del(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever) for readiness.  Fills `out`
+  /// with one entry per ready fd; `*woken` reports whether wakeup() fired
+  /// (the wakeup counter is drained internally and never appears in
+  /// `out`).  Returns the number of entries in `out`.
+  int wait(std::vector<Ready>* out, int timeout_ms, bool* woken);
+
+  /// Wakes a concurrent (or future) wait().  Callable from any thread;
+  /// multiple calls coalesce.
+  void wakeup();
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd, consumed inside wait()
+};
+
+}  // namespace lbist::net

@@ -1,0 +1,52 @@
+#pragma once
+// Non-blocking SO_REUSEPORT TCP listener for the sharded server.
+//
+// Every shard binds its own listener to the same 127.0.0.1 port with
+// SO_REUSEPORT, so the kernel load-balances incoming connections across
+// shards without an accept mutex or a dispatcher thread.
+//
+// accept_one() never throws for the transient failures an accept loop
+// must survive (ISSUE 8 satellite): EAGAIN maps to WouldBlock,
+// EINTR/ECONNABORTED/EPROTO to Retry, and descriptor exhaustion
+// (EMFILE/ENFILE/ENOBUFS/ENOMEM) to FdExhausted.  For the exhaustion case
+// the listener holds a reserve descriptor: it is closed to momentarily
+// free a slot, the pending connection is accepted and immediately closed
+// (so the peer sees a deterministic close instead of an indefinitely
+// clogged backlog), and the reserve is reacquired.  Callers should count
+// the event and back off briefly; they must NOT exit their loop.
+
+#include <cstdint>
+
+#include "net/socket.hpp"
+
+namespace lbist::net {
+
+class ReuseportListener {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — bind the first
+  /// shard with 0, the rest with the resolved port()).  The listening fd
+  /// is non-blocking.  Throws Error on bind/listen failure.
+  explicit ReuseportListener(std::uint16_t port);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return sock_.fd(); }
+
+  enum class AcceptStatus {
+    Accepted,     ///< *out holds a new non-blocking connection
+    WouldBlock,   ///< backlog empty — wait for the next EPOLLIN
+    Retry,        ///< transient (EINTR / ECONNABORTED); call again
+    FdExhausted,  ///< EMFILE/ENFILE: one pending connection was shed
+  };
+
+  /// Accepts one pending connection without blocking.  Only programming
+  /// errors (EBADF, EINVAL, ...) throw; every operational failure maps to
+  /// a status the accept loop can keep running through.
+  [[nodiscard]] AcceptStatus accept_one(Socket* out);
+
+ private:
+  Socket sock_;
+  Socket reserve_;  ///< sacrificial fd, re-opened after EMFILE shedding
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace lbist::net

@@ -1,0 +1,44 @@
+#pragma once
+// Owning POSIX socket fd plus the tiny fd-mode helpers the event-driven
+// transport needs.  This is the bottom of the networking stack: the epoll
+// loop (net/event_loop.hpp), the SO_REUSEPORT listener (net/listener.hpp)
+// and the blocking client-side wrappers (server/net.hpp) all build on it.
+
+#include "support/check.hpp"
+
+namespace lbist::net {
+
+/// Owning file descriptor (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+  /// Half-closes the read side (unblocks a peer thread stuck in recv).
+  void shutdown_read();
+  /// Half-closes the write side (signals end-of-requests to the peer).
+  void shutdown_write();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Switches the descriptor into non-blocking mode; throws Error on failure.
+void set_nonblocking(int fd);
+
+}  // namespace lbist::net

@@ -20,21 +20,6 @@ namespace {
 
 }  // namespace
 
-void Socket::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-}
-
-void Socket::shutdown_read() {
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
-}
-
-void Socket::shutdown_write() {
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
-}
-
 Listener::Listener(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail_errno("socket");

@@ -9,39 +9,10 @@
 #include <string>
 #include <string_view>
 
+#include "net/socket.hpp"
 #include "support/check.hpp"
 
 namespace lbist::net {
-
-/// Owning file descriptor (move-only).
-class Socket {
- public:
-  Socket() = default;
-  explicit Socket(int fd) : fd_(fd) {}
-  ~Socket() { close(); }
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
-  Socket& operator=(Socket&& other) noexcept {
-    if (this != &other) {
-      close();
-      fd_ = other.fd_;
-      other.fd_ = -1;
-    }
-    return *this;
-  }
-  Socket(const Socket&) = delete;
-  Socket& operator=(const Socket&) = delete;
-
-  [[nodiscard]] bool valid() const { return fd_ >= 0; }
-  [[nodiscard]] int fd() const { return fd_; }
-  void close();
-  /// Half-closes the read side (unblocks a peer thread stuck in recv).
-  void shutdown_read();
-  /// Half-closes the write side (signals end-of-requests to the peer).
-  void shutdown_write();
-
- private:
-  int fd_ = -1;
-};
 
 /// TCP listener bound to 127.0.0.1 (`port` 0 picks an ephemeral port).
 class Listener {

@@ -2,18 +2,25 @@
 
 #include <csignal>
 #include <fcntl.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <ostream>
+#include <thread>
+#include <unordered_map>
 #include <utility>
-#include <vector>
 
 #include "hybrid/eval.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/listener.hpp"
+#include "net/socket.hpp"
 #include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "passes/pipeline.hpp"
+#include "service/diskcache/diskcache.hpp"
 #include "support/version.hpp"
 
 namespace lbist {
@@ -21,6 +28,8 @@ namespace lbist {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kListenerTag = 0;
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
@@ -46,17 +55,54 @@ bool blank_or_comment(const std::string& line) {
 
 }  // namespace
 
-/// One accepted connection: its socket, a write lock serializing response
-/// lines from workers and the connection thread, and the reader thread.
-/// The connection thread waits for every in-flight request before setting
-/// `done`, so workers never touch a dead Conn; the accept loop joins and
-/// frees `done` connections.
+/// One accepted connection.  The owning shard loop is the only thread that
+/// reads, flushes or closes it; workers only queue response lines under
+/// `out_mu` and then nudge the loop through the shard's dirty list.  The
+/// connection table holds shared_ptrs and every worker lambda captures
+/// one, so a connection torn down mid-request (slow reader, peer reset)
+/// stays a valid — if inert — object until the last worker drops it.
 struct Server::Conn {
-  std::uint64_t id = 0;
+  explicit Conn(std::size_t max_outbound) : outbound(max_outbound) {}
+
+  std::uint64_t id = 0;  ///< epoll tag and log identity
+  int shard = 0;         ///< owning shard index
   net::Socket sock;
-  std::mutex write_mu;
+  net::LineFramer framer;
+
+  // Loop-thread-only state.
+  bool read_open = true;
+  std::uint32_t interest = 0;  ///< currently registered epoll interest
+  int line_no = 0;
+  std::size_t next_job = 0;
+
+  // Shared with workers, guarded by out_mu.
+  std::mutex out_mu;
+  net::OutboundBuffer outbound;
+  bool closed = false;    ///< socket retired; late responses are dropped
+  bool overflow = false;  ///< outbound bound hit; disconnect as slow reader
+
+  /// Admitted-but-unanswered jobs on this connection.  The worker's
+  /// release-decrement pairs with the loop's acquire-load: observing zero
+  /// proves every response line is already in `outbound`.
+  std::atomic<int> jobs_in_flight{0};
+};
+
+/// One event-loop shard: its SO_REUSEPORT listener, epoll loop, thread and
+/// private connection table.  `dirty` is the only cross-thread door:
+/// workers push connection ids there (plus an eventfd wakeup) after
+/// queueing a response.
+struct Server::Shard {
+  int index = 0;
+  net::EventLoop loop;
+  std::unique_ptr<net::ReuseportListener> listener;
   std::thread thread;
-  std::atomic<bool> done{false};
+  std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> conns;
+
+  std::mutex dirty_mu;
+  std::vector<std::uint64_t> dirty;
+
+  std::atomic<bool> drain{false};
+  bool drain_handled = false;
 };
 
 Server::Server(ServerOptions opts)
@@ -64,6 +110,8 @@ Server::Server(ServerOptions opts)
       events_(&metrics_, opts_.keep_events),
       cache_(opts_.cache_capacity) {
   if (opts_.max_queue == 0) opts_.max_queue = 1;
+  if (opts_.shards < 1) opts_.shards = 1;
+  if (opts_.max_outbound < 4096) opts_.max_outbound = 4096;
 }
 
 Server::~Server() {
@@ -73,7 +121,6 @@ Server::~Server() {
 void Server::start() {
   LBIST_CHECK(!started_, "Server::start called twice");
   if (::pipe(stop_pipe_) != 0) throw Error("pipe: self-pipe setup failed");
-  ::fcntl(stop_pipe_[0], F_SETFL, O_NONBLOCK);
   if (opts_.handle_signals) {
     g_signal_fd.store(stop_pipe_[1], std::memory_order_relaxed);
     struct sigaction sa = {};
@@ -83,16 +130,37 @@ void Server::start() {
     ::sigaction(SIGTERM, &sa, nullptr);
     signals_installed_ = true;
   }
-  listener_ = std::make_unique<net::Listener>(opts_.port);
-  port_ = listener_->port();
+  if (!opts_.cache_dir.empty()) {
+    DiskCacheOptions dopts;
+    dopts.dir = opts_.cache_dir;
+    dopts.budget_bytes = opts_.cache_budget_bytes;
+    disk_ = std::make_unique<DiskCache>(dopts);
+    cache_.attach_disk(disk_.get());
+  }
   pool_ = std::make_unique<ThreadPool>(ThreadPool::resolve_jobs(opts_.jobs));
+  shards_.reserve(static_cast<std::size_t>(opts_.shards));
+  for (int i = 0; i < opts_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    // Shard 0 resolves an ephemeral port request; the rest join it.
+    shard->listener = std::make_unique<net::ReuseportListener>(
+        i == 0 ? opts_.port : port_);
+    if (i == 0) port_ = shard->listener->port();
+    shard->loop.add(shard->listener->fd(), net::EventLoop::kRead,
+                    kListenerTag);
+    shards_.push_back(std::move(shard));
+  }
   started_ = true;
   log_event(Json::object()
                 .set("event", Json::string("listening"))
                 .set("port", Json::number(static_cast<int>(port_)))
                 .set("workers", Json::number(pool_->size()))
+                .set("shards", Json::number(opts_.shards))
                 .set("max_queue", Json::number(opts_.max_queue)));
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->thread = std::thread([this, raw] { shard_loop(*raw); });
+  }
 }
 
 void Server::request_stop() {
@@ -109,10 +177,24 @@ void Server::stop() {
 
 void Server::wait() {
   LBIST_CHECK(started_, "Server::wait before start");
-  if (accept_thread_.joinable()) accept_thread_.join();
   if (finished_) return;
+  // Block until request_stop() or a handled signal writes the self-pipe.
+  char drain[16];
+  while (true) {
+    const ssize_t n = ::read(stop_pipe_[0], drain, sizeof drain);
+    if (n > 0) break;
+    if (n < 0 && errno == EINTR) continue;
+    break;  // pipe gone; treat as stop
+  }
+  for (auto& shard : shards_) {
+    shard->drain.store(true, std::memory_order_release);
+    shard->loop.wakeup();
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
   finished_ = true;
-  pool_.reset();  // drains any queued tasks (connections already waited)
+  pool_.reset();  // workers already idle: every admitted job was answered
   if (signals_installed_) {
     g_signal_fd.store(-1, std::memory_order_relaxed);
     struct sigaction sa = {};
@@ -131,96 +213,140 @@ void Server::wait() {
                 .set("metrics", metrics_json()));
 }
 
-void Server::accept_loop() {
+void Server::shard_loop(Shard& shard) {
+  std::vector<net::EventLoop::Ready> ready;
+  std::vector<std::uint64_t> dirty;
   while (true) {
-    char drain[16];
-    if (::read(stop_pipe_[0], drain, sizeof drain) > 0) break;
-    reap_connections(false);
-    net::Socket sock = listener_->accept(200, stop_pipe_[0]);
-    if (!sock.valid()) continue;
-    auto conn = std::make_unique<Conn>();
-    conn->id = next_conn_id_++;
+    bool woken = false;
+    shard.loop.wait(&ready, -1, &woken);
+    if (woken) {
+      dirty.clear();
+      {
+        std::lock_guard<std::mutex> lock(shard.dirty_mu);
+        dirty.swap(shard.dirty);
+      }
+      for (const std::uint64_t id : dirty) {
+        auto it = shard.conns.find(id);
+        if (it != shard.conns.end()) flush_and_update(shard, it->second);
+      }
+    }
+    if (shard.drain.load(std::memory_order_acquire) && !shard.drain_handled) {
+      start_drain(shard);
+    }
+    for (const net::EventLoop::Ready& ev : ready) {
+      if (ev.tag == kListenerTag) {
+        if (shard.listener != nullptr && ev.readable) accept_burst(shard);
+        continue;
+      }
+      auto it = shard.conns.find(ev.tag);
+      if (it == shard.conns.end()) continue;  // closed earlier this batch
+      if (ev.hangup) {
+        // Both directions are gone (RST or full close while we still held
+        // the fd); any unflushed responses are undeliverable.
+        close_conn(shard, ev.tag);
+        continue;
+      }
+      if (ev.readable) on_readable(shard, it->second);
+      it = shard.conns.find(ev.tag);
+      if (it != shard.conns.end() && ev.writable) {
+        flush_and_update(shard, it->second);
+      }
+    }
+    if (shard.drain_handled && shard.conns.empty()) break;
+  }
+}
+
+void Server::accept_burst(Shard& shard) {
+  while (shard.listener != nullptr) {
+    net::Socket sock;
+    const net::ReuseportListener::AcceptStatus status =
+        shard.listener->accept_one(&sock);
+    if (status == net::ReuseportListener::AcceptStatus::WouldBlock) break;
+    if (status == net::ReuseportListener::AcceptStatus::Retry) continue;
+    if (status == net::ReuseportListener::AcceptStatus::FdExhausted) {
+      // One pending connection was shed against the reserve descriptor;
+      // count it and let the level-triggered loop retry on the next event
+      // instead of spinning here.
+      metrics_.counter("accept_fd_exhausted").inc();
+      log_event(Json::object()
+                    .set("event", Json::string("accept_fd_exhausted"))
+                    .set("shard", Json::number(shard.index)));
+      break;
+    }
+    auto conn = std::make_shared<Conn>(opts_.max_outbound);
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    conn->shard = shard.index;
     conn->sock = std::move(sock);
-    Conn* raw = conn.get();
+    conn->interest = net::EventLoop::kRead;
+    shard.loop.add(conn->sock.fd(), conn->interest, conn->id);
     metrics_.counter("connections").inc();
     log_event(Json::object()
                   .set("event", Json::string("conn_open"))
-                  .set("conn", Json::number(raw->id)));
-    conn->thread = std::thread([this, raw] {
-      serve_connection(raw);
-      raw->done.store(true, std::memory_order_release);
-    });
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.push_back(std::move(conn));
-  }
-  // Graceful shutdown: no new connections, no new requests, drain what was
-  // admitted, then let wait() flush the pool and final metrics.
-  listener_.reset();
-  draining_.store(true, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& c : conns_) c->sock.shutdown_read();
-  }
-  reap_connections(true);
-}
-
-void Server::reap_connections(bool join_all) {
-  std::vector<std::unique_ptr<Conn>> dead;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if (join_all || (*it)->done.load(std::memory_order_acquire)) {
-        dead.push_back(std::move(*it));
-        it = conns_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  for (auto& c : dead) {
-    if (c->thread.joinable()) c->thread.join();
-    log_event(Json::object()
-                  .set("event", Json::string("conn_close"))
-                  .set("conn", Json::number(c->id)));
+                  .set("conn", Json::number(conn->id))
+                  .set("shard", Json::number(shard.index)));
+    shard.conns.emplace(conn->id, std::move(conn));
   }
 }
 
-void Server::serve_connection(Conn* conn) {
-  net::LineReader reader(conn->sock.fd());
-  std::vector<std::future<void>> inflight;
-  std::string line;
-  int line_no = 0;
-  std::size_t next_job = 0;
+void Server::on_readable(Shard& shard, const std::shared_ptr<Conn>& conn) {
+  char chunk[16384];
+  bool peer_gone = false;
   try {
-    while (!draining_.load(std::memory_order_relaxed) &&
-           reader.read_line(&line)) {
-      ++line_no;
-      // Settled futures at the front are finished requests; trim them so a
-      // long-lived connection does not accumulate one future per request.
-      while (!inflight.empty() &&
-             inflight.front().wait_for(std::chrono::seconds(0)) ==
-                 std::future_status::ready) {
-        inflight.front().get();
-        inflight.erase(inflight.begin());
+    while (conn->read_open) {
+      const ssize_t n = ::recv(conn->sock.fd(), chunk, sizeof chunk, 0);
+      if (n > 0) {
+        conn->framer.feed(chunk, static_cast<std::size_t>(n));
+        process_pending_lines(conn);
+        continue;
       }
-      if (blank_or_comment(line)) continue;
-      if (handle_control(conn, line)) continue;
-      submit_job(conn, decode_manifest_line(line_no, line), next_job++,
-                 &inflight);
+      if (n == 0) {
+        // Clean end-of-requests (possibly a half-close: the peer still
+        // reads responses).  Deliver a final unterminated line, then stop
+        // reading; in-flight responses keep flowing until drained.
+        std::string line;
+        if (conn->framer.finish(&line)) {
+          ++conn->line_no;
+          if (!blank_or_comment(line) && !handle_control(conn.get(), line)) {
+            submit_job(conn, decode_manifest_line(conn->line_no, line),
+                       conn->next_job++);
+          }
+        }
+        conn->read_open = false;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      peer_gone = true;  // ECONNRESET and friends
+      break;
     }
   } catch (const Error& e) {
-    // Framing/transport failure (oversized line, recv error): answer with a
-    // bare protocol error and drop the connection.
-    write_line(conn, Json::object().set("error", Json::string(e.what())));
+    // Framing/manifest failure (oversized line, bad JSON): answer with a
+    // bare protocol error and stop reading; already-admitted responses
+    // still drain before the socket closes.
+    append_response(conn.get(), Json::object().set(
+                                    "error", Json::string(e.what())));
     log_event(Json::object()
                   .set("event", Json::string("conn_error"))
                   .set("conn", Json::number(conn->id))
                   .set("error", Json::string(e.what())));
+    conn->read_open = false;
   }
-  // Drain this connection's in-flight requests so every admitted request
-  // is answered before the socket closes (both on client EOF and on
-  // server shutdown).
-  for (auto& f : inflight) f.get();
+  if (peer_gone) {
+    close_conn(shard, conn->id);
+    return;
+  }
+  flush_and_update(shard, conn);
+}
+
+void Server::process_pending_lines(const std::shared_ptr<Conn>& conn) {
+  std::string line;
+  while (conn->read_open && conn->framer.next(&line)) {
+    ++conn->line_no;
+    if (blank_or_comment(line)) continue;
+    if (handle_control(conn.get(), line)) continue;
+    submit_job(conn, decode_manifest_line(conn->line_no, line),
+               conn->next_job++);
+  }
 }
 
 bool Server::handle_control(Conn* conn, const std::string& line) {
@@ -246,8 +372,8 @@ bool Server::handle_control(Conn* conn, const std::string& line) {
   } else if (type == "pass") {
     // Remote single-pass execution: restore the posted IR snapshot, run
     // exactly the named pass, reply with the advanced snapshot.  Served
-    // inline on the connection thread (one pass is far cheaper than a full
-    // job) with its own LRU entry keyed on the writer-independent snapshot.
+    // inline on the shard loop (one pass is far cheaper than a full job)
+    // with its own LRU entry keyed on the writer-independent snapshot.
     try {
       const Json* name = doc.find("pass");
       LBIST_CHECK(name != nullptr && name->is_string(),
@@ -329,18 +455,35 @@ bool Server::handle_control(Conn* conn, const std::string& line) {
     metrics_.gauge("cache.evictions").set(static_cast<double>(cs.evictions));
     metrics_.gauge("cache.size").set(static_cast<double>(cs.size));
     metrics_.gauge("cache.capacity").set(static_cast<double>(cs.capacity));
+    if (disk_ != nullptr) {
+      const DiskCache::Stats ds = disk_->stats();
+      metrics_.gauge("cache.persistent_hits")
+          .set(static_cast<double>(cache_.persistent_hits()));
+      metrics_.gauge("diskcache.hits").set(static_cast<double>(ds.hits));
+      metrics_.gauge("diskcache.misses").set(static_cast<double>(ds.misses));
+      metrics_.gauge("diskcache.evictions")
+          .set(static_cast<double>(ds.evictions));
+      metrics_.gauge("diskcache.entries")
+          .set(static_cast<double>(ds.entries));
+      metrics_.gauge("diskcache.file_bytes")
+          .set(static_cast<double>(ds.file_bytes));
+      metrics_.gauge("diskcache.live_bytes")
+          .set(static_cast<double>(ds.live_bytes));
+      metrics_.gauge("diskcache.compactions")
+          .set(static_cast<double>(ds.compactions));
+    }
     reply.set("status", Json::string("ok"))
         .set("body", Json::string(prometheus_exposition(metrics_)));
   } else {
     reply.set("status", Json::string("error"))
         .set("error", Json::string("unknown request type: " + type));
   }
-  write_line(conn, reply);
+  append_response(conn, reply);
   return true;
 }
 
-void Server::submit_job(Conn* conn, ManifestEntry entry, std::size_t index,
-                        std::vector<std::future<void>>* inflight) {
+void Server::submit_job(const std::shared_ptr<Conn>& conn,
+                        ManifestEntry entry, std::size_t index) {
   metrics_.counter("requests_total").inc();
   // Admission control: the increment reserves a slot; over the bound the
   // request is answered immediately instead of buffering without bound.
@@ -353,7 +496,7 @@ void Server::submit_job(Conn* conn, ManifestEntry entry, std::size_t index,
                       .set("name", Json::string(display_name(entry, index)))
                       .set("status", Json::string("error"))
                       .set("error", Json::string("overloaded"));
-    write_line(conn, reject);
+    append_response(conn.get(), reject);
     log_event(Json::object()
                   .set("event", Json::string("request"))
                   .set("conn", Json::number(conn->id))
@@ -363,60 +506,153 @@ void Server::submit_job(Conn* conn, ManifestEntry entry, std::size_t index,
   }
   metrics_.gauge("queue_depth")
       .set(static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
+  conn->jobs_in_flight.fetch_add(1, std::memory_order_relaxed);
   const Clock::time_point admitted = Clock::now();
-  inflight->push_back(pool_->submit(
-      [this, conn, entry = std::move(entry), index, admitted]() mutable {
-        const double waited_ms = ms_since(admitted);
-        metrics_.histogram("queue_ms").record(waited_ms);
-        Json response;
-        std::string status;
-        if (opts_.deadline_ms > 0 &&
-            waited_ms > static_cast<double>(opts_.deadline_ms)) {
-          // Stale request: answer without executing so the worker moves
-          // straight on to work someone is still waiting for.
-          metrics_.counter("requests_deadline").inc();
-          response = Json::object()
-                         .set("job", Json::number(index))
-                         .set("name",
-                              Json::string(display_name(entry, index)))
-                         .set("status", Json::string("error"))
-                         .set("error", Json::string("deadline exceeded"));
-          status = "deadline";
-        } else {
-          if (opts_.test_hold) opts_.test_hold();
-          auto span = trace_span(opts_.trace, "request");
-          JobOutcome outcome =
-              run_entry(entry, index, cache_, metrics_, opts_.trace, &events_);
-          metrics_.counter(outcome.ok ? "requests_ok" : "requests_error")
-              .inc();
-          status = outcome.ok ? "ok" : "error";
-          response = std::move(outcome.line);
-          if (span.active()) {
-            span.arg("name", display_name(entry, index));
-            span.arg("conn", static_cast<std::uint64_t>(conn->id));
-            span.arg("status", status);
-          }
-        }
-        write_line(conn, response);
-        in_flight_.fetch_sub(1, std::memory_order_relaxed);
-        metrics_.histogram("request_ms").record(ms_since(admitted));
-        log_event(Json::object()
-                      .set("event", Json::string("request"))
-                      .set("conn", Json::number(conn->id))
-                      .set("job", Json::number(index))
-                      .set("name", Json::string(display_name(entry, index)))
-                      .set("status", Json::string(status))
-                      .set("ms", Json::number(ms_since(admitted))));
-      }));
+  pool_->submit([this, conn, entry = std::move(entry), index,
+                 admitted]() mutable {
+    const double waited_ms = ms_since(admitted);
+    metrics_.histogram("queue_ms").record(waited_ms);
+    Json response;
+    std::string status;
+    if (opts_.deadline_ms > 0 &&
+        waited_ms > static_cast<double>(opts_.deadline_ms)) {
+      // Stale request: answer without executing so the worker moves
+      // straight on to work someone is still waiting for.
+      metrics_.counter("requests_deadline").inc();
+      response = Json::object()
+                     .set("job", Json::number(index))
+                     .set("name", Json::string(display_name(entry, index)))
+                     .set("status", Json::string("error"))
+                     .set("error", Json::string("deadline exceeded"));
+      status = "deadline";
+    } else {
+      if (opts_.test_hold) opts_.test_hold();
+      auto span = trace_span(opts_.trace, "request");
+      JobOutcome outcome =
+          run_entry(entry, index, cache_, metrics_, opts_.trace, &events_);
+      metrics_.counter(outcome.ok ? "requests_ok" : "requests_error").inc();
+      status = outcome.ok ? "ok" : "error";
+      response = std::move(outcome.line);
+      if (span.active()) {
+        span.arg("name", display_name(entry, index));
+        span.arg("conn", static_cast<std::uint64_t>(conn->id));
+        span.arg("status", status);
+      }
+    }
+    append_response(conn.get(), response);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.histogram("request_ms").record(ms_since(admitted));
+    log_event(Json::object()
+                  .set("event", Json::string("request"))
+                  .set("conn", Json::number(conn->id))
+                  .set("job", Json::number(index))
+                  .set("name", Json::string(display_name(entry, index)))
+                  .set("status", Json::string(status))
+                  .set("ms", Json::number(ms_since(admitted))));
+    // Release-decrement after the append: a loop that observes zero knows
+    // the response bytes are already queued.  The dirty nudge makes the
+    // shard flush (and possibly retire) the connection.
+    conn->jobs_in_flight.fetch_sub(1, std::memory_order_release);
+    notify_dirty(conn->shard, conn->id);
+  });
 }
 
-void Server::write_line(Conn* conn, const Json& line) {
-  std::lock_guard<std::mutex> lock(conn->write_mu);
-  try {
-    net::send_all(conn->sock.fd(), line.dump_compact() + "\n");
-  } catch (const Error&) {
-    // Peer went away; the response is dropped, the reader loop will see
-    // EOF and retire the connection.
+void Server::append_response(Conn* conn, const Json& line) {
+  const std::string text = line.dump_compact() + "\n";
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  if (conn->closed) return;  // peer already gone; the response is dropped
+  if (!conn->outbound.append(text)) conn->overflow = true;
+}
+
+void Server::flush_and_update(Shard& shard,
+                              const std::shared_ptr<Conn>& conn) {
+  // Read jobs_in_flight BEFORE flushing: observing zero (acquire, paired
+  // with the worker's release-decrement) proves every response was
+  // appended before this flush, so "drained and empty" below really means
+  // the connection is finished.
+  const bool no_jobs =
+      conn->jobs_in_flight.load(std::memory_order_acquire) == 0;
+  bool overflow = false;
+  bool empty = true;
+  auto status = net::OutboundBuffer::Flush::Drained;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->closed) return;
+    overflow = conn->overflow;
+    if (!overflow) {
+      status = conn->outbound.flush(conn->sock.fd());
+      empty = conn->outbound.empty();
+    }
+  }
+  if (overflow) {
+    metrics_.counter("slow_reader_disconnects").inc();
+    log_event(Json::object()
+                  .set("event", Json::string("conn_error"))
+                  .set("conn", Json::number(conn->id))
+                  .set("error", Json::string(
+                           "outbound buffer overflow (slow reader)")));
+    close_conn(shard, conn->id);
+    return;
+  }
+  if (status == net::OutboundBuffer::Flush::PeerGone) {
+    close_conn(shard, conn->id);
+    return;
+  }
+  if (!conn->read_open && empty && no_jobs) {
+    close_conn(shard, conn->id);
+    return;
+  }
+  const std::uint32_t want =
+      (conn->read_open ? net::EventLoop::kRead : 0u) |
+      (status == net::OutboundBuffer::Flush::Partial ? net::EventLoop::kWrite
+                                                     : 0u);
+  if (want != conn->interest) {
+    shard.loop.mod(conn->sock.fd(), want, conn->id);
+    conn->interest = want;
+  }
+}
+
+void Server::close_conn(Shard& shard, std::uint64_t id) {
+  auto it = shard.conns.find(id);
+  if (it == shard.conns.end()) return;
+  const std::shared_ptr<Conn> conn = it->second;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->closed = true;
+  }
+  shard.loop.del(conn->sock.fd());
+  conn->sock.close();
+  shard.conns.erase(it);
+  log_event(Json::object()
+                .set("event", Json::string("conn_close"))
+                .set("conn", Json::number(conn->id)));
+}
+
+void Server::notify_dirty(int shard_index, std::uint64_t conn_id) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  {
+    std::lock_guard<std::mutex> lock(shard.dirty_mu);
+    shard.dirty.push_back(conn_id);
+  }
+  shard.loop.wakeup();
+}
+
+void Server::start_drain(Shard& shard) {
+  shard.drain_handled = true;
+  if (shard.listener != nullptr) {
+    shard.loop.del(shard.listener->fd());
+    shard.listener.reset();
+  }
+  // Stop reading everywhere; buffered-but-unprocessed lines are dropped.
+  // Connections stay up until their admitted responses have flushed.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(shard.conns.size());
+  for (const auto& [id, conn] : shard.conns) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    auto it = shard.conns.find(id);
+    if (it == shard.conns.end()) continue;
+    it->second->read_open = false;
+    flush_and_update(shard, it->second);
   }
 }
 
@@ -429,7 +665,7 @@ void Server::log_event(const Json& line) {
 Json Server::metrics_json() const {
   const SynthesisCache::Stats cs = cache_.stats();
   const double lookups = static_cast<double>(cs.hits + cs.misses);
-  return Json::object()
+  Json out = Json::object()
       .set("registry", metrics_.to_json())
       .set("cache",
            Json::object()
@@ -438,11 +674,30 @@ Json Server::metrics_json() const {
                .set("evictions", Json::number(cs.evictions))
                .set("size", Json::number(cs.size))
                .set("capacity", Json::number(cs.capacity))
+               .set("persistent_hits",
+                    Json::number(cache_.persistent_hits()))
                .set("hit_rate", Json::number(lookups == 0.0
                                                  ? 0.0
                                                  : static_cast<double>(
                                                        cs.hits) /
                                                        lookups)));
+  if (disk_ != nullptr) {
+    const DiskCache::Stats ds = disk_->stats();
+    out.set("diskcache",
+            Json::object()
+                .set("hits", Json::number(ds.hits))
+                .set("misses", Json::number(ds.misses))
+                .set("puts", Json::number(ds.puts))
+                .set("evictions", Json::number(ds.evictions))
+                .set("compactions", Json::number(ds.compactions))
+                .set("dropped", Json::number(ds.dropped))
+                .set("recovered", Json::number(ds.recovered))
+                .set("entries", Json::number(ds.entries))
+                .set("file_bytes", Json::number(ds.file_bytes))
+                .set("live_bytes", Json::number(ds.live_bytes))
+                .set("budget_bytes", Json::number(ds.budget_bytes)));
+  }
+  return out;
 }
 
 }  // namespace lbist

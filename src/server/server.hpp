@@ -9,12 +9,20 @@
 // live server — but the ThreadPool and SynthesisCache now persist across
 // requests and connections, keeping the cache warm between sweeps.
 //
-// Architecture (one Server instance):
+// Architecture (one Server instance, `shards` event-loop shards):
 //
-//   accept loop ──► connection threads ──► bounded admission ──► ThreadPool
-//        │                │ (line framing,      (reject with          │
-//   SIGINT/SIGTERM        │  control requests)   "overloaded")   workers run
-//   self-pipe wakeup      └◄── responses written by workers ◄──── run_entry
+//   shard 0..N-1, each: SO_REUSEPORT listener + epoll loop ──► ThreadPool
+//        │  (non-blocking line framing, control requests,          │
+//   SIGINT/SIGTERM  bounded admission → reject "overloaded")  workers run
+//   self-pipe       └◄── responses queued by workers, flushed    run_entry
+//   wakeup               by the shard loop with backpressure ◄──────┘
+//
+// The kernel load-balances incoming connections across the shard
+// listeners; each shard owns its connections outright, so no lock is
+// shared between shards on the I/O path.  Responses are queued into a
+// bounded per-connection outbound buffer; a peer that stops reading while
+// responses pile up past `max_outbound` is disconnected (slow-reader
+// protection) instead of growing server memory without bound.
 //
 // Admission control: at most `max_queue` requests may be admitted-but-
 // unfinished; past that a request is rejected immediately with a
@@ -24,22 +32,26 @@
 // a worker picks it up — the stale request never executes, so one backlog
 // spike cannot poison workers with long-dead work.  Control requests
 // ({"type":"health"} / {"type":"metrics"}) are answered inline by the
-// connection thread and keep working under full overload.  Graceful
-// shutdown (request_stop(), or SIGINT/SIGTERM with handle_signals): stop
+// shard loop and keep working under full overload.  Graceful shutdown
+// (request_stop(), or SIGINT/SIGTERM with handle_signals): stop
 // accepting, stop reading, drain every admitted request, flush responses,
 // then dump final metrics to the log stream.  See docs/server.md.
+//
+// Persistent cache: with `cache_dir` set, a content-addressed DiskCache
+// (service/diskcache) sits behind the in-memory LRU as L2 — shared by all
+// shards, surviving restarts, bounded by `cache_budget_bytes`.  See
+// docs/diskcache.md.
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <list>
 #include <memory>
 #include <mutex>
-#include <thread>
+#include <string>
+#include <vector>
 
 #include "obs/events.hpp"
-#include "server/net.hpp"
 #include "service/batch.hpp"
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
@@ -52,9 +64,16 @@ class TraceRecorder;  // obs/trace.hpp
 struct ServerOptions {
   std::uint16_t port = 0;            ///< 0 = kernel-assigned ephemeral port
   int jobs = 1;                      ///< worker threads; < 1 = hardware count
+  int shards = 1;                    ///< event-loop shards; < 1 = 1
   std::size_t cache_capacity = 256;  ///< SynthesisCache entries
   std::size_t max_queue = 64;        ///< admitted-but-unfinished bound
   int deadline_ms = 0;               ///< per-request queue deadline; 0 = none
+  /// Pending (unsent) response bytes allowed per connection before the
+  /// peer is treated as a slow reader and disconnected.
+  std::size_t max_outbound = 8u << 20;
+  /// Persistent L2 cache directory ("" = in-memory cache only).
+  std::string cache_dir;
+  std::uint64_t cache_budget_bytes = 256ull << 20;  ///< L2 size bound
   bool handle_signals = false;       ///< SIGINT/SIGTERM → graceful shutdown
   std::ostream* log = nullptr;       ///< structured log lines (e.g. &std::cerr)
   /// Optional: per-request "request" spans (with nested pipeline phase
@@ -70,6 +89,8 @@ struct ServerOptions {
   std::function<void()> test_hold;
 };
 
+class DiskCache;  // service/diskcache/diskcache.hpp
+
 class Server {
  public:
   explicit Server(ServerOptions opts);
@@ -79,9 +100,9 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds and listens, then spawns the accept loop; on return port() is
-  /// valid and the server accepts connections.  Throws Error on bind
-  /// failure.
+  /// Binds the shard listeners and spawns the shard loops; on return
+  /// port() is valid and the server accepts connections.  Throws Error on
+  /// bind failure or when cache_dir is locked by another process.
   void start();
 
   /// The bound port (resolves an ephemeral `port = 0` request).
@@ -92,9 +113,9 @@ class Server {
   /// drain.
   void request_stop();
 
-  /// Blocks until shutdown completes: accept loop joined, every admitted
-  /// request answered, connections closed, pool drained.  Dumps final
-  /// metrics to the log stream.
+  /// Blocks until shutdown completes: every admitted request answered,
+  /// responses flushed, connections closed, shard loops joined, pool
+  /// drained.  Dumps final metrics to the log stream.
   void wait();
 
   /// request_stop() + wait().
@@ -103,20 +124,32 @@ class Server {
   /// Live instruments (shared with every worker).
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] SynthesisCache& cache() { return cache_; }
+  /// The persistent L2 store, or nullptr when cache_dir was empty.
+  [[nodiscard]] DiskCache* disk() const { return disk_.get(); }
   /// Decision-event sink (counters always; objects iff keep_events).
   [[nodiscard]] const AlgorithmEvents& events() const { return events_; }
 
  private:
   struct Conn;
+  struct Shard;
 
-  void accept_loop();
-  void serve_connection(Conn* conn);
+  void shard_loop(Shard& shard);
+  void accept_burst(Shard& shard);
+  void on_readable(Shard& shard, const std::shared_ptr<Conn>& conn);
+  void process_pending_lines(const std::shared_ptr<Conn>& conn);
   /// Handles {"type": ...} control requests inline; returns false when the
   /// line is not a control request.
   bool handle_control(Conn* conn, const std::string& line);
-  void submit_job(Conn* conn, ManifestEntry entry, std::size_t index,
-                  std::vector<std::future<void>>* inflight);
-  void write_line(Conn* conn, const Json& line);
+  void submit_job(const std::shared_ptr<Conn>& conn, ManifestEntry entry,
+                  std::size_t index);
+  /// Queues one response line (any thread); flags overflow for the loop.
+  void append_response(Conn* conn, const Json& line);
+  /// Flushes, rearms epoll interest and retires the connection when it is
+  /// finished (loop thread only).
+  void flush_and_update(Shard& shard, const std::shared_ptr<Conn>& conn);
+  void close_conn(Shard& shard, std::uint64_t id);
+  void notify_dirty(int shard_index, std::uint64_t conn_id);
+  void start_drain(Shard& shard);
   void log_event(const Json& line);
   [[nodiscard]] Json metrics_json() const;
 
@@ -127,20 +160,15 @@ class Server {
   /// {"type":"prometheus"}); event objects are retained only when
   /// opts_.keep_events asks for them.
   AlgorithmEvents events_;
+  std::unique_ptr<DiskCache> disk_;
   SynthesisCache cache_;
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<net::Listener> listener_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::uint16_t port_ = 0;
-  std::thread accept_thread_;
   bool started_ = false;
   bool finished_ = false;
 
-  std::mutex conns_mu_;
-  std::list<std::unique_ptr<Conn>> conns_;
-  std::uint64_t next_conn_id_ = 0;
-  void reap_connections(bool join_all);
-
-  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> next_conn_id_{1};  // 0 tags the listener
   std::atomic<std::int64_t> in_flight_{0};
 
   std::mutex log_mu_;

@@ -5,17 +5,9 @@
 
 #include "core/synthesizer.hpp"
 #include "dfg/parse.hpp"
+#include "service/diskcache/diskcache.hpp"
 
 namespace lbist {
-
-std::uint64_t fnv1a64(std::string_view s) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
 
 namespace {
 
@@ -68,6 +60,29 @@ std::string synthesis_cache_key(const Dfg& dfg, const Schedule& sched,
   // traced request may be served from a cache entry produced without
   // tracing (and vice versa).
   return key;
+}
+
+std::optional<Json> SynthesisCache::get(const std::string& key) {
+  if (auto hit = LruCache<Json>::get(key)) return hit;
+  if (disk_ == nullptr) return std::nullopt;
+  auto stored = disk_->get(key);
+  if (!stored.has_value()) return std::nullopt;
+  Json value;
+  try {
+    value = Json::parse(*stored);
+  } catch (const std::exception&) {
+    // A record that stopped parsing (format drift across versions) is a
+    // miss, not an error; the fresh result will overwrite it.
+    return std::nullopt;
+  }
+  persistent_hits_.fetch_add(1, std::memory_order_relaxed);
+  LruCache<Json>::put(key, value);
+  return value;
+}
+
+void SynthesisCache::put(const std::string& key, Json v) {
+  if (disk_ != nullptr) disk_->put(key, v.dump_compact());
+  LruCache<Json>::put(key, std::move(v));
 }
 
 std::string pass_cache_key(const std::string& pass_name,

@@ -9,6 +9,7 @@
 // Keys are the exact canonical strings (no collision risk); fnv1a64() gives
 // a short stable fingerprint of a key for logs and reports.
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -19,17 +20,16 @@
 #include <utility>
 #include <vector>
 
+#include "support/hash.hpp"
 #include "support/json.hpp"
 
 namespace lbist {
 
 class Dfg;
+class DiskCache;  // service/diskcache/diskcache.hpp
 class Schedule;
 struct ModuleProto;
 struct SynthesisOptions;
-
-/// 64-bit FNV-1a content hash (stable across platforms and runs).
-[[nodiscard]] std::uint64_t fnv1a64(std::string_view s);
 
 /// Canonical cache key of one synthesis request: the printed scheduled DFG,
 /// the module spec, every SynthesisOptions knob (binder, BIST-binder flags,
@@ -111,7 +111,37 @@ class LruCache {
   std::uint64_t evictions_ = 0;
 };
 
-/// The batch service caches the deterministic per-job result object.
-using SynthesisCache = LruCache<Json>;
+/// The batch service and server cache the deterministic per-job result
+/// object in a bounded in-memory LRU (L1).  Optionally a persistent
+/// content-addressed DiskCache (L2, shared across server shards and
+/// surviving restarts — see docs/diskcache.md) sits behind it: an L1 miss
+/// falls through to disk, and the recovered value is promoted back into
+/// L1.  Values cross the L2 boundary as compact JSON text, so entries are
+/// writer-independent and replayable across builds.
+class SynthesisCache : public LruCache<Json> {
+ public:
+  explicit SynthesisCache(std::size_t capacity, DiskCache* disk = nullptr)
+      : LruCache<Json>(capacity), disk_(disk) {}
+
+  /// Attaches (or detaches, with nullptr) the persistent L2.  Borrowed;
+  /// must outlive the cache's last get/put.
+  void attach_disk(DiskCache* disk) { disk_ = disk; }
+  [[nodiscard]] DiskCache* disk() const { return disk_; }
+
+  /// L1 lookup, falling through to the persistent L2 on miss.
+  [[nodiscard]] std::optional<Json> get(const std::string& key);
+
+  /// Inserts into L1 and appends to the persistent L2 (when attached).
+  void put(const std::string& key, Json v);
+
+  /// Lookups answered by the persistent layer (subset of L1 misses).
+  [[nodiscard]] std::uint64_t persistent_hits() const {
+    return persistent_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  DiskCache* disk_ = nullptr;
+  std::atomic<std::uint64_t> persistent_hits_{0};
+};
 
 }  // namespace lbist

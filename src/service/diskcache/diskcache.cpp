@@ -1,0 +1,401 @@
+#include "service/diskcache/diskcache.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <algorithm>
+#include <vector>
+
+#include "service/diskcache/format.hpp"
+#include "support/hash.hpp"
+#include "support/check.hpp"
+
+namespace lbist {
+
+namespace {
+
+using diskcache::kFileMagic;
+using diskcache::kMaxFieldBytes;
+using diskcache::kRecordHeaderBytes;
+using diskcache::kRecordMarker;
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+void write_all(int fd, std::string_view data, const std::string& what) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno(what);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::string encode_record(std::string_view key, std::string_view value) {
+  std::string rec;
+  rec.reserve(kRecordHeaderBytes + key.size() + value.size());
+  put_u32(&rec, kRecordMarker);
+  std::uint32_t crc = diskcache::crc32_update(0, key);
+  crc = diskcache::crc32_update(crc, value);
+  put_u32(&rec, crc);
+  put_u64(&rec, fnv1a64(key));
+  put_u32(&rec, static_cast<std::uint32_t>(key.size()));
+  put_u32(&rec, static_cast<std::uint32_t>(value.size()));
+  rec.append(key);
+  rec.append(value);
+  return rec;
+}
+
+}  // namespace
+
+std::uint64_t DiskCache::Entry::record_bytes() const {
+  return kRecordHeaderBytes + static_cast<std::uint64_t>(key_len) +
+         value_len;
+}
+
+DiskCache::DiskCache(DiskCacheOptions opts) : opts_(std::move(opts)) {
+  LBIST_CHECK(!opts_.dir.empty(), "DiskCache needs a directory");
+  if (::mkdir(opts_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    fail_errno("mkdir " + opts_.dir);
+  }
+  data_path_ = opts_.dir + "/cache.dat";
+
+  // Advisory single-writer lock: a second process (or a second DiskCache
+  // in this process) opening the same directory is an error, not silent
+  // interleaved appends.
+  const std::string lock_path = opts_.dir + "/cache.lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) fail_errno("open " + lock_path);
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw Error("cache dir already in use (flock): " + opts_.dir);
+  }
+
+  try {
+    open_and_recover();
+  } catch (...) {
+    if (fd_ >= 0) ::close(fd_);
+    ::close(lock_fd_);
+    throw;
+  }
+
+  if (opts_.background_compaction) {
+    compactor_ = std::thread([this] { compactor_loop(); });
+  }
+}
+
+DiskCache::~DiskCache() {
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    stopping_ = true;
+  }
+  compact_cv_.notify_all();
+  if (compactor_.joinable()) compactor_.join();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (map_ != nullptr) ::munmap(const_cast<char*>(map_), map_len_);
+  if (fd_ >= 0) ::close(fd_);
+  if (lock_fd_ >= 0) ::close(lock_fd_);
+}
+
+void DiskCache::open_and_recover() {
+  fd_ = ::open(data_path_.c_str(), O_CREAT | O_RDWR | O_APPEND | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) fail_errno("open " + data_path_);
+
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) fail_errno("fstat " + data_path_);
+  std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+
+  if (size < sizeof kFileMagic) {
+    // Fresh (or hopelessly short) file: start over with a clean header.
+    if (size != 0) ++dropped_;
+    if (::ftruncate(fd_, 0) != 0) fail_errno("ftruncate " + data_path_);
+    write_all(fd_, std::string_view(kFileMagic, sizeof kFileMagic),
+              "write header " + data_path_);
+    file_bytes_ = sizeof kFileMagic;
+    live_bytes_ = 0;
+    return;
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  remap_locked(size);
+  if (std::memcmp(map_, kFileMagic, sizeof kFileMagic) != 0) {
+    // Unrecognized header: refuse to guess at the contents.
+    throw Error("not a lowbist disk cache (bad magic): " + data_path_);
+  }
+
+  // Scan the record sequence, keeping the longest valid prefix.  The
+  // first truncated or corrupt record ends recovery: everything from its
+  // offset on is discarded (append-only WAL prefix semantics).
+  std::uint64_t off = sizeof kFileMagic;
+  while (off + kRecordHeaderBytes <= size) {
+    const char* p = map_ + off;
+    if (get_u32(p) != kRecordMarker) break;
+    const std::uint32_t want_crc = get_u32(p + 4);
+    const std::uint32_t key_len = get_u32(p + 16);
+    const std::uint32_t value_len = get_u32(p + 20);
+    if (key_len == 0 || key_len > kMaxFieldBytes ||
+        value_len > kMaxFieldBytes) {
+      break;
+    }
+    const std::uint64_t total =
+        kRecordHeaderBytes + static_cast<std::uint64_t>(key_len) + value_len;
+    if (off + total > size) break;  // truncated tail record
+    const std::string_view key(p + kRecordHeaderBytes, key_len);
+    const std::string_view value(p + kRecordHeaderBytes + key_len,
+                                 value_len);
+    std::uint32_t crc = diskcache::crc32_update(0, key);
+    crc = diskcache::crc32_update(crc, value);
+    if (crc != want_crc) break;
+
+    Entry e;
+    e.record_off = off;
+    e.value_off = off + kRecordHeaderBytes + key_len;
+    e.key_len = key_len;
+    e.value_len = value_len;
+    auto it = index_.find(std::string(key));
+    if (it != index_.end()) {
+      live_bytes_ -= it->second.record_bytes();
+      it->second = e;
+    } else {
+      index_.emplace(std::string(key), e);
+    }
+    live_bytes_ += e.record_bytes();
+    off += total;
+  }
+  if (off < size) {
+    // Drop the invalid suffix so future appends extend a valid prefix.
+    ++dropped_;
+    if (::ftruncate(fd_, static_cast<off_t>(off)) != 0) {
+      fail_errno("ftruncate " + data_path_);
+    }
+  }
+  file_bytes_ = off;
+  recovered_ = index_.size();
+}
+
+void DiskCache::remap_locked(std::uint64_t size) {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<char*>(map_), map_len_);
+    map_ = nullptr;
+    map_len_ = 0;
+  }
+  if (size == 0) return;
+  void* m = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd_, 0);
+  if (m == MAP_FAILED) fail_errno("mmap " + data_path_);
+  map_ = static_cast<const char*>(m);
+  map_len_ = size;
+}
+
+std::string DiskCache::read_value_locked(const Entry& e) {
+  return std::string(map_ + e.value_off, e.value_len);
+}
+
+std::optional<std::string> DiskCache::get(std::string_view key) {
+  const std::string k(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(k);
+    if (it == index_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    const Entry& e = it->second;
+    if (e.value_off + e.value_len <= map_len_) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return read_value_locked(e);
+    }
+  }
+  // The record sits past the current mapping (appended since the last
+  // remap): retake the lock exclusively, extend the mapping, re-read.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(k);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (it->second.value_off + it->second.value_len > map_len_) {
+    remap_locked(file_bytes_);
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return read_value_locked(it->second);
+}
+
+void DiskCache::append_locked(std::string_view key, std::string_view value) {
+  const std::string rec = encode_record(key, value);
+  write_all(fd_, rec, "append " + data_path_);
+  Entry e;
+  e.record_off = file_bytes_;
+  e.value_off = file_bytes_ + kRecordHeaderBytes + key.size();
+  e.key_len = static_cast<std::uint32_t>(key.size());
+  e.value_len = static_cast<std::uint32_t>(value.size());
+  auto it = index_.find(std::string(key));
+  if (it != index_.end()) {
+    live_bytes_ -= it->second.record_bytes();
+    it->second = e;
+  } else {
+    index_.emplace(std::string(key), e);
+  }
+  live_bytes_ += e.record_bytes();
+  file_bytes_ += rec.size();
+  ++puts_;
+}
+
+void DiskCache::put(std::string_view key, std::string_view value) {
+  if (key.empty() || key.size() > kMaxFieldBytes ||
+      value.size() > kMaxFieldBytes) {
+    return;  // unstorable; the L1 cache still holds it for this process
+  }
+  bool want_compaction = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    append_locked(key, value);
+    want_compaction = file_bytes_ > opts_.budget_bytes;
+  }
+  if (want_compaction && opts_.background_compaction) {
+    {
+      std::lock_guard<std::mutex> lock(compact_mu_);
+      compact_wanted_ = true;
+    }
+    compact_cv_.notify_one();
+  }
+}
+
+void DiskCache::compact_locked() {
+  // Live records, oldest append first, so eviction (when even the live
+  // set exceeds the budget) drops the oldest-inserted entries.
+  std::vector<std::pair<std::string, Entry>> live(index_.begin(),
+                                                  index_.end());
+  std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+    return a.second.record_off < b.second.record_off;
+  });
+  remap_locked(file_bytes_);  // ensure every live record is readable
+
+  std::size_t first = 0;
+  std::uint64_t kept = live_bytes_;
+  while (first < live.size() &&
+         kept + sizeof kFileMagic > opts_.budget_bytes) {
+    kept -= live[first].second.record_bytes();
+    ++evictions_;
+    ++first;
+  }
+
+  const std::string tmp_path = data_path_ + ".compact";
+  const int tmp_fd =
+      ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+             0644);
+  if (tmp_fd < 0) fail_errno("open " + tmp_path);
+  try {
+    write_all(tmp_fd, std::string_view(kFileMagic, sizeof kFileMagic),
+              "write header " + tmp_path);
+    for (std::size_t i = first; i < live.size(); ++i) {
+      const Entry& e = live[i].second;
+      const std::string_view value(map_ + e.value_off, e.value_len);
+      write_all(tmp_fd, encode_record(live[i].first, value),
+                "append " + tmp_path);
+    }
+    if (::fsync(tmp_fd) != 0) fail_errno("fsync " + tmp_path);
+  } catch (...) {
+    ::close(tmp_fd);
+    ::unlink(tmp_path.c_str());
+    throw;
+  }
+  ::close(tmp_fd);
+  if (::rename(tmp_path.c_str(), data_path_.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    fail_errno("rename " + tmp_path);
+  }
+
+  // Swap in the compacted file and rebuild state against it.
+  if (map_ != nullptr) {
+    ::munmap(const_cast<char*>(map_), map_len_);
+    map_ = nullptr;
+    map_len_ = 0;
+  }
+  ::close(fd_);
+  fd_ = ::open(data_path_.c_str(), O_RDWR | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) fail_errno("reopen " + data_path_);
+
+  index_.clear();
+  std::uint64_t off = sizeof kFileMagic;
+  live_bytes_ = 0;
+  for (std::size_t i = first; i < live.size(); ++i) {
+    Entry e = live[i].second;
+    e.record_off = off;
+    e.value_off = off + kRecordHeaderBytes + e.key_len;
+    index_.emplace(live[i].first, e);
+    live_bytes_ += e.record_bytes();
+    off += e.record_bytes();
+  }
+  file_bytes_ = off;
+  remap_locked(file_bytes_);
+  ++compactions_;
+}
+
+void DiskCache::compact_now() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  compact_locked();
+}
+
+void DiskCache::compactor_loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(compact_mu_);
+      compact_cv_.wait(lock,
+                       [this] { return compact_wanted_ || stopping_; });
+      if (stopping_) return;
+      compact_wanted_ = false;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (file_bytes_ > opts_.budget_bytes) compact_locked();
+  }
+}
+
+DiskCache::Stats DiskCache::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.puts = puts_;
+  s.evictions = evictions_;
+  s.compactions = compactions_;
+  s.dropped = dropped_;
+  s.recovered = recovered_;
+  s.entries = index_.size();
+  s.file_bytes = file_bytes_;
+  s.live_bytes = live_bytes_;
+  s.budget_bytes = opts_.budget_bytes;
+  return s;
+}
+
+}  // namespace lbist

@@ -1,0 +1,127 @@
+#pragma once
+// Persistent content-addressed synthesis cache (L2).
+//
+// The in-memory LRU (service/cache.hpp) dies with the process; this store
+// survives restarts.  It is keyed by the same canonical request strings,
+// holds the compact-JSON result lines as values, and is designed for the
+// sharded server: one DiskCache instance is shared by every shard (and
+// every pool worker) in the process — reads take a shared lock and are
+// served from a read-only mmap of the record file; appends and compaction
+// take the write lock.  A second process opening the same directory for
+// writing is refused via an advisory flock, so the single-writer
+// append-only invariant holds across restarts.
+//
+// Size budget: when the record file grows past `budget_bytes`, compaction
+// rewrites the live records (latest version of each key) into a fresh
+// file and atomically renames it into place; if the live set alone still
+// exceeds the budget, the oldest-inserted entries are evicted until it
+// fits.  With `background_compaction` a housekeeping thread runs
+// compaction off the request path; tests use compact_now() for
+// determinism.  See docs/diskcache.md for format and crash-recovery
+// guarantees.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+
+namespace lbist {
+
+struct DiskCacheOptions {
+  std::string dir;  ///< created if missing; holds cache.dat (+ lock)
+  std::uint64_t budget_bytes = 256ull << 20;  ///< compaction/eviction bound
+  bool background_compaction = true;  ///< off: compaction only when asked
+};
+
+class DiskCache {
+ public:
+  /// Opens (creating if needed) `opts.dir/cache.dat`, recovers the valid
+  /// record prefix and builds the key index.  Throws Error when the
+  /// directory cannot be created, the lock is held by another process, or
+  /// I/O fails.
+  explicit DiskCache(DiskCacheOptions opts);
+  ~DiskCache();
+
+  DiskCache(const DiskCache&) = delete;
+  DiskCache& operator=(const DiskCache&) = delete;
+
+  /// Returns the latest value stored for `key`, or nullopt.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key);
+
+  /// Appends (or supersedes) `key` -> `value`.  May wake the background
+  /// compactor when the file outgrows the budget.
+  void put(std::string_view key, std::string_view value);
+
+  /// Synchronous compaction + eviction down to the size budget.
+  void compact_now();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t evictions = 0;    ///< live entries dropped for the budget
+    std::uint64_t compactions = 0;
+    std::uint64_t dropped = 0;      ///< records lost to recovery (crc/truncation)
+    std::uint64_t recovered = 0;    ///< live entries loaded at open
+    std::uint64_t entries = 0;      ///< current live keys
+    std::uint64_t file_bytes = 0;   ///< record file size
+    std::uint64_t live_bytes = 0;   ///< bytes a compaction would keep
+    std::uint64_t budget_bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Absolute path of the record file (for tests and logs).
+  [[nodiscard]] const std::string& path() const { return data_path_; }
+
+ private:
+  struct Entry {
+    std::uint64_t record_off = 0;  ///< start of the record (marker)
+    std::uint64_t value_off = 0;   ///< start of the value bytes
+    std::uint32_t key_len = 0;
+    std::uint32_t value_len = 0;
+    [[nodiscard]] std::uint64_t record_bytes() const;
+  };
+
+  void open_and_recover();
+  void remap_locked(std::uint64_t size);      // requires exclusive mu_
+  void append_locked(std::string_view key, std::string_view value);
+  void compact_locked();                      // requires exclusive mu_
+  [[nodiscard]] std::string read_value_locked(const Entry& e);
+  void compactor_loop();
+
+  DiskCacheOptions opts_;
+  std::string data_path_;
+
+  mutable std::shared_mutex mu_;  // index + file + mapping
+  int fd_ = -1;
+  int lock_fd_ = -1;
+  const char* map_ = nullptr;
+  std::uint64_t map_len_ = 0;
+  std::uint64_t file_bytes_ = 0;
+  std::uint64_t live_bytes_ = 0;
+  std::unordered_map<std::string, Entry> index_;
+
+  // Counters kept atomic-free under mu_ except the read-path pair.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::uint64_t puts_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t recovered_ = 0;
+
+  // Background compactor.
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  bool compact_wanted_ = false;
+  bool stopping_ = false;
+  std::thread compactor_;
+};
+
+}  // namespace lbist

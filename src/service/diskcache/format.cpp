@@ -1,0 +1,41 @@
+#include "service/diskcache/format.hpp"
+
+#include <array>
+
+namespace lbist::diskcache {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? kPoly ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, std::string_view data) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  const auto& t = table();
+  for (const char ch : data) {
+    c = t[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::string_view data) { return crc32_update(0, data); }
+
+}  // namespace lbist::diskcache

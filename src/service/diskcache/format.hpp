@@ -1,0 +1,41 @@
+#pragma once
+// On-disk record format of the persistent synthesis cache (docs/
+// diskcache.md).  The store is one append-only file, `cache.dat`:
+//
+//   [8-byte file magic "LBDC0001"]
+//   record*:
+//     u32  marker   0xB157CAFE        (resync / sanity)
+//     u32  crc32    IEEE CRC-32 over key bytes + value bytes
+//     u64  key_hash fnv1a64(key)      (fast index probe; informational)
+//     u32  key_len
+//     u32  value_len
+//     key bytes, value bytes          (length-prefixed, no terminators)
+//
+// All integers little-endian.  A key appears once per write; updates
+// append a fresh record and the in-memory index points at the latest one.
+// Recovery scans from the header and keeps the longest valid prefix: the
+// first truncated or crc-mismatching record — a crash mid-append — drops
+// that record and everything after it (see DiskCache::Stats::dropped).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lbist::diskcache {
+
+inline constexpr char kFileMagic[8] = {'L', 'B', 'D', 'C', '0', '0', '0',
+                                       '1'};
+inline constexpr std::uint32_t kRecordMarker = 0xB157CAFEu;
+/// marker + crc + key_hash + key_len + value_len
+inline constexpr std::size_t kRecordHeaderBytes = 4 + 4 + 8 + 4 + 4;
+/// Hard sanity bound on one record's key/value sizes: recovery treats
+/// anything larger as corruption rather than attempting a huge read.
+inline constexpr std::uint32_t kMaxFieldBytes = 1u << 28;
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), table-driven.
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+/// Incremental form: feed `crc` = 0 initially, chain the return value.
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc,
+                                         std::string_view data);
+
+}  // namespace lbist::diskcache

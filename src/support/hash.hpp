@@ -1,0 +1,23 @@
+#pragma once
+// Stable content hashing shared across layers: the synthesis cache tags
+// keys with it, the disk cache stamps every on-disk record with it, and
+// logs/reports use it as a short fingerprint.  FNV-1a is deliberately
+// simple — keys are compared by full string everywhere, so the hash only
+// needs to be stable across platforms and runs, never collision-proof.
+
+#include <cstdint>
+#include <string_view>
+
+namespace lbist {
+
+/// 64-bit FNV-1a content hash (stable across platforms and runs).
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace lbist

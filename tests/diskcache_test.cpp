@@ -1,0 +1,295 @@
+// Torture tests for the persistent content-addressed cache
+// (service/diskcache): round-trip persistence across reopen, last-writer-
+// wins semantics, crash-recovery of truncated and corrupt tails (longest-
+// valid-prefix WAL semantics), budget-driven compaction and eviction, the
+// advisory single-writer lock, concurrent shard readers against a live
+// writer (the CI sanitizer job runs this file under TSan), and the tiered
+// SynthesisCache promoting disk values back into the in-memory LRU.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/diskcache/diskcache.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace lbist {
+namespace {
+
+/// Private scratch directory, removed (with its cache files) on scope
+/// exit so repeated ctest runs never see stale state.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/lowbist-diskcache-XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    path = made;
+  }
+  ~TempDir() {
+    for (const char* name : {"cache.dat", "cache.lock", "cache.dat.compact"}) {
+      std::remove((path + "/" + name).c_str());
+    }
+    ::rmdir(path.c_str());
+  }
+  std::string path;
+};
+
+DiskCacheOptions test_opts(const TempDir& dir,
+                           std::uint64_t budget = 256ull << 20) {
+  DiskCacheOptions opts;
+  opts.dir = dir.path;
+  opts.budget_bytes = budget;
+  opts.background_compaction = false;  // determinism: compact_now() only
+  return opts;
+}
+
+/// Overwrites `count` bytes at `offset` from the end of the record file.
+void corrupt_tail(const std::string& data_path, off_t from_end, char byte) {
+  const int fd = ::open(data_path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  struct stat st{};
+  ASSERT_EQ(::fstat(fd, &st), 0);
+  ASSERT_EQ(::pwrite(fd, &byte, 1, st.st_size - from_end), 1);
+  ::close(fd);
+}
+
+TEST(DiskCache, RoundTripsAndSurvivesReopen) {
+  TempDir dir;
+  {
+    DiskCache cache(test_opts(dir));
+    cache.put("alpha", "{\"v\":1}");
+    cache.put("beta", "{\"v\":2}");
+    ASSERT_TRUE(cache.get("alpha").has_value());
+    EXPECT_EQ(*cache.get("alpha"), "{\"v\":1}");
+    EXPECT_FALSE(cache.get("missing").has_value());
+    const DiskCache::Stats s = cache.stats();
+    EXPECT_EQ(s.puts, 2u);
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.misses, 1u);
+  }
+  // A fresh process (new instance, same directory) sees everything.
+  DiskCache reopened(test_opts(dir));
+  EXPECT_EQ(reopened.stats().recovered, 2u);
+  ASSERT_TRUE(reopened.get("beta").has_value());
+  EXPECT_EQ(*reopened.get("beta"), "{\"v\":2}");
+  EXPECT_EQ(*reopened.get("alpha"), "{\"v\":1}");
+}
+
+TEST(DiskCache, LatestPutWinsAcrossReopen) {
+  TempDir dir;
+  {
+    DiskCache cache(test_opts(dir));
+    cache.put("key", "old");
+    cache.put("key", "mid");
+    cache.put("key", "new");
+    EXPECT_EQ(*cache.get("key"), "new");
+    EXPECT_EQ(cache.stats().entries, 1u);
+  }
+  DiskCache reopened(test_opts(dir));
+  EXPECT_EQ(*reopened.get("key"), "new");
+  EXPECT_EQ(reopened.stats().entries, 1u);
+}
+
+TEST(DiskCache, TruncatedTailRecordIsDroppedOnRecovery) {
+  TempDir dir;
+  std::string data_path;
+  {
+    DiskCache cache(test_opts(dir));
+    cache.put("intact", std::string(200, 'a'));
+    cache.put("torn", std::string(200, 'b'));
+    data_path = cache.path();
+  }
+  // Simulate a crash mid-append: the last record loses its final 3 bytes.
+  {
+    const int fd = ::open(data_path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    struct stat st{};
+    ASSERT_EQ(::fstat(fd, &st), 0);
+    ASSERT_EQ(::ftruncate(fd, st.st_size - 3), 0);
+    ::close(fd);
+  }
+  DiskCache recovered(test_opts(dir));
+  EXPECT_TRUE(recovered.get("intact").has_value());
+  EXPECT_FALSE(recovered.get("torn").has_value());
+  const DiskCache::Stats s = recovered.stats();
+  EXPECT_EQ(s.recovered, 1u);
+  EXPECT_GE(s.dropped, 1u);
+  // The invalid suffix was truncated away, so appends keep working.
+  recovered.put("torn", "again");
+  EXPECT_EQ(*recovered.get("torn"), "again");
+}
+
+TEST(DiskCache, CorruptCrcDropsTailOnRecovery) {
+  TempDir dir;
+  std::string data_path;
+  {
+    DiskCache cache(test_opts(dir));
+    cache.put("keep", std::string(100, 'k'));
+    cache.put("rot", std::string(100, 'r'));
+    data_path = cache.path();
+  }
+  // Flip one byte inside the last record's value: length fields still
+  // parse, but the checksum must catch the rot.
+  corrupt_tail(data_path, /*from_end=*/5, 'X');
+  DiskCache recovered(test_opts(dir));
+  EXPECT_TRUE(recovered.get("keep").has_value());
+  EXPECT_FALSE(recovered.get("rot").has_value());
+  EXPECT_GE(recovered.stats().dropped, 1u);
+}
+
+TEST(DiskCache, GarbageFileIsRefusedNotGuessed) {
+  TempDir dir;
+  {
+    std::FILE* f = std::fopen((dir.path + "/cache.dat").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a cache file, long enough to have a header",
+               f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(DiskCache cache(test_opts(dir)), Error);
+}
+
+TEST(DiskCache, CompactionDropsSupersededRecords) {
+  TempDir dir;
+  DiskCache cache(test_opts(dir));
+  for (int round = 0; round < 10; ++round) {
+    for (int k = 0; k < 5; ++k) {
+      cache.put("key" + std::to_string(k),
+                "round" + std::to_string(round));
+    }
+  }
+  const std::uint64_t before = cache.stats().file_bytes;
+  cache.compact_now();
+  const DiskCache::Stats s = cache.stats();
+  EXPECT_LT(s.file_bytes, before);  // 45 dead records rewritten away
+  EXPECT_EQ(s.entries, 5u);
+  EXPECT_EQ(s.compactions, 1u);
+  EXPECT_EQ(s.evictions, 0u);  // well under budget: nothing evicted
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(*cache.get("key" + std::to_string(k)), "round9");
+  }
+}
+
+TEST(DiskCache, BudgetEvictionDropsOldestKeepsNewest) {
+  TempDir dir;
+  // ~50 live entries of ~230 bytes each vs a 4 KiB budget: compaction
+  // must evict the oldest-inserted entries until the live set fits.
+  DiskCache cache(test_opts(dir, /*budget=*/4096));
+  for (int k = 0; k < 50; ++k) {
+    cache.put("key" + std::to_string(k), std::string(200, 'v'));
+  }
+  cache.compact_now();
+  const DiskCache::Stats s = cache.stats();
+  EXPECT_LE(s.file_bytes, 4096u);
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LT(s.entries, 50u);
+  EXPECT_GT(s.entries, 0u);
+  // Newest entries survive; the oldest were evicted.
+  EXPECT_TRUE(cache.get("key49").has_value());
+  EXPECT_FALSE(cache.get("key0").has_value());
+  // Values survive the rewrite byte-for-byte and the next reopen.
+  EXPECT_EQ(*cache.get("key49"), std::string(200, 'v'));
+}
+
+TEST(DiskCache, SecondWriterOnSameDirectoryIsRefused) {
+  TempDir dir;
+  DiskCache first(test_opts(dir));
+  try {
+    DiskCache second(test_opts(dir));
+    FAIL() << "expected the advisory lock to refuse a second writer";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("flock"), std::string::npos);
+  }
+}
+
+// Concurrent shard readers against a live writer plus a compaction: the
+// CI sanitizer job runs this under ThreadSanitizer, so any missing
+// synchronization in get/put/compact shows up as a race report.
+TEST(DiskCache, ConcurrentShardReadersSeeConsistentValues) {
+  TempDir dir;
+  DiskCache cache(test_opts(dir));
+  constexpr int kKeys = 200;
+  for (int k = 0; k < kKeys; ++k) {
+    cache.put("seed" + std::to_string(k), "value" + std::to_string(k));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  readers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      int i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int k = i++ % kKeys;
+        const auto got = cache.get("seed" + std::to_string(k));
+        if (!got.has_value() || *got != "value" + std::to_string(k)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Writer: append fresh keys (forcing remap-on-read paths) and compact.
+  for (int k = 0; k < 300; ++k) {
+    cache.put("extra" + std::to_string(k), std::string(64, 'e'));
+    if (k % 100 == 99) cache.compact_now();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(*cache.get("seed7"), "value7");
+}
+
+TEST(TieredSynthesisCache, PromotesDiskHitsIntoMemory) {
+  TempDir dir;
+  DiskCache disk(test_opts(dir));
+  {
+    SynthesisCache warm(4, &disk);
+    warm.put("job", Json::parse("{\"area\": 42}"));
+  }
+  // A fresh L1 (new server process) misses in memory, hits on disk, and
+  // promotes the value so the second lookup never touches the disk again.
+  SynthesisCache cold(4, &disk);
+  const std::uint64_t disk_hits_before = disk.stats().hits;
+  auto first = cold.get("job");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->at("area").as_number(), 42.0);
+  EXPECT_EQ(cold.persistent_hits(), 1u);
+  EXPECT_EQ(disk.stats().hits, disk_hits_before + 1);
+
+  auto second = cold.get("job");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(cold.persistent_hits(), 1u);  // L1 answered; disk untouched
+  EXPECT_EQ(disk.stats().hits, disk_hits_before + 1);
+}
+
+TEST(TieredSynthesisCache, MalformedDiskValueIsAMissNotAnError) {
+  TempDir dir;
+  DiskCache disk(test_opts(dir));
+  disk.put("poison", "not json at all {");
+  SynthesisCache cache(4, &disk);
+  EXPECT_FALSE(cache.get("poison").has_value());
+  EXPECT_EQ(cache.persistent_hits(), 0u);
+}
+
+TEST(TieredSynthesisCache, DetachedDiskBehavesLikePlainLru) {
+  SynthesisCache cache(2);
+  cache.put("a", Json::parse("{\"x\":1}"));
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_EQ(cache.persistent_hits(), 0u);
+  const SynthesisCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+}  // namespace
+}  // namespace lbist

@@ -8,11 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -26,6 +30,7 @@
 #include "server/client.hpp"
 #include "server/server.hpp"
 #include "service/batch.hpp"
+#include "service/diskcache/diskcache.hpp"
 #include "support/json.hpp"
 
 namespace lbist {
@@ -458,6 +463,91 @@ TEST(ServerEndToEnd, HealthReplyCarriesBuildInfo) {
   for (const char* key : {"version", "git", "compiler", "sanitizer"}) {
     EXPECT_TRUE(build.contains(key)) << key;
   }
+}
+
+// Multi-shard parity: with several SO_REUSEPORT event loops the kernel
+// spreads client connections across shards, but responses must stay
+// byte-identical to single-threaded `lowbist batch` on the same manifest.
+TEST(ShardedServer, ParityMatchesBatchAcrossShards) {
+  const auto entries = parse_manifest(kParityManifest);
+  std::ostringstream batch_out;
+  BatchOptions batch_opts;
+  batch_opts.jobs = 1;
+  run_batch(entries, batch_opts, batch_out);
+
+  ServerOptions opts;
+  opts.jobs = 2;
+  opts.shards = 3;
+  Server server(std::move(opts));
+  server.start();
+  // Several sequential clients so different kernel-picked shards serve
+  // traffic; each full pass must match batch byte-for-byte.
+  for (int pass = 0; pass < 3; ++pass) {
+    std::ostringstream server_out;
+    const ClientSummary summary =
+        run_client("127.0.0.1", server.port(), kParityManifest, server_out);
+    EXPECT_EQ(summary.responses, static_cast<int>(entries.size()));
+    EXPECT_EQ(sorted_lines(batch_out.str()), sorted_lines(server_out.str()));
+  }
+  server.stop();
+}
+
+// Restart-rewarm: results written to the persistent cache by one server
+// process are served as L2 hits by a fresh server (empty in-memory LRU)
+// pointed at the same cache directory.
+TEST(ShardedServer, RestartRewarmsFromPersistentCache) {
+  char tmpl[] = "/tmp/lowbist-server-cache-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string cache_dir = tmpl;
+
+  const std::string manifest =
+      "{\"bench\": \"ex1\"}\n"
+      "{\"bench\": \"paulin\", \"binder\": \"trad\"}\n";
+  std::string cold_text;
+  {
+    ServerOptions opts;
+    opts.cache_dir = cache_dir;
+    Server cold(std::move(opts));
+    cold.start();
+    std::ostringstream out;
+    const ClientSummary summary =
+        run_client("127.0.0.1", cold.port(), manifest, out);
+    EXPECT_EQ(summary.ok, 2);
+    EXPECT_EQ(cold.cache().persistent_hits(), 0u);  // nothing on disk yet
+    cold_text = out.str();
+    cold.stop();
+  }
+  {
+    ServerOptions opts;
+    opts.cache_dir = cache_dir;
+    Server warm(std::move(opts));
+    warm.start();
+    std::ostringstream out;
+    const ClientSummary summary =
+        run_client("127.0.0.1", warm.port(), manifest, out);
+    EXPECT_EQ(summary.ok, 2);
+    EXPECT_EQ(sorted_lines(out.str()), sorted_lines(cold_text));
+    // Both results came off disk, not from re-running synthesis.
+    EXPECT_EQ(warm.cache().persistent_hits(), 2u);
+    ASSERT_NE(warm.disk(), nullptr);
+    EXPECT_GE(warm.disk()->stats().hits, 2u);
+    EXPECT_EQ(warm.disk()->stats().recovered, 2u);
+
+    // The metrics request exposes the persistent tier.
+    std::ostringstream metrics_out;
+    run_client("127.0.0.1", warm.port(), "{\"type\": \"metrics\"}\n",
+               metrics_out);
+    const Json reply = Json::parse(sorted_lines(metrics_out.str()).at(0));
+    EXPECT_EQ(reply.at("metrics").at("cache").at("persistent_hits").as_int(),
+              2);
+    EXPECT_GE(reply.at("metrics").at("diskcache").at("hits").as_int(), 2);
+    warm.stop();
+  }
+
+  for (const char* name : {"cache.dat", "cache.lock", "cache.dat.compact"}) {
+    std::remove((cache_dir + "/" + name).c_str());
+  }
+  ::rmdir(cache_dir.c_str());
 }
 
 TEST(ClientHelpers, ParseHostPort) {

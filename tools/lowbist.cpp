@@ -21,8 +21,9 @@
 //       the manifest from stdin) over a thread pool with a synthesis
 //       cache; stream one JSON result line per job in completion order
 //       (see docs/service.md).
-//   lowbist serve [--port P] [-j N] [--cache N] [--max-queue N]
-//                 [--deadline-ms N]
+//   lowbist serve [--port P] [-j N] [--shards N] [--cache N]
+//                 [--max-queue N] [--deadline-ms N] [--cache-dir DIR]
+//                 [--cache-budget-mb N]
 //       Long-running synthesis server on 127.0.0.1 speaking newline-
 //       delimited JSON with the batch job schema; bounded admission
 //       queue, per-request deadlines, health/metrics requests, graceful
@@ -169,6 +170,9 @@ struct CliOptions {
   int port = 0;
   std::size_t max_queue = 64;
   int deadline_ms = 0;
+  int shards = 1;
+  std::string cache_dir;
+  int cache_budget_mb = 256;
   // fuzz
   std::uint64_t fuzz_seed = 1;
   int fuzz_cases = 1000;
@@ -198,8 +202,9 @@ struct CliOptions {
       "  lowbist optimize <design.dfg>\n"
       "  lowbist batch <jobs.jsonl|-> [-j N] [--metrics out.json]\n"
       "                [--cache N]            (\"-\" reads stdin)\n"
-      "  lowbist serve [--port P] [-j N] [--cache N] [--max-queue N]\n"
-      "                [--deadline-ms N]\n"
+      "  lowbist serve [--port P] [-j N] [--shards N] [--cache N]\n"
+      "                [--max-queue N] [--deadline-ms N]\n"
+      "                [--cache-dir DIR] [--cache-budget-mb N]\n"
       "  lowbist client <host:port> <jobs.jsonl|->\n"
       "  lowbist fuzz [--seed N] [--cases N] [-j N] [--width N]\n"
       "               [--fixed-width] [--out DIR] [--no-minimize]\n"
@@ -343,6 +348,16 @@ CliOptions parse_args(int argc, char** argv) {
       const int n = need_int(flag);
       if (n < 0) usage("flag --deadline-ms needs a non-negative value");
       opts.deadline_ms = n;
+    } else if (flag == "--shards") {
+      const int n = need_int(flag);
+      if (n < 1) usage("flag --shards needs a positive count");
+      opts.shards = n;
+    } else if (flag == "--cache-dir") {
+      opts.cache_dir = need_value(flag);
+    } else if (flag == "--cache-budget-mb") {
+      const int n = need_int(flag);
+      if (n < 1) usage("flag --cache-budget-mb needs a positive size");
+      opts.cache_budget_mb = n;
     } else if (flag == "--seed") {
       const std::string v = need_value(flag);
       try {
@@ -758,6 +773,10 @@ int cmd_serve(const CliOptions& cli) {
   opts.cache_capacity = cli.cache_capacity;
   opts.max_queue = cli.max_queue;
   opts.deadline_ms = cli.deadline_ms;
+  opts.shards = cli.shards;
+  opts.cache_dir = cli.cache_dir;
+  opts.cache_budget_bytes =
+      static_cast<std::uint64_t>(cli.cache_budget_mb) << 20;
   opts.handle_signals = true;
   opts.log = &std::cerr;
   opts.trace = trace.get();
