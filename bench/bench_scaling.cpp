@@ -1,14 +1,28 @@
 // Scaling study (ours): BIST overhead reduction and runtime as the design
 // grows — random scheduled DFGs from ~10 to ~150 variables, plus FIR
-// filters of increasing tap count scheduled with the list scheduler.
+// filters of increasing tap count scheduled with the list scheduler, plus a
+// large tier of 1k–100k-op random DFGs that exercises the bitset conflict
+// graphs and the incremental-ΔSD binder at scale.
+//
+// The large tier is the CI perf gate: it emits one row per size into
+// BENCH_scaling.json (bench/bench_json.hpp) which tools/check_bench.py
+// compares against bench/baselines/BENCH_scaling.json.
+//
+// Flags (ours, stripped before google-benchmark sees argv):
+//   --scaling-only   run only the large tier + JSON artifact (CI gate mode)
+//   --xl             extend the large tier to 20k/50k/100k ops
 //
 // Timing benchmarks: the full testable pipeline vs design size.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/synthesizer.hpp"
 #include "dfg/benchmarks.hpp"
 #include "dfg/random_dfg.hpp"
@@ -77,6 +91,67 @@ void print_scaling() {
   std::cout << t << std::endl;
 }
 
+// ---------------------------------------------------------------------------
+// Large tier: full BIST-aware synthesis of 1k–100k-op random DFGs.
+//
+// Outputs are not held to the end of the schedule — with thousands of sinks
+// a hold-to-end policy manufactures one giant conflict clique that measures
+// the lifetime policy, not the binder.  The generator parameters (high
+// reuse, moderate chaining) keep register pressure realistic instead.
+
+RandomDfgOptions large_opts(int ops) {
+  RandomDfgOptions o;
+  o.seed = 424242;
+  o.ops_per_step = 8;
+  o.num_steps = ops / o.ops_per_step;
+  o.num_inputs = 12;
+  o.reuse_probability = 0.9;
+  o.chain_probability = 0.3;
+  return o;
+}
+
+void run_large_tier(const std::vector<int>& sizes,
+                    benchjson::BenchJson& bj) {
+  TextTable t({"ops", "#vars", "#regs", "#mux", "%BIST", "wall ms"});
+  t.set_title("Large tier — full BIST-aware synthesis (CI perf gate)");
+
+  for (int ops : sizes) {
+    const RandomDfg rd = make_random_dfg(large_opts(ops));
+    const auto protos = minimal_module_spec(rd.dfg, rd.schedule);
+    SynthesisOptions so;
+    so.binder = BinderKind::BistAware;
+    so.lifetime.hold_outputs_to_end = false;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Synthesizer synth(so);
+    const SynthesisResult res = synth.run(rd.dfg, rd.schedule, protos);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    t.add_row({std::to_string(ops), std::to_string(rd.dfg.num_vars()),
+               std::to_string(res.num_registers()),
+               std::to_string(res.num_mux()),
+               fmt_double(res.overhead_percent), fmt_double(ms, 1)});
+    // Progress to stderr: CI logs show where a slow run is, row by row.
+    std::cerr << "large tier: " << ops << " ops -> " << fmt_double(ms, 1)
+              << " ms (" << res.num_registers() << " regs)" << std::endl;
+    bj.add("random_" + std::to_string(ops),
+           std::to_string(ops) + " ops, seed 424242", {ms},
+           Json::object()
+               .set("ops", Json::number(static_cast<std::int64_t>(ops)))
+               .set("vars", Json::number(static_cast<std::int64_t>(
+                                rd.dfg.num_vars())))
+               .set("regs", Json::number(static_cast<std::int64_t>(
+                                res.num_registers())))
+               .set("mux", Json::number(
+                               static_cast<std::int64_t>(res.num_mux())))
+               .set("overhead_pct", Json::number(res.overhead_percent))
+               .set("wall_ms", Json::number(ms)));
+  }
+  std::cout << t << std::endl;
+}
+
 void BM_PipelineVsSize(benchmark::State& state) {
   const int steps = static_cast<int>(state.range(0));
   auto rd = make_random_dfg(size_opts(steps, 4, 7));
@@ -109,8 +184,35 @@ BENCHMARK(BM_FirPipeline)->Arg(8)->Arg(16)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_scaling();
-  benchmark::Initialize(&argc, argv);
+  bool scaling_only = false;
+  bool xl = false;
+  std::vector<char*> fwd;
+  fwd.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling-only") == 0) {
+      scaling_only = true;
+    } else if (std::strcmp(argv[i], "--xl") == 0) {
+      xl = true;
+    } else {
+      fwd.push_back(argv[i]);
+    }
+  }
+
+  std::vector<int> sizes = {1000, 2000, 5000, 10000};
+  if (xl) {
+    sizes.push_back(20000);
+    sizes.push_back(50000);
+    sizes.push_back(100000);
+  }
+
+  lbist::benchjson::BenchJson bj("scaling");
+  if (!scaling_only) print_scaling();
+  run_large_tier(sizes, bj);
+  bj.write();
+  if (scaling_only) return 0;
+
+  int fwd_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&fwd_argc, fwd.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

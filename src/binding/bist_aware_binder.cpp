@@ -1,13 +1,17 @@
 #include "binding/bist_aware_binder.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <numeric>
+#include <span>
 #include <sstream>
 
 #include "binding/cbilbo_check.hpp"
+#include "binding/cbilbo_tracker.hpp"
 #include "binding/sharing.hpp"
 #include "graph/chordal.hpp"
 #include "obs/events.hpp"
+#include "support/arena.hpp"
 #include "support/check.hpp"
 
 namespace lbist {
@@ -22,6 +26,7 @@ struct RegState {
   DynBitset share_mask;              ///< union of member sharing masks
   DynBitset src_modules;             ///< modules (+external) writing into it
   DynBitset dst_modules;             ///< modules reading from it
+  int sd = 0;                        ///< SD(share_mask), cached
 };
 
 /// Per-variable connectivity footprint used by the interconnect tie-break.
@@ -34,14 +39,8 @@ struct VarFootprint {
 /// destinations of v that R does not already have (Section IV's merge-case
 /// reasoning, used only to break ties).
 int interconnect_cost(const RegState& reg, const VarFootprint& fp) {
-  int cost = 0;
-  for (std::size_t b : fp.src.members()) {
-    if (!reg.src_modules.test(b)) ++cost;
-  }
-  for (std::size_t b : fp.dst.members()) {
-    if (!reg.dst_modules.test(b)) ++cost;
-  }
-  return cost;
+  return static_cast<int>(fp.src.count_and_not(reg.src_modules) +
+                          fp.dst.count_and_not(reg.dst_modules));
 }
 
 }  // namespace
@@ -61,6 +60,11 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
   };
 
   // --- 1. Structured PVES (Section III.A.1) -------------------------------
+  // Per-vertex SD is popcount of a static mask; hoist it out of the sort
+  // comparator (it used to be recomputed O(n log n) times).
+  std::vector<int> sd_vtx(n);
+  for (std::size_t v = 0; v < n; ++v) sd_vtx[v] = sa.sd(cg.vars[v]);
+
   std::vector<std::size_t> rank(n);
   {
     std::vector<std::size_t> by_priority(n);
@@ -71,16 +75,15 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
       auto mcs = max_clique_through_vertex(cg.graph, *base_peo);
       std::stable_sort(by_priority.begin(), by_priority.end(),
                        [&](std::size_t a, std::size_t b) {
-                         const int sda = sa.sd(cg.vars[a]);
-                         const int sdb = sa.sd(cg.vars[b]);
-                         if (sda != sdb) return sda < sdb;
+                         if (sd_vtx[a] != sd_vtx[b]) {
+                           return sd_vtx[a] < sd_vtx[b];
+                         }
                          return mcs[a] < mcs[b];
                        });
       if (events != nullptr) {
         for (std::size_t i = 0; i < n; ++i) {
           const std::size_t v = by_priority[i];
-          events->pves_rank(dfg.var(cg.vars[v]).name, sa.sd(cg.vars[v]),
-                            mcs[v], i);
+          events->pves_rank(dfg.var(cg.vars[v]).name, sd_vtx[v], mcs[v], i);
         }
       }
     }
@@ -105,6 +108,8 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
 
   // --- 2. Coloring in reverse PVES order (Section III.A.2, III.B) ---------
   std::vector<RegState> regs;
+  std::optional<CbilboTracker> tracker;
+  if (opts.avoid_cbilbo) tracker.emplace(dfg, mb);
   auto reg_masks = [&] {
     std::vector<DynBitset> out;
     out.reserve(regs.size());
@@ -117,19 +122,31 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
     reg.members.push_back(v);
     reg.member_vertices.set(v);
     reg.var_mask.set(cg.vars[v].index());
+    reg.sd +=
+        static_cast<int>(sa.mask(cg.vars[v]).count_and_not(reg.share_mask));
     reg.share_mask |= sa.mask(cg.vars[v]);
     reg.src_modules |= fp[v].src;
     reg.dst_modules |= fp[v].dst;
+    if (tracker.has_value()) tracker->assign(cg.vars[v], r);
   };
+
+  // Per-step scratch, arena-backed and register-indexed: ΔSD, tie-break
+  // interconnect cost, feasibility.  A register count never exceeds n.
+  Arena arena;
+  std::span<int> dsd = arena.alloc_zeroed<int>(n);
+  std::span<int> icost = arena.alloc_zeroed<int>(n);
+  std::vector<std::size_t> feasible;
+  feasible.reserve(n);
 
   for (std::size_t v : color_order) {
     const VarId var = cg.vars[v];
     const DynBitset& vmask = sa.mask(var);
 
     // Non-conflicting registers.
-    std::vector<std::size_t> feasible;
+    feasible.clear();
+    const RowView row = cg.graph.row(v);
     for (std::size_t r = 0; r < regs.size(); ++r) {
-      if (!cg.graph.row(v).intersects(regs[r].member_vertices)) {
+      if (!row.intersects(regs[r].member_vertices)) {
         feasible.push_back(r);
       }
     }
@@ -139,42 +156,33 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
                      DynBitset(dfg.num_vars()),
                      sa.empty_mask(),
                      DynBitset(m + 1),
-                     DynBitset(m + 1)};
+                     DynBitset(m + 1),
+                     0};
       regs.push_back(std::move(fresh));
+      if (tracker.has_value()) tracker->add_register();
       assign(v, regs.size() - 1);
       say("assign " + dfg.var(var).name + " -> R" +
           std::to_string(regs.size()) + " (new register)");
       if (events != nullptr) {
-        events->assign(dfg.var(var).name, regs.size() - 1,
-                       SharingAnalysis::sd_of(vmask),
+        events->assign(dfg.var(var).name, regs.size() - 1, sd_vtx[v],
                        /*new_register=*/true, {});
       }
       continue;
     }
 
-    // ΔSD and resulting SD for each feasible register.
-    auto delta_sd = [&](std::size_t r) {
-      DynBitset merged = regs[r].share_mask;
-      merged |= vmask;
-      return SharingAnalysis::sd_of(merged) -
-             SharingAnalysis::sd_of(regs[r].share_mask);
-    };
-    auto sd_with_v = [&](std::size_t r) {
-      DynBitset merged = regs[r].share_mask;
-      merged |= vmask;
-      return SharingAnalysis::sd_of(merged);
-    };
-    auto sd_now = [&](std::size_t r) {
-      return SharingAnalysis::sd_of(regs[r].share_mask);
-    };
+    // ΔSD and tie-break cost for each feasible register.  ΔSD is the
+    // word-parallel |mask(v) \ share_mask(R)| — no merged mask is built,
+    // and SD(R) itself is cached on the register.
+    for (std::size_t r : feasible) {
+      dsd[r] = static_cast<int>(vmask.count_and_not(regs[r].share_mask));
+      icost[r] = interconnect_cost(regs[r], fp[v]);
+    }
     // Preference: larger ΔSD, then larger SD(R), then cheaper interconnect,
     // then lower index.
     auto better = [&](std::size_t a, std::size_t b) {
-      if (delta_sd(a) != delta_sd(b)) return delta_sd(a) > delta_sd(b);
-      if (sd_now(a) != sd_now(b)) return sd_now(a) > sd_now(b);
-      const int ca = interconnect_cost(regs[a], fp[v]);
-      const int cb = interconnect_cost(regs[b], fp[v]);
-      if (ca != cb) return ca < cb;
+      if (dsd[a] != dsd[b]) return dsd[a] > dsd[b];
+      if (regs[a].sd != regs[b].sd) return regs[a].sd > regs[b].sd;
+      if (icost[a] != icost[b]) return icost[a] < icost[b];
       return a < b;
     };
 
@@ -193,7 +201,7 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
         // Candidate overrides per Cases 1 and 2 of Section III.A.2.
         std::vector<std::size_t> candidates;
         std::vector<std::size_t> case1_cands;
-        const int threshold = sd_with_v(r_i);
+        const int threshold = regs[r_i].sd + dsd[r_i];
         // Case 1: v is an output variable of module j and some feasible
         // register already holds an output variable of j with
         // SD(R_l) > SD(R_i, v).
@@ -201,7 +209,7 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
           if (!vmask.test(m + j)) continue;
           for (std::size_t r : feasible) {
             if (r == r_i) continue;
-            if (regs[r].share_mask.test(m + j) && sd_now(r) > threshold) {
+            if (regs[r].share_mask.test(m + j) && regs[r].sd > threshold) {
               candidates.push_back(r);
               case1_cands.push_back(r);
             }
@@ -215,7 +223,7 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
           std::vector<std::size_t> holders;
           for (std::size_t r : feasible) {
             if (r == r_i) continue;
-            if (regs[r].share_mask.test(j) && sd_now(r) > threshold) {
+            if (regs[r].share_mask.test(j) && regs[r].sd > threshold) {
               holders.push_back(r);
             }
           }
@@ -250,17 +258,11 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
     }
 
     // --- 3. CBILBO avoidance (Section III.B, Lemma 2) ----------------------
+    // The tracker answers "would placing v here force a new CBILBO?" in
+    // O(uses of v), replacing a full forced_cbilbos() recomputation per
+    // candidate register.
     if (opts.avoid_cbilbo) {
-      auto masks = reg_masks();
-      const std::size_t baseline = forced_cbilbos(mb, masks).size();
-      auto forced_with = [&](std::size_t r) {
-        DynBitset saved = masks[r];
-        masks[r].set(var.index());
-        const std::size_t count = forced_cbilbos(mb, masks).size();
-        masks[r] = saved;
-        return count;
-      };
-      const bool would_force = forced_with(chosen) > baseline;
+      const bool would_force = tracker->delta_if_assigned(var, chosen) > 0;
       if (events != nullptr) {
         events->cbilbo_checked(dfg.var(var).name, chosen, would_force);
       }
@@ -270,7 +272,7 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
                   [&](std::size_t a, std::size_t b) { return better(a, b); });
         for (std::size_t r : ordered) {
           if (r == chosen) continue;
-          if (forced_with(r) <= baseline) {
+          if (tracker->delta_if_assigned(var, r) <= 0) {
             say("CBILBO avoidance: " + dfg.var(var).name + " moved to R" +
                 std::to_string(r + 1) + " (R" + std::to_string(chosen + 1) +
                 " would force a CBILBO)");
@@ -286,7 +288,7 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
       }
     }
 
-    const int gained = delta_sd(chosen);
+    const int gained = dsd[chosen];
     assign(v, chosen);
     say("assign " + dfg.var(var).name + " -> R" + std::to_string(chosen + 1) +
         " (dSD=" + std::to_string(gained) + ")");
@@ -294,7 +296,7 @@ RegisterBinding bind_registers_bist_aware(const Dfg& dfg,
       std::vector<SdCandidate> cands;
       cands.reserve(feasible.size());
       for (std::size_t r : feasible) {
-        cands.push_back(SdCandidate{r, delta_sd(r)});
+        cands.push_back(SdCandidate{r, dsd[r]});
       }
       events->assign(dfg.var(var).name, chosen, gained,
                      /*new_register=*/false, cands);

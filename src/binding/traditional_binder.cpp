@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <queue>
+#include <set>
+#include <utility>
 
 #include "graph/chordal.hpp"
 #include "graph/coloring.hpp"
@@ -26,18 +29,29 @@ RegisterBinding bind_registers_traditional(
 
   RegisterBinding rb;
   rb.reg_of.assign(dfg.num_vars(), RegId::invalid());
-  std::vector<int> last_death;  // per register
+  // Expiry heap + index-ordered free set instead of a linear register scan:
+  // the lowest-indexed free register is exactly what the scan found, in
+  // O(log R) per variable instead of O(R).
+  std::set<std::size_t> free_regs;
+  std::priority_queue<std::pair<int, std::size_t>,
+                      std::vector<std::pair<int, std::size_t>>,
+                      std::greater<>>
+      busy;  // (last death, register)
   for (std::size_t v : order) {
     const auto& iv = lifetimes[cg.vars[v]];
-    std::size_t r = 0;
-    for (; r < last_death.size(); ++r) {
-      if (last_death[r] <= iv.birth) break;
+    while (!busy.empty() && busy.top().first <= iv.birth) {
+      free_regs.insert(busy.top().second);
+      busy.pop();
     }
-    if (r == last_death.size()) {
-      last_death.push_back(0);
+    std::size_t r;
+    if (!free_regs.empty()) {
+      r = *free_regs.begin();
+      free_regs.erase(free_regs.begin());
+    } else {
+      r = rb.regs.size();
       rb.regs.emplace_back();
     }
-    last_death[r] = iv.death;
+    busy.emplace(iv.death, r);
     rb.regs[r].push_back(cg.vars[v]);
     rb.reg_of[cg.vars[v]] = RegId{static_cast<RegId::value_type>(r)};
   }

@@ -39,6 +39,87 @@ StateKey apply_embedding(const StateKey& state, const BistEmbedding& e) {
   return next;
 }
 
+double role_extra_of(char c, const AreaModel& model) {
+  return model.role_extra(
+      RoleFlags::decode(static_cast<std::uint8_t>(c)).role());
+}
+
+/// Area change from `prev` to `next` where `next = apply_embedding(prev,
+/// e)`: only the (up to three) registers e touches can differ.
+double area_delta(const StateKey& prev, const StateKey& next,
+                  const BistEmbedding& e, const AreaModel& model) {
+  double delta = 0.0;
+  auto touch = [&](std::size_t reg) {
+    if (prev[reg] != next[reg]) {
+      delta += role_extra_of(next[reg], model) -
+               role_extra_of(prev[reg], model);
+    }
+  };
+  // Deduplicate: an embedding may reuse one register for several roles, and
+  // counting its change twice would corrupt the incremental area.
+  std::size_t touched[3];
+  std::size_t count = 0;
+  auto add_unique = [&](std::size_t reg) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (touched[i] == reg) return;
+    }
+    touched[count++] = reg;
+  };
+  add_unique(e.tpg_left);
+  add_unique(e.tpg_right);
+  if (e.sa.has_value()) add_unique(*e.sa);
+  for (std::size_t i = 0; i < count; ++i) touch(touched[i]);
+  return delta;
+}
+
+/// Objective change `cost_of(apply_embedding(state, e)) -
+/// cost_of(state)`, computed from the (up to three) touched registers
+/// without copying the state.  All three components are non-negative
+/// whenever the model is flag-monotone (flags only accumulate), and role
+/// extras are small multiples of the bit width, so comparing deltas is
+/// exactly equivalent to comparing the absolute tuples.
+std::tuple<double, int, int> delta_of(const StateKey& state,
+                                      const BistEmbedding& e,
+                                      const AreaModel& model) {
+  std::size_t touched[3];
+  std::size_t count = 0;
+  auto add_unique = [&](std::size_t reg) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (touched[i] == reg) return;
+    }
+    touched[count++] = reg;
+  };
+  add_unique(e.tpg_left);
+  add_unique(e.tpg_right);
+  if (e.sa.has_value()) add_unique(*e.sa);
+
+  double area = 0.0;
+  int cbilbos = 0;
+  int modified = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t reg = touched[i];
+    RoleFlags f = RoleFlags::decode(static_cast<std::uint8_t>(state[reg]));
+    RoleFlags next = f;
+    if (reg == e.tpg_left || reg == e.tpg_right) next.tpg = true;
+    if (e.sa.has_value() && reg == *e.sa) {
+      next.sa = true;
+      if (e.needs_cbilbo()) {
+        next.tpg = true;
+        next.cbilbo = true;
+      }
+    }
+    const BistRole before = f.role();
+    const BistRole after = next.role();
+    if (before == after) continue;
+    area += model.role_extra(after) - model.role_extra(before);
+    cbilbos += (after == BistRole::Cbilbo ? 1 : 0) -
+               (before == BistRole::Cbilbo ? 1 : 0);
+    modified += (after != BistRole::None ? 1 : 0) -
+                (before != BistRole::None ? 1 : 0);
+  }
+  return {area, cbilbos, modified};
+}
+
 /// (extra_area, #cbilbo, #modified): the lexicographic objective.
 std::tuple<double, int, int> cost_of(const StateKey& state,
                                      const AreaModel& model) {
@@ -53,6 +134,20 @@ std::tuple<double, int, int> cost_of(const StateKey& state,
     if (role != BistRole::None) ++modified;
   }
   return {area, cbilbos, modified};
+}
+
+/// True if adding role flags never decreases `role_extra` — the property
+/// that makes a state's own area an admissible bound on every completion.
+/// Holds for the default model (None <= Tpg/Sa <= TpgSa <= Cbilbo) but a
+/// custom AreaModel may break it, in which case pruning is disabled.
+bool area_flag_monotone(const AreaModel& model) {
+  const double none = model.role_extra(BistRole::None);
+  const double tpg = model.role_extra(BistRole::Tpg);
+  const double sa = model.role_extra(BistRole::Sa);
+  const double bilbo = model.role_extra(BistRole::TpgSa);
+  const double cbilbo = model.role_extra(BistRole::Cbilbo);
+  return none <= tpg && none <= sa && tpg <= bilbo && sa <= bilbo &&
+         bilbo <= cbilbo;
 }
 
 std::vector<BistRole> roles_of(const StateKey& state) {
@@ -134,6 +229,15 @@ void emit_role_events(AlgorithmEvents* events,
 BistSolution BistAllocator::solve(const Datapath& dp) const {
   const std::size_t nregs = dp.registers.size();
 
+  // DP states are one role byte per register and embedding lists are the
+  // cross product of port fan-ins, so past a few hundred registers the
+  // exact search would burn gigabytes before the inevitable frontier
+  // bail.  Go straight to the streaming greedy allocator instead.
+  if (nregs > exact_max_regs) {
+    if (events != nullptr) events->bist_greedy_fallback();
+    return solve_greedy_impl(dp, events);
+  }
+
   // Pre-enumerate embeddings; record untestable modules.
   std::vector<std::vector<BistEmbedding>> embeddings;
   std::vector<std::size_t> untestable;
@@ -144,13 +248,28 @@ BistSolution BistAllocator::solve(const Datapath& dp) const {
     if (embeddings.back().empty()) untestable.push_back(m);
   }
 
+  // Branch and bound: the greedy completion seeds the incumbent, and —
+  // because role flags only accumulate and the area model is (normally)
+  // monotone in them — a partial state's own area is an admissible lower
+  // bound on every completion.  Any state on a path to an area-optimal
+  // final state therefore survives the strict cut, so the search stays
+  // exact while the frontier collapses to near-optimal states only.
+  const bool prune = area_flag_monotone(model_);
+  double incumbent = 0.0;
+  if (prune) {
+    const BistSolution greedy = solve_greedy_impl(dp, nullptr);
+    incumbent = greedy.extra_area;
+  }
+  constexpr double kAreaSlack = 1e-6;  // guards incremental-sum rounding
+
   struct Entry {
     StateKey state;
     std::size_t parent = 0;                 // index into previous level
     std::optional<BistEmbedding> chosen;    // embedding taken at this level
+    double area = 0.0;                      // incremental cost_of area term
   };
   std::vector<std::vector<Entry>> levels;
-  levels.push_back({Entry{StateKey(nregs, '\0'), 0, std::nullopt}});
+  levels.push_back({Entry{StateKey(nregs, '\0'), 0, std::nullopt, 0.0}});
 
   for (std::size_t m = 0; m < dp.modules.size(); ++m) {
     const auto& prev = levels.back();
@@ -160,20 +279,26 @@ BistSolution BistAllocator::solve(const Datapath& dp) const {
       // Untestable module: states pass through unchanged.
       for (std::size_t p = 0; p < prev.size(); ++p) {
         if (seen.emplace(prev[p].state, next.size()).second) {
-          next.push_back(Entry{prev[p].state, p, std::nullopt});
+          next.push_back(Entry{prev[p].state, p, std::nullopt, prev[p].area});
         }
       }
     } else {
       for (std::size_t p = 0; p < prev.size(); ++p) {
         for (const BistEmbedding& e : embeddings[m]) {
           StateKey s = apply_embedding(prev[p].state, e);
+          const double area =
+              prev[p].area + area_delta(prev[p].state, s, e, model_);
+          // Admissible cut: completions only add flags, so `area` already
+          // bounds every descendant.  States matching the incumbent stay —
+          // they may win on the CBILBO/modified tie-break.
+          if (prune && area > incumbent + kAreaSlack) continue;
           if (seen.emplace(s, next.size()).second) {
-            next.push_back(Entry{std::move(s), p, e});
+            next.push_back(Entry{std::move(s), p, e, area});
             // Bail out *during* construction — a single level can exhaust
             // memory long before it completes on large designs.
             if (next.size() > max_frontier) {
               if (events != nullptr) events->bist_greedy_fallback();
-              return solve_greedy(dp);
+              return solve_greedy_impl(dp, events);
             }
           }
         }
@@ -239,38 +364,49 @@ BistSolution BistAllocator::solve(const Datapath& dp) const {
 }
 
 BistSolution BistAllocator::solve_greedy(const Datapath& dp) const {
+  return solve_greedy_impl(dp, events);
+}
+
+BistSolution BistAllocator::solve_greedy_impl(
+    const Datapath& dp, AlgorithmEvents* emit_events) const {
   const std::size_t nregs = dp.registers.size();
   StateKey state(nregs, '\0');
+
+  // A zero marginal cost cannot be beaten when role flags only accumulate
+  // and the model is flag-monotone (every delta component is then >= 0),
+  // so the scan of a module may stop at the first such embedding.
+  const bool can_cut = area_flag_monotone(model_);
+  constexpr std::tuple<double, int, int> kZero{0.0, 0, 0};
 
   BistSolution sol;
   sol.exact = false;
   sol.embeddings.assign(dp.modules.size(), std::nullopt);
   for (std::size_t m = 0; m < dp.modules.size(); ++m) {
-    auto embeddings = use_transparent_paths
-                          ? enumerate_embeddings_extended(dp, m)
-                          : enumerate_embeddings(dp, m);
-    if (embeddings.empty()) {
+    std::optional<BistEmbedding> best_emb;
+    std::tuple<double, int, int> best_delta{0, 0, 0};
+    auto scan = [&](const BistEmbedding& e) {
+      const auto d = delta_of(state, e, model_);
+      if (!best_emb.has_value() || d < best_delta) {
+        best_delta = d;
+        best_emb = e;
+      }
+      return !(can_cut && best_delta == kZero);
+    };
+    if (use_transparent_paths) {
+      for_each_embedding_extended(dp, m, scan);
+    } else {
+      for_each_embedding(dp, m, scan);
+    }
+    if (!best_emb.has_value()) {
       sol.untestable_modules.push_back(m);
       continue;
     }
-    StateKey best_state;
-    std::optional<BistEmbedding> best_emb;
-    std::tuple<double, int, int> best_cost{0, 0, 0};
-    for (const BistEmbedding& e : embeddings) {
-      StateKey s = apply_embedding(state, e);
-      auto c = cost_of(s, model_);
-      if (!best_emb.has_value() || c < best_cost) {
-        best_cost = c;
-        best_state = std::move(s);
-        best_emb = e;
-      }
-    }
-    state = std::move(best_state);
+    state = apply_embedding(state, *best_emb);
     sol.embeddings[m] = best_emb;
   }
   sol.roles = roles_of(state);
   sol.extra_area = std::get<0>(cost_of(state, model_));
-  emit_role_events(events, sol.roles);
+  emit_role_events(emit_events, sol.roles);
   return sol;
 }
 

@@ -7,11 +7,17 @@
 // may be TPG for one module and SA for another (a BILBO, role TpgSa); only
 // a register that is TPG and SA *for the same module* must be a CBILBO.
 //
-// `solve_exact` runs a per-module dynamic program over register role-state
-// vectors (3 bits per register: tpg, sa, cbilbo).  State count stays tiny
-// on allocation-sized designs; if the frontier ever exceeds a cap the
-// allocator falls back to the greedy solver.  Objective is lexicographic:
-// minimal extra area, then fewest CBILBOs, then fewest modified registers.
+// `solve` runs a per-module branch-and-bound dynamic program over register
+// role-state vectors (3 bits per register: tpg, sa, cbilbo).  A greedy
+// completion seeds the incumbent; since role flags only accumulate and the
+// area model is (normally) monotone in them, a partial state's own area is
+// an admissible lower bound and strictly-worse states are cut without
+// losing exactness.  If the surviving frontier still exceeds a cap — or
+// the design has more registers than `exact_max_regs`, which makes every
+// DP state itself large — the allocator falls back to the greedy solver,
+// which streams the embedding space without materializing it.  Objective
+// is lexicographic: minimal extra area, then fewest CBILBOs, then fewest
+// modified registers.
 
 #include <optional>
 #include <string>
@@ -66,14 +72,25 @@ class BistAllocator {
  public:
   explicit BistAllocator(AreaModel model) : model_(model) {}
 
-  /// Exact DP solver; falls back to greedy beyond `max_frontier` states.
+  /// Exact branch-and-bound solver; falls back to greedy beyond
+  /// `max_frontier` surviving states or `exact_max_regs` registers.
   [[nodiscard]] BistSolution solve(const Datapath& dp) const;
 
   /// Greedy: modules in order, each takes its locally cheapest embedding.
+  /// Streams the embedding space (nothing materialized) so it stays flat
+  /// in memory at any design size.
   [[nodiscard]] BistSolution solve_greedy(const Datapath& dp) const;
 
   /// Frontier cap for the exact DP (states per module level).
   std::size_t max_frontier = 500000;
+
+  /// Register-count cap for the exact DP.  Each DP state is one role byte
+  /// per register, so frontier memory and hashing cost scale with the
+  /// register count; past this many registers the search would burn
+  /// seconds and gigabytes before the inevitable `max_frontier` bail, so
+  /// `solve` goes straight to the streaming greedy allocator instead.
+  /// Paper benchmarks and fuzz shapes sit far below this cap.
+  std::size_t exact_max_regs = 192;
 
   /// Also consider TPG paths through modules held in an identity mode
   /// (extension; widens the embedding space at zero area cost — see
@@ -90,6 +107,13 @@ class BistAllocator {
   AlgorithmEvents* events = nullptr;
 
  private:
+  /// Greedy scan streaming embeddings straight off the datapath (nothing
+  /// is materialized, so it is safe at any scale); `emit_events` may be
+  /// null (used when the greedy pass only seeds the branch-and-bound
+  /// incumbent).
+  [[nodiscard]] BistSolution solve_greedy_impl(
+      const Datapath& dp, AlgorithmEvents* emit_events) const;
+
   AreaModel model_;
 };
 

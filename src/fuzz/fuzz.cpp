@@ -64,7 +64,7 @@ std::string sanitize(std::string s) {
 }  // namespace
 
 FuzzCase make_fuzz_case(std::uint64_t master_seed, int index, int base_width,
-                        bool vary_width) {
+                        bool vary_width, bool large_shapes) {
   const std::uint64_t case_seed =
       mix(master_seed, static_cast<std::uint64_t>(index));
   KnobStream knobs(case_seed);
@@ -73,7 +73,7 @@ FuzzCase make_fuzz_case(std::uint64_t master_seed, int index, int base_width,
   gen.seed = case_seed;
   gen.kinds = op_mixes()[knobs.next(op_mixes().size())];
 
-  switch (knobs.next(5)) {
+  switch (knobs.next(large_shapes ? 6 : 5)) {
     case 0:  // small layered — the Lemma-2 sweet spot
       gen.num_steps = 2 + static_cast<int>(knobs.next(3));
       gen.ops_per_step = 1 + static_cast<int>(knobs.next(2));
@@ -96,11 +96,18 @@ FuzzCase make_fuzz_case(std::uint64_t master_seed, int index, int base_width,
       gen.ops_per_step = 3 + static_cast<int>(knobs.next(2));
       gen.num_inputs = 4 + static_cast<int>(knobs.next(3));
       break;
-    default:  // loop-tied — exercises the loop-aware binder arm
+    case 4:  // loop-tied — exercises the loop-aware binder arm
       gen.num_steps = 3 + static_cast<int>(knobs.next(4));
       gen.ops_per_step = 1 + static_cast<int>(knobs.next(3));
       gen.num_inputs = 3 + static_cast<int>(knobs.next(3));
       gen.loop_ties = 1 + static_cast<int>(knobs.next(2));
+      break;
+    default:  // large layered — ≥1k ops, the scaling stress shape
+      gen.num_steps = 125 + static_cast<int>(knobs.next(126));
+      gen.ops_per_step = 8;
+      gen.num_inputs = 12;
+      gen.reuse_probability = 0.9;
+      gen.chain_probability = 0.3;
       break;
   }
   gen.reuse_probability =
@@ -205,8 +212,8 @@ FuzzSummary run_fuzz(const FuzzOptions& opts, std::ostream* log) {
   outcomes.reserve(static_cast<std::size_t>(opts.cases));
   for (int i = 0; i < opts.cases; ++i) {
     outcomes.push_back(pool.submit([i, &opts]() -> CaseOutcome {
-      const FuzzCase fc =
-          make_fuzz_case(opts.seed, i, opts.width, opts.vary_width);
+      const FuzzCase fc = make_fuzz_case(opts.seed, i, opts.width,
+                                         opts.vary_width, opts.large_shapes);
       CaseOutcome outcome;
       outcome.num_ops = fc.design.dfg.num_ops();
       outcome.verdict = run_oracles(fc.design.dfg, fc.design.schedule,
@@ -236,8 +243,8 @@ FuzzSummary run_fuzz(const FuzzOptions& opts, std::ostream* log) {
   // Minimize and report the first few failures (deterministic order).
   for (int index : failing_cases) {
     if (static_cast<int>(summary.reports.size()) >= opts.max_reports) break;
-    const FuzzCase fc =
-        make_fuzz_case(opts.seed, index, opts.width, opts.vary_width);
+    const FuzzCase fc = make_fuzz_case(opts.seed, index, opts.width,
+                                       opts.vary_width, opts.large_shapes);
     const OracleVerdict verdict =
         run_oracles(fc.design.dfg, fc.design.schedule,
                     oracle_options_for(fc, opts));

@@ -34,6 +34,11 @@ struct FuzzOptions {
   int max_reports = 10;    ///< detailed (minimized) reports to produce
   std::string corpus_dir;  ///< write reproducers here; empty = don't write
   double lemma2_budget = 50000;
+  /// Mix in a sixth shape family of ≥1k-op layered DFGs (scaling stress
+  /// for the bitset graphs and the incremental-ΔSD binder).  Off by
+  /// default: the family redraws every case's knobs, so enabling it
+  /// changes the run digest.
+  bool large_shapes = false;
   /// Hidden mutation self-test: break the traditional binding on purpose.
   bool inject_binding_bug = false;
   /// Emit a progress line to the log every this many cases (0 = off).
@@ -72,9 +77,11 @@ struct FuzzSummary {
 
 /// Deterministically derives case `index` of a run seeded with
 /// `master_seed`: shape family, op mix, width and generator seed all come
-/// from the mixed per-case seed.
+/// from the mixed per-case seed.  `large_shapes` widens the family pool
+/// with the ≥1k-op scaling shape (see FuzzOptions::large_shapes).
 [[nodiscard]] FuzzCase make_fuzz_case(std::uint64_t master_seed, int index,
-                                      int base_width, bool vary_width);
+                                      int base_width, bool vary_width,
+                                      bool large_shapes = false);
 
 /// Oracle configuration used for a given case under these run options.
 [[nodiscard]] OracleOptions oracle_options_for(const FuzzCase& fuzz_case,

@@ -109,7 +109,10 @@ class OracleRun {
   OracleVerdict run() {
     protos_ = minimal_module_spec(dfg_, sched_);
     check_arm(BinderKind::Traditional);
-    check_arm(BinderKind::CliquePartition);
+    if (dfg_.num_ops() <=
+        static_cast<std::size_t>(opts_.clique_arm_max_ops)) {
+      check_arm(BinderKind::CliquePartition);
+    }
     check_arm(BinderKind::BistAware);
     if (!dfg_.loop_ties().empty()) check_arm(BinderKind::LoopAware);
     verdict_.digest = digest_;

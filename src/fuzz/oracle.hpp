@@ -53,6 +53,11 @@ struct OracleOptions {
   /// the embedding space exceeds `lemma2_budget` combinations).
   bool check_lemma2 = true;
   double lemma2_budget = 50000;
+  /// Size gate for the clique-partitioning arm: its partitioner is
+  /// super-quadratic in the variable count, so designs beyond this many
+  /// operations skip that arm (the ≥1k-op fuzz shapes would otherwise
+  /// spend the whole campaign inside one binder).  0 disables the arm.
+  int clique_arm_max_ops = 400;
   /// Size gate for the snapshot-roundtrip and incremental oracles: they
   /// re-run the full pipeline (exact BIST allocator included) about a
   /// dozen times per case, so they only fire on designs with at most this

@@ -24,8 +24,8 @@ struct Search {
     bool have_pivot = false;
     for (std::size_t v = 0; v < g.num_vertices(); ++v) {
       if (!p.test(v) && !x.test(v)) continue;
-      DynBitset np = g.row(v);
-      np &= p;
+      DynBitset np = p;
+      g.row(v).and_into(np);
       const std::size_t d = np.count();
       if (!have_pivot || d > pivot_degree) {
         pivot = v;
@@ -37,14 +37,14 @@ struct Search {
     // Candidates: P minus the pivot's neighbourhood.
     DynBitset candidates = p;
     if (have_pivot) {
-      for (std::size_t v : g.neighbors(pivot)) candidates.reset(v);
+      g.row(pivot).for_each([&](std::size_t v) { candidates.reset(v); });
     }
     for (std::size_t v : candidates.members()) {
       r.push_back(v);
       DynBitset np = p;
-      np &= g.row(v);
+      g.row(v).and_into(np);
       DynBitset nx = x;
-      nx &= g.row(v);
+      g.row(v).and_into(nx);
       expand(r, np, nx);
       r.pop_back();
       p.reset(v);

@@ -13,15 +13,19 @@ Coloring greedy_color(const UndirectedGraph& g,
   LBIST_CHECK(order.size() == n, "order must cover every vertex");
   Coloring result;
   result.color.assign(n, SIZE_MAX);
+  // Stamp-marking instead of a fresh vector<bool> per vertex: identical
+  // first-free-color choice, no per-step allocation.
+  std::vector<std::size_t> used_at;
+  std::size_t stamp = 0;
   for (std::size_t v : order) {
-    std::vector<bool> used(result.num_colors + 1, false);
-    for (std::size_t u : g.neighbors(v)) {
-      if (result.color[u] != SIZE_MAX && result.color[u] < used.size()) {
-        used[result.color[u]] = true;
-      }
-    }
+    ++stamp;
+    used_at.resize(result.num_colors + 1, 0);
+    g.row(v).for_each([&](std::size_t u) {
+      const std::size_t cu = result.color[u];
+      if (cu != SIZE_MAX && cu < used_at.size()) used_at[cu] = stamp;
+    });
     std::size_t c = 0;
-    while (c < used.size() && used[c]) ++c;
+    while (c < used_at.size() && used_at[c] == stamp) ++c;
     result.color[v] = c;
     result.num_colors = std::max(result.num_colors, c + 1);
   }
@@ -31,9 +35,11 @@ Coloring greedy_color(const UndirectedGraph& g,
 bool is_proper_coloring(const UndirectedGraph& g, const Coloring& c) {
   for (std::size_t v = 0; v < g.num_vertices(); ++v) {
     if (c.color[v] >= c.num_colors) return false;
-    for (std::size_t u : g.neighbors(v)) {
-      if (c.color[u] == c.color[v]) return false;
-    }
+    bool clash = false;
+    g.row(v).for_each([&](std::size_t u) {
+      clash = clash || c.color[u] == c.color[v];
+    });
+    if (clash) return false;
   }
   return true;
 }

@@ -1,5 +1,8 @@
 #include "graph/conflict.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace lbist {
 
 VarConflictGraph build_conflict_graph(
@@ -11,14 +14,42 @@ VarConflictGraph build_conflict_graph(
     out.vertex_of[v.id] = static_cast<int>(out.vars.size());
     out.vars.push_back(v.id);
   }
-  out.graph = UndirectedGraph(out.vars.size());
-  for (std::size_t a = 0; a < out.vars.size(); ++a) {
-    for (std::size_t b = a + 1; b < out.vars.size(); ++b) {
-      if (lifetimes[out.vars[a]].overlaps(lifetimes[out.vars[b]])) {
-        out.graph.add_edge(a, b);
+  const std::size_t n = out.vars.size();
+
+  // Sweep line over births: a pair overlaps iff, when the later-born
+  // vertex arrives, the earlier one is still alive (death > birth).  The
+  // quadratic pair scan this replaces dominated whole-pipeline time beyond
+  // a few thousand variables.
+  std::vector<std::uint32_t> by_birth(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    by_birth[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(by_birth.begin(), by_birth.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return lifetimes[out.vars[a]].birth < lifetimes[out.vars[b]].birth;
+            });
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  std::vector<std::uint32_t> active;  // sweep front, pruned lazily
+  for (const std::uint32_t v : by_birth) {
+    const LiveInterval iv = lifetimes[out.vars[v]];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const std::uint32_t u = active[i];
+      const LiveInterval iu = lifetimes[out.vars[u]];
+      if (iu.death <= iv.birth) continue;  // u expired; drop from the front
+      active[keep++] = u;
+      // iu.birth <= iv.birth and iu.death > iv.birth: overlap iff v's
+      // interval is non-degenerate past u's birth.
+      if (iu.birth < iv.death) {
+        edges.emplace_back(u, v);
       }
     }
+    active.resize(keep);
+    active.push_back(v);
   }
+
+  out.graph = UndirectedGraph(n, edges);
   return out;
 }
 

@@ -29,11 +29,16 @@ struct TpgOption {
   std::optional<std::size_t> via;
 };
 
-std::vector<BistEmbedding> embeddings_from_options(
-    const Datapath& dp, std::size_t m,
-    const std::vector<TpgOption>& left, const std::vector<TpgOption>& right) {
+/// Streams the cross product of TPG options (x dest registers) to `fn`;
+/// stops when `fn` returns false.  Returns the number of embeddings
+/// visited.  The materialized enumerators below collect from this visitor,
+/// so streaming and materialized callers see the exact same order.
+std::size_t visit_embeddings_from_options(
+    const Datapath& dp, std::size_t m, const std::vector<TpgOption>& left,
+    const std::vector<TpgOption>& right,
+    const std::function<bool(const BistEmbedding&)>& fn) {
   const DpModule& mod = dp.modules[m];
-  std::vector<BistEmbedding> out;
+  std::size_t visited = 0;
   for (const TpgOption& tl : left) {
     for (const TpgOption& tr : right) {
       if (tl.reg == tr.reg) continue;  // need two independent generators
@@ -60,7 +65,8 @@ std::vector<BistEmbedding> embeddings_from_options(
       e.right_via = tr.via;
       if (mod.dest_registers.empty()) {
         e.sa = std::nullopt;  // observed at a primary output/control pin
-        out.push_back(e);
+        ++visited;
+        if (!fn(e)) return visited;
       } else {
         for (std::size_t sa : mod.dest_registers) {
           // A via register cannot compact while shuttling patterns.
@@ -69,13 +75,15 @@ std::vector<BistEmbedding> embeddings_from_options(
             continue;
           }
           e.sa = sa;
-          out.push_back(e);
+          ++visited;
+          if (!fn(e)) return visited;
         }
       }
     }
   }
-  return out;
+  return visited;
 }
+
 
 std::vector<TpgOption> direct_options(const std::set<std::size_t>& sources) {
   std::vector<TpgOption> out;
@@ -89,17 +97,41 @@ std::vector<TpgOption> direct_options(const std::set<std::size_t>& sources) {
 
 std::vector<BistEmbedding> enumerate_embeddings(const Datapath& dp,
                                                 std::size_t m) {
-  const DpModule& mod = dp.modules[m];
-  return embeddings_from_options(dp, m, direct_options(mod.left_sources),
-                                 direct_options(mod.right_sources));
+  std::vector<BistEmbedding> out;
+  for_each_embedding(dp, m, [&](const BistEmbedding& e) {
+    out.push_back(e);
+    return true;
+  });
+  return out;
 }
 
 std::vector<BistEmbedding> enumerate_embeddings_extended(const Datapath& dp,
                                                          std::size_t m) {
+  std::vector<BistEmbedding> out;
+  for_each_embedding_extended(dp, m, [&](const BistEmbedding& e) {
+    out.push_back(e);
+    return true;
+  });
+  return out;
+}
+
+std::size_t for_each_embedding(
+    const Datapath& dp, std::size_t m,
+    const std::function<bool(const BistEmbedding&)>& fn) {
+  const DpModule& mod = dp.modules[m];
+  return visit_embeddings_from_options(dp, m,
+                                       direct_options(mod.left_sources),
+                                       direct_options(mod.right_sources), fn);
+}
+
+std::size_t for_each_embedding_extended(
+    const Datapath& dp, std::size_t m,
+    const std::function<bool(const BistEmbedding&)>& fn) {
+  // The TPG option lists are O(port fan-in + transparent paths) — cheap to
+  // build even at scale; only their cross product must not materialize.
   const DpModule& mod = dp.modules[m];
   std::vector<TpgOption> left = direct_options(mod.left_sources);
   std::vector<TpgOption> right = direct_options(mod.right_sources);
-
   // One-hop transparent extensions: from_reg -> t(identity) -> to_reg,
   // where to_reg already feeds the port.  Skip options whose generator is
   // already a direct source (no benefit, larger search).
@@ -115,7 +147,7 @@ std::vector<BistEmbedding> enumerate_embeddings_extended(const Datapath& dp,
   };
   extend(mod.left_sources, left);
   extend(mod.right_sources, right);
-  return embeddings_from_options(dp, m, left, right);
+  return visit_embeddings_from_options(dp, m, left, right, fn);
 }
 
 bool has_identity_mode(const ModuleProto& proto) {

@@ -18,6 +18,7 @@
 // x&1...1, x|0...0): these widen the embedding space further (future-work
 // direction noted in our DESIGN.md, exercised by the ablation bench).
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -82,6 +83,20 @@ struct BistEmbedding {
 /// cost-equal solutions prefer them.
 [[nodiscard]] std::vector<BistEmbedding> enumerate_embeddings_extended(
     const Datapath& dp, std::size_t m);
+
+/// Streaming visitor over the embeddings of module `m`, in exactly the
+/// order `enumerate_embeddings` would list them, without materializing the
+/// list (the count is |left| x |right| x |dests| — quadratic-to-cubic in
+/// register fan-in, gigabytes at 10k-op scale).  `fn` returns false to
+/// stop early.  Returns the number of embeddings visited.
+std::size_t for_each_embedding(
+    const Datapath& dp, std::size_t m,
+    const std::function<bool(const BistEmbedding&)>& fn);
+
+/// Streaming form of `enumerate_embeddings_extended` (same order).
+std::size_t for_each_embedding_extended(
+    const Datapath& dp, std::size_t m,
+    const std::function<bool(const BistEmbedding&)>& fn);
 
 /// An I-path through a module in an identity mode: data flows
 /// `from_reg -> module(port) -> to_reg` unaltered when the other port is

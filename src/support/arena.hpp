@@ -1,0 +1,88 @@
+#pragma once
+// Monotonic scratch arena for per-synthesis temporaries.
+//
+// The binder and the graph algorithms allocate many short-lived arrays per
+// coloring step (candidate lists, merged masks, neighbourhood scratch).  At
+// paper-benchmark sizes the allocator noise is irrelevant; at 10k-100k ops
+// it dominates.  An Arena hands out typed spans from large chunks and
+// releases everything at once: `reset()` keeps the chunks, so a synthesis
+// pass reuses the same memory for every step.
+//
+// Only trivially-destructible element types are supported — nothing is
+// destroyed on reset.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace lbist {
+
+/// Bump allocator over geometrically-growing chunks.
+class Arena {
+ public:
+  explicit Arena(std::size_t first_chunk_bytes = 1 << 16)
+      : next_chunk_bytes_(first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `n` default-initialized elements of T.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    const std::size_t bytes = n * sizeof(T);
+    std::size_t offset = align_up(used_, alignof(T));
+    if (chunks_.empty() || offset + bytes > chunks_.back().size()) {
+      grow(bytes);
+      offset = 0;
+    }
+    used_ = offset + bytes;
+    T* base = reinterpret_cast<T*>(chunks_.back().data() + offset);
+    return {base, n};
+  }
+
+  /// Allocates `n` zero-filled elements of T.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc_zeroed(std::size_t n) {
+    std::span<T> s = alloc<T>(n);
+    for (T& x : s) x = T{};
+    return s;
+  }
+
+  /// Releases every allocation; keeps the largest chunk for reuse.
+  void reset() {
+    if (chunks_.size() > 1) {
+      // Keep only the biggest chunk (always the last: growth is monotonic).
+      chunks_.erase(chunks_.begin(), chunks_.end() - 1);
+    }
+    used_ = 0;
+  }
+
+  /// Total bytes currently held (capacity, not live allocations).
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size();
+    return total;
+  }
+
+ private:
+  static std::size_t align_up(std::size_t x, std::size_t a) {
+    return (x + a - 1) & ~(a - 1);
+  }
+
+  void grow(std::size_t min_bytes) {
+    while (next_chunk_bytes_ < min_bytes) next_chunk_bytes_ *= 2;
+    chunks_.emplace_back(next_chunk_bytes_);
+    next_chunk_bytes_ *= 2;
+    used_ = 0;
+  }
+
+  std::vector<std::vector<std::byte>> chunks_;
+  std::size_t used_ = 0;  ///< bytes used in the *last* chunk
+  std::size_t next_chunk_bytes_;
+};
+
+}  // namespace lbist

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for BENCH_*.json artifacts.
+
+Compares a freshly measured benchmark artifact against a checked-in
+baseline (bench/baselines/) and fails when any shared row's wall-clock
+regresses beyond the tolerance:
+
+    tools/check_bench.py --baseline bench/baselines/BENCH_scaling.json \
+                         --current build/bench/BENCH_scaling.json \
+                         --max-regression 25
+
+Rows are matched by their "name" key.  For each matched pair the timing
+metric (first of "wall_ms", "p50_ms" present in both) is compared;
+`current > baseline * (1 + max_regression/100)` fails the gate.  Rows
+present on only one side are reported but never fail the gate, so the
+baseline does not have to be refreshed in the same commit that adds a
+scenario.  Speedups are reported too — a large one is a hint that the
+baseline is stale and should be refreshed (see docs/performance.md).
+
+Stdlib only; exit code 0 = pass, 1 = regression, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+METRIC_KEYS = ("wall_ms", "p50_ms")
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("results", [])
+    out = {}
+    for row in rows:
+        name = row.get("name")
+        if name is None:
+            continue
+        if name in out:
+            print(f"check_bench: duplicate row '{name}' in {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+        out[name] = row
+    return out
+
+
+def pick_metric(base_row, cur_row):
+    for key in METRIC_KEYS:
+        if key in base_row and key in cur_row:
+            return key
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in baseline BENCH_*.json")
+    ap.add_argument("--current", required=True,
+                    help="freshly measured BENCH_*.json")
+    ap.add_argument("--max-regression", type=float, default=25.0,
+                    help="max allowed wall-clock regression, percent "
+                         "(default: 25)")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+
+    failures = []
+    compared = 0
+    for name in sorted(base):
+        if name not in cur:
+            print(f"  [gone] {name}: in baseline only (not compared)")
+            continue
+        metric = pick_metric(base[name], cur[name])
+        if metric is None:
+            print(f"  [skip] {name}: no shared timing metric")
+            continue
+        b = float(base[name][metric])
+        c = float(cur[name][metric])
+        if b <= 0:
+            print(f"  [skip] {name}: non-positive baseline {metric}={b}")
+            continue
+        compared += 1
+        delta_pct = 100.0 * (c - b) / b
+        verdict = "ok"
+        if delta_pct > args.max_regression:
+            verdict = "FAIL"
+            failures.append(name)
+        elif delta_pct < -args.max_regression:
+            verdict = "faster (stale baseline?)"
+        print(f"  [{verdict:>4}] {name}: {metric} {b:.1f} -> {c:.1f} ms "
+              f"({delta_pct:+.1f}%)")
+    for name in sorted(cur):
+        if name not in base:
+            print(f"  [new ] {name}: not in baseline (not compared)")
+
+    if compared == 0:
+        print("check_bench: no comparable rows — baseline/current mismatch?",
+              file=sys.stderr)
+        sys.exit(2)
+    if failures:
+        print(f"check_bench: {len(failures)} row(s) regressed more than "
+              f"{args.max_regression:.0f}%: {', '.join(failures)}",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"check_bench: {compared} row(s) within "
+          f"{args.max_regression:.0f}% of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,7 +33,7 @@
 //       line per job.
 //   lowbist fuzz [--seed N] [--cases N] [-j N] [--width N] [--fixed-width]
 //                [--out DIR] [--no-minimize] [--max-reports N]
-//                [--progress N]
+//                [--progress N] [--large-shapes]
 //       Differential fuzzing: random scheduled DFGs through every binder,
 //       checked against simulation/Lemma-2/area/report oracles; failures
 //       are delta-debugged to minimal corpus reproducers (docs/fuzzing.md).
@@ -178,6 +178,7 @@ struct CliOptions {
   int fuzz_cases = 1000;
   bool fuzz_fixed_width = false;
   bool fuzz_no_minimize = false;
+  bool fuzz_large_shapes = false;
   int fuzz_max_reports = 10;
   int fuzz_progress = 0;
   std::optional<std::string> fuzz_out;
@@ -208,7 +209,7 @@ struct CliOptions {
       "  lowbist client <host:port> <jobs.jsonl|->\n"
       "  lowbist fuzz [--seed N] [--cases N] [-j N] [--width N]\n"
       "               [--fixed-width] [--out DIR] [--no-minimize]\n"
-      "               [--max-reports N] [--progress N]\n"
+      "               [--max-reports N] [--progress N] [--large-shapes]\n"
       "  lowbist fuzz --replay <file.corpus>\n"
       "  lowbist explore <design.dfg> [--modules \"S1;S2\"] [--fu \"1+,1*\"]...\n"
       "                  [--binder KIND[,KIND]] [-j N] [--width N] [--json]\n"
@@ -375,6 +376,8 @@ CliOptions parse_args(int argc, char** argv) {
       opts.fuzz_fixed_width = true;
     } else if (flag == "--no-minimize") {
       opts.fuzz_no_minimize = true;
+    } else if (flag == "--large-shapes") {
+      opts.fuzz_large_shapes = true;
     } else if (flag == "--max-reports") {
       const int n = need_int(flag);
       if (n < 0) usage("flag --max-reports needs a non-negative count");
@@ -846,6 +849,7 @@ int cmd_fuzz(const CliOptions& cli) {
   fo.width = cli.width;
   fo.vary_width = !cli.fuzz_fixed_width;
   fo.minimize = !cli.fuzz_no_minimize;
+  fo.large_shapes = cli.fuzz_large_shapes;
   fo.max_reports = cli.fuzz_max_reports;
   fo.progress_interval = cli.fuzz_progress;
   fo.inject_binding_bug = cli.fuzz_inject_binding_bug;
