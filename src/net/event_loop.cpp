@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 
@@ -78,7 +79,21 @@ void EventLoop::del(int fd) {
   }
 }
 
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 int EventLoop::wait(std::vector<Ready>* out, int timeout_ms, bool* woken) {
+  if (iteration_hook_ && busy_since_ns_ != 0) {
+    iteration_hook_(steady_now_ns() - busy_since_ns_);
+  }
   out->clear();
   *woken = false;
   epoll_event events[64];
@@ -87,6 +102,7 @@ int EventLoop::wait(std::vector<Ready>* out, int timeout_ms, bool* woken) {
     n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
   } while (n < 0 && errno == EINTR);
   if (n < 0) fail_errno("epoll_wait");
+  if (iteration_hook_) busy_since_ns_ = steady_now_ns();
   out->reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     if (events[i].data.u64 == kWakeTag) {

@@ -12,6 +12,7 @@
 // sockets, framing or draining.  Shard logic lives in src/server.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace lbist::net {
@@ -56,9 +57,21 @@ class EventLoop {
   /// multiple calls coalesce.
   void wakeup();
 
+  /// Observability hook, invoked from inside wait() (on the loop thread,
+  /// before blocking) with the nanoseconds the caller spent *outside*
+  /// wait() since the previous wait() returned — i.e. one loop iteration's
+  /// busy time.  The loop stays policy-free; the server turns this into
+  /// per-shard iteration-latency histograms.  Not invoked for the first
+  /// wait() (no prior iteration to measure).
+  void set_iteration_hook(std::function<void(std::uint64_t busy_ns)> hook) {
+    iteration_hook_ = std::move(hook);
+  }
+
  private:
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd, consumed inside wait()
+  std::function<void(std::uint64_t)> iteration_hook_;
+  std::uint64_t busy_since_ns_ = 0;  // 0 = no iteration in flight
 };
 
 }  // namespace lbist::net

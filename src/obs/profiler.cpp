@@ -1,0 +1,523 @@
+#include "obs/profiler.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <ostream>
+
+#include "obs/trace.hpp"
+#include "support/check.hpp"
+
+// glibc spells the SIGEV_THREAD_ID target through a union member; older
+// headers do not provide the POSIX-next accessor macro.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+namespace lbist::obs {
+
+namespace detail {
+
+/// Everything the signal handler may touch for one thread.  Owned by the
+/// profiler's registry (shared_ptr) so rings survive thread exit and a
+/// late collect() still sees their samples.
+struct ProfilerThreadState {
+  std::atomic<SampleRing*> ring{nullptr};  ///< handler reads via acquire
+  std::unique_ptr<SampleRing> ring_owner;
+  pid_t tid = 0;
+  pthread_t handle{};
+  timer_t timer{};
+  bool armed = false;
+  bool alive = true;
+  bool contributed = false;  ///< drained >= 1 sample since last start()
+  std::atomic<bool> in_handler{false};  ///< re-entrancy guard
+};
+
+}  // namespace detail
+
+using detail::ProfilerThreadState;
+
+namespace {
+
+std::atomic<std::uint64_t> g_reentries{0};
+
+/// The handler's view of "this thread"; null when unattached or detached.
+thread_local ProfilerThreadState* t_state = nullptr;
+
+/// Captures one sample into the thread's ring.  Async-signal-safe: fixed
+/// buffers, lock-free ring, no allocation (backtrace's lazy libgcc load is
+/// warmed from start()).  noinline so the frame-skip count stays stable.
+__attribute__((noinline)) void take_sample(ProfilerThreadState* ts) {
+  SampleRing* ring = ts->ring.load(std::memory_order_acquire);
+  if (ring == nullptr) return;
+  RawSample* s = ring->begin_push();
+  if (s == nullptr) return;  // full; begin_push counted the drop
+
+  // frames[0..2] are take_sample / the handler / the kernel's signal
+  // trampoline — skip them so the sample starts at the interrupted pc.
+  constexpr int kSkip = 3;
+  void* raw[RawSample::kMaxFrames + kSkip];
+  int n = ::backtrace(raw, RawSample::kMaxFrames + kSkip);
+  int skip = kSkip;
+  if (skip >= n) skip = n > 0 ? n - 1 : 0;
+  const int kept = n - skip;
+  for (int i = 0; i < kept; ++i) s->frames[i] = raw[skip + i];
+  s->num_frames = static_cast<std::uint16_t>(kept);
+  s->num_spans = static_cast<std::uint16_t>(
+      spanmark::snapshot(s->spans, RawSample::kMaxSpans));
+  ring->commit_push();
+}
+
+void sigprof_handler(int /*sig*/, siginfo_t* /*info*/, void* /*ctx*/) {
+  const int saved_errno = errno;
+  ProfilerThreadState* ts = t_state;
+  if (ts != nullptr) {
+    if (!ts->in_handler.exchange(true, std::memory_order_relaxed)) {
+      take_sample(ts);
+      ts->in_handler.store(false, std::memory_order_relaxed);
+    } else {
+      g_reentries.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  errno = saved_errno;
+}
+
+/// Demangles and sanitizes one pc into a folded-stack-safe frame name.
+/// Return addresses point one past the call, so probe pc-1 to land inside
+/// the calling function.
+std::string resolve_pc(void* pc) {
+  void* probe = static_cast<char*>(pc) - 1;
+  Dl_info info{};
+  if (::dladdr(probe, &info) != 0 && info.dli_sname != nullptr) {
+    int status = -1;
+    char* dem = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string out = (status == 0 && dem != nullptr) ? dem : info.dli_sname;
+    std::free(dem);
+    for (char& c : out) {
+      if (c == ';' || c == '\n' || c == '\r') c = ':';
+    }
+    return out;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "[%p]", pc);
+  return buf;
+}
+
+struct SpanAgg {
+  std::uint64_t self = 0;
+  std::uint64_t total = 0;
+};
+
+}  // namespace
+
+namespace detail {
+
+/// Thread-exit guard: disarms the timer and unpublishes t_state before the
+/// thread's TLS is torn down, so no late signal touches freed state.
+struct ProfilerThreadGuard {
+  bool armed = false;
+  ~ProfilerThreadGuard() {
+    if (armed) Profiler::detach_current_thread();
+  }
+};
+
+}  // namespace detail
+
+namespace {
+thread_local detail::ProfilerThreadGuard t_guard;
+}  // namespace
+
+// ---------------------------------------------------------------- SampleRing
+
+SampleRing::SampleRing(std::size_t slots)
+    : slots_(std::max<std::size_t>(1, slots)) {}
+
+RawSample* SampleRing::begin_push() {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head - tail >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  return &slots_[static_cast<std::size_t>(head % slots_.size())];
+}
+
+void SampleRing::commit_push() {
+  head_.store(head_.load(std::memory_order_relaxed) + 1,
+              std::memory_order_release);
+}
+
+bool SampleRing::pop(RawSample* out) {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail == head) return false;
+  *out = slots_[static_cast<std::size_t>(tail % slots_.size())];
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+std::size_t SampleRing::size() const {
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(head - tail);
+}
+
+// ------------------------------------------------------------ ProfileReport
+
+void ProfileReport::write_folded(std::ostream& os) const {
+  for (const Stack& s : stacks) {
+    os << s.frames << ' ' << s.count << '\n';
+  }
+}
+
+Json ProfileReport::to_json(std::size_t max_stacks) const {
+  Json out = Json::object();
+  out.set("format", Json::string("lowbist-profile-v1"));
+  out.set("hz", Json::number(hz));
+  out.set("samples", Json::number(samples));
+  out.set("dropped", Json::number(dropped));
+  out.set("handler_reentries", Json::number(handler_reentries));
+  out.set("threads", Json::number(threads));
+
+  Json span_arr = Json::array();
+  const double denom = samples == 0 ? 1.0 : static_cast<double>(samples);
+  for (const SpanShare& s : spans) {
+    Json o = Json::object();
+    o.set("name", Json::string(s.name));
+    o.set("self_samples", Json::number(s.self_samples));
+    o.set("total_samples", Json::number(s.total_samples));
+    o.set("self_share", Json::number(static_cast<double>(s.self_samples) /
+                                     denom));
+    o.set("total_share", Json::number(static_cast<double>(s.total_samples) /
+                                      denom));
+    span_arr.push_back(std::move(o));
+  }
+  out.set("spans", std::move(span_arr));
+
+  Json stack_arr = Json::array();
+  std::size_t limit = stacks.size();
+  if (max_stacks != 0 && max_stacks < limit) limit = max_stacks;
+  for (std::size_t i = 0; i < limit; ++i) {
+    Json o = Json::object();
+    o.set("stack", Json::string(stacks[i].frames));
+    o.set("count", Json::number(stacks[i].count));
+    stack_arr.push_back(std::move(o));
+  }
+  out.set("top_stacks", std::move(stack_arr));
+  out.set("stacks_total", Json::number(stacks.size()));
+  return out;
+}
+
+// ----------------------------------------------------------------- Profiler
+
+Profiler& Profiler::instance() {
+  static Profiler p;
+  return p;
+}
+
+void Profiler::attach_current_thread() {
+  if (t_state != nullptr) return;
+  Profiler& p = instance();
+  auto ts = std::make_shared<ProfilerThreadState>();
+  ts->tid = static_cast<pid_t>(::syscall(SYS_gettid));
+  ts->handle = ::pthread_self();
+  std::lock_guard<std::mutex> lock(p.mu_);
+  p.threads_.push_back(ts);
+  t_state = ts.get();
+  t_guard.armed = true;
+  if (p.running_.load(std::memory_order_relaxed)) p.arm_locked(*ts);
+}
+
+void Profiler::detach_current_thread() {
+  ProfilerThreadState* ts = t_state;
+  if (ts == nullptr) return;
+  Profiler& p = instance();
+  std::lock_guard<std::mutex> lock(p.mu_);
+  // Unpublish before timer_delete: a signal in the window sees null and
+  // bails; after timer_delete no further signals target this thread.
+  t_state = nullptr;
+  disarm_locked(*ts);
+  ts->alive = false;  // registry keeps the ring for a later collect()
+}
+
+void Profiler::arm_locked(ProfilerThreadState& ts) {
+  if (ts.armed || !ts.alive) return;
+  if (ts.ring.load(std::memory_order_relaxed) == nullptr) {
+    // Ring capacity is fixed at first arm for the thread's lifetime: the
+    // handler may hold a stale pointer across a stop/start, so the ring is
+    // never reallocated.
+    ts.ring_owner = std::make_unique<SampleRing>(opts_.ring_slots);
+    ts.ring.store(ts.ring_owner.get(), std::memory_order_release);
+  }
+  clockid_t clock{};
+  if (::pthread_getcpuclockid(ts.handle, &clock) != 0) return;  // exiting
+  struct sigevent sev{};
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+  sev.sigev_notify_thread_id = ts.tid;
+  if (::timer_create(clock, &sev, &ts.timer) != 0) {
+    throw Error(std::string("profiler: timer_create: ") +
+                std::strerror(errno));
+  }
+  const long period_ns = 1000000000L / opts_.hz;
+  itimerspec its{};
+  its.it_interval.tv_sec = 0;
+  its.it_interval.tv_nsec = period_ns;
+  its.it_value = its.it_interval;
+  if (::timer_settime(ts.timer, 0, &its, nullptr) != 0) {
+    const int err = errno;
+    ::timer_delete(ts.timer);
+    throw Error(std::string("profiler: timer_settime: ") +
+                std::strerror(err));
+  }
+  ts.armed = true;
+}
+
+void Profiler::disarm_locked(ProfilerThreadState& ts) {
+  if (!ts.armed) return;
+  ::timer_delete(ts.timer);
+  ts.armed = false;
+}
+
+void Profiler::start(const ProfilerOptions& opts) {
+  LBIST_CHECK(opts.hz >= 1 && opts.hz <= 10000,
+              "profiler hz must be in [1, 10000]");
+  attach_current_thread();
+  Profiler& p = instance();
+  std::lock_guard<std::mutex> lock(p.mu_);
+  if (p.running_.load(std::memory_order_relaxed)) {
+    throw Error("profiler already running");
+  }
+  p.opts_ = opts;
+  if (!p.handler_installed_) {
+    struct sigaction sa{};
+    sa.sa_sigaction = &sigprof_handler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    if (::sigaction(SIGPROF, &sa, nullptr) != 0) {
+      throw Error(std::string("profiler: sigaction: ") +
+                  std::strerror(errno));
+    }
+    p.handler_installed_ = true;
+  }
+  // backtrace()'s first call dlopens libgcc (allocates); warm it here so
+  // the signal handler never does.
+  void* warm[4];
+  ::backtrace(warm, 4);
+  p.agg_.clear();  // a start() begins a fresh profile
+  for (auto& ts : p.threads_) ts->contributed = false;
+  spanmark::set_enabled(true);
+  p.running_.store(true, std::memory_order_relaxed);
+  for (auto& ts : p.threads_) p.arm_locked(*ts);
+  // Spawned last so a throw above never leaks a running drainer.
+  p.drain_stop_ = false;
+  p.drainer_ = std::thread([&p] { p.drainer_loop(); });
+}
+
+void Profiler::stop() {
+  Profiler& p = instance();
+  std::thread drainer;
+  {
+    std::lock_guard<std::mutex> lock(p.mu_);
+    if (!p.running_.load(std::memory_order_relaxed)) return;
+    for (auto& ts : p.threads_) disarm_locked(*ts);
+    spanmark::set_enabled(false);
+    p.running_.store(false, std::memory_order_relaxed);
+    p.drain_stop_ = true;
+    drainer = std::move(p.drainer_);
+  }
+  p.drain_cv_.notify_all();
+  if (drainer.joinable()) drainer.join();
+}
+
+Profiler::~Profiler() {
+  // A profiler left running at process exit (e.g. a killed serve) must
+  // still join its drainer or ~thread() terminates.  Timers die with the
+  // process; only the thread needs shutdown.
+  std::thread drainer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drain_stop_ = true;
+    drainer = std::move(drainer_);
+  }
+  drain_cv_.notify_all();
+  if (drainer.joinable()) drainer.join();
+}
+
+/// Folds every ring's pending samples into the cumulative aggregation.
+/// Key = raw frame addresses + span-name pointers (span names are string
+/// literals, so pointer identity is name identity) — no symbolization, so
+/// this is cheap enough for the 500 ms drain cadence.
+void Profiler::drain_rings_locked() {
+  RawSample s;
+  std::string key;
+  for (auto& ts : threads_) {
+    SampleRing* ring = ts->ring.load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    while (ring->pop(&s)) {
+      ts->contributed = true;
+      key.assign(reinterpret_cast<const char*>(&s.frames[0]),
+                 sizeof(void*) * s.num_frames);
+      key.append(reinterpret_cast<const char*>(&s.spans[0]),
+                 sizeof(const char*) * s.num_spans);
+      key.push_back(static_cast<char>(s.num_frames));
+      Agg& agg = agg_[key];
+      if (agg.count == 0) agg.sample = s;
+      ++agg.count;
+    }
+  }
+}
+
+void Profiler::drainer_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!drain_stop_) {
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(500),
+                       [this] { return drain_stop_; });
+    drain_rings_locked();
+  }
+}
+
+int Profiler::hz() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opts_.hz;
+}
+
+std::uint64_t Profiler::dropped_samples() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ts : threads_) {
+    const SampleRing* ring = ts->ring.load(std::memory_order_acquire);
+    if (ring != nullptr) total += ring->dropped();
+  }
+  return total;
+}
+
+std::uint64_t Profiler::handler_reentries() {
+  return g_reentries.load(std::memory_order_relaxed);
+}
+
+ProfileReport Profiler::collect() {
+  ProfileReport rep;
+  std::vector<Agg> buckets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drain_rings_locked();  // fold anything the drainer has not seen yet
+    rep.hz = opts_.hz;
+    buckets.reserve(agg_.size());
+    for (const auto& [key, agg] : agg_) buckets.push_back(agg);
+    for (const auto& ts : threads_) {
+      if (ts->contributed) ++rep.threads;
+      const SampleRing* ring = ts->ring.load(std::memory_order_acquire);
+      if (ring != nullptr) rep.dropped += ring->dropped();
+    }
+  }
+
+  std::map<void*, std::string> symbols;
+  auto symbolize = [&symbols](void* pc) -> const std::string& {
+    auto it = symbols.find(pc);
+    if (it == symbols.end()) {
+      it = symbols.emplace(pc, resolve_pc(pc)).first;
+    }
+    return it->second;
+  };
+
+  std::map<std::string, std::uint64_t> folded;
+  std::map<std::string, SpanAgg> spans;
+  for (const Agg& bucket : buckets) {
+    const RawSample& s = bucket.sample;
+    const std::uint64_t n = bucket.count;
+    rep.samples += n;
+    const char* innermost =
+        s.num_spans > 0 ? s.spans[s.num_spans - 1] : nullptr;
+    if (innermost != nullptr) spans[innermost].self += n;
+    for (int i = 0; i < s.num_spans; ++i) {
+      bool repeated = false;  // count a recursive span once per sample
+      for (int j = 0; j < i; ++j) {
+        if (std::strcmp(s.spans[j], s.spans[i]) == 0) {
+          repeated = true;
+          break;
+        }
+      }
+      if (!repeated) spans[s.spans[i]].total += n;
+    }
+    std::string line = innermost != nullptr ? innermost : "(no span)";
+    for (char& c : line) {
+      if (c == ';' || c == ' ' || c == '\n') c = '_';
+    }
+    for (int i = s.num_frames - 1; i >= 0; --i) {
+      line += ';';
+      line += symbolize(s.frames[i]);
+    }
+    folded[line] += n;
+  }
+  rep.handler_reentries = g_reentries.load(std::memory_order_relaxed);
+
+  rep.stacks.reserve(folded.size());
+  for (auto& [frames, count] : folded) {
+    rep.stacks.push_back(ProfileReport::Stack{frames, count});
+  }
+  std::sort(rep.stacks.begin(), rep.stacks.end(),
+            [](const ProfileReport::Stack& a, const ProfileReport::Stack& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.frames < b.frames;
+            });
+
+  rep.spans.reserve(spans.size());
+  for (auto& [name, agg] : spans) {
+    rep.spans.push_back(ProfileReport::SpanShare{name, agg.self, agg.total});
+  }
+  std::sort(rep.spans.begin(), rep.spans.end(),
+            [](const ProfileReport::SpanShare& a,
+               const ProfileReport::SpanShare& b) {
+              if (a.self_samples != b.self_samples) {
+                return a.self_samples > b.self_samples;
+              }
+              return a.name < b.name;
+            });
+  return rep;
+}
+
+bool Profiler::test_enter_guard() {
+  attach_current_thread();
+  ProfilerThreadState* ts = t_state;
+  if (ts->in_handler.exchange(true, std::memory_order_relaxed)) {
+    g_reentries.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void Profiler::test_leave_guard() {
+  ProfilerThreadState* ts = t_state;
+  if (ts != nullptr) ts->in_handler.store(false, std::memory_order_relaxed);
+}
+
+void Profiler::sample_now_for_testing() {
+  attach_current_thread();
+  ProfilerThreadState* ts = t_state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ts->ring.load(std::memory_order_relaxed) == nullptr) {
+      ts->ring_owner = std::make_unique<SampleRing>(opts_.ring_slots);
+      ts->ring.store(ts->ring_owner.get(), std::memory_order_release);
+    }
+  }
+  void* warm[4];
+  ::backtrace(warm, 4);  // same warm-up start() does
+  take_sample(ts);
+}
+
+}  // namespace lbist::obs

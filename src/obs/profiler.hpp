@@ -1,0 +1,203 @@
+#pragma once
+// Span-attributed in-process sampling profiler.
+//
+// Each registered thread gets a POSIX per-thread CPU-time timer
+// (timer_create on the thread's cpuclock, SIGEV_THREAD_ID) that delivers
+// SIGPROF at `hz` (default 199 — prime, so sampling does not beat against
+// 100 Hz/1 kHz periodic work).  The async-signal-safe handler captures a
+// backtrace plus the calling thread's active span-name stack
+// (lbist::spanmark, maintained by TraceRecorder::Span) into a lock-free
+// SPSC ring; a full ring drops the sample and counts it, it never blocks.
+// While running, a background drainer folds the rings into a compact
+// cumulative aggregation (keyed by raw frame addresses, no symbolization)
+// every 500 ms, so arbitrarily long runs never saturate a ring — the ring
+// only has to absorb half a second of samples, not the whole run.
+// Symbolization (dladdr + demangle) is lazy, at collect() time, far away
+// from any signal context.
+//
+// Because samples carry the span stack, a report can be sliced by pipeline
+// pass (sched/conflict_graph/binding/interconnect/bist) or by server
+// request without any symbol-level knowledge — the key feature over a
+// plain `perf record`.  Exporters: Brendan-Gregg folded stacks (feed
+// directly to flamegraph.pl / speedscope) and a JSON report with per-span
+// self/total sample shares.
+//
+// Contracts (tested in tests/obs_test.cpp):
+//  * Not running: instrumented code paths allocate nothing and pay two
+//    relaxed atomic loads per trace_span.
+//  * CPU-time clocks: idle threads (epoll wait, cv wait) take no samples
+//    and cost nothing while blocked.
+//  * The handler is re-entrancy-guarded; nested deliveries are counted,
+//    never recursed into.
+//
+// Threads register via attach_current_thread() (the CLI attaches main,
+// ThreadPool's thread-start hook attaches workers, server shards attach in
+// shard_loop).  start()/stop() arm and disarm every registered thread;
+// threads attached while running are armed immediately.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace lbist::obs {
+
+namespace detail {
+struct ProfilerThreadState;  // per-thread timer + ring, see profiler.cpp
+struct ProfilerThreadGuard;  // TLS guard that detaches on thread exit
+}  // namespace detail
+
+struct ProfilerOptions {
+  int hz = 199;                   ///< per-thread CPU-time sampling rate
+  std::size_t ring_slots = 8192;  ///< per-thread ring capacity (samples)
+};
+
+/// One raw sample, exactly as written by the signal handler.
+struct RawSample {
+  static constexpr int kMaxFrames = 48;
+  static constexpr int kMaxSpans = 8;
+  void* frames[kMaxFrames];       ///< innermost first
+  const char* spans[kMaxSpans];   ///< outermost first (spanmark snapshot)
+  std::uint16_t num_frames = 0;
+  std::uint16_t num_spans = 0;
+};
+
+/// Lock-free single-producer (the owning thread's signal handler) /
+/// single-consumer (the collecting thread) ring of RawSamples.  A full
+/// ring rejects the push and bumps dropped() — the handler never waits.
+class SampleRing {
+ public:
+  explicit SampleRing(std::size_t slots);
+
+  /// Writer side, async-signal-safe: returns the slot to fill, or nullptr
+  /// when full (the drop is counted).  commit_push() publishes the slot.
+  [[nodiscard]] RawSample* begin_push();
+  void commit_push();
+
+  /// Reader side: pops the oldest sample.  False when empty.
+  [[nodiscard]] bool pop(RawSample* out);
+
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  std::vector<RawSample> slots_;
+  std::atomic<std::uint64_t> head_{0};  ///< writer position
+  std::atomic<std::uint64_t> tail_{0};  ///< reader position
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Aggregated, symbolized profile.
+struct ProfileReport {
+  struct Stack {
+    std::string frames;  ///< folded "span_root;outer;...;inner"
+    std::uint64_t count = 0;
+  };
+  struct SpanShare {
+    std::string name;
+    std::uint64_t self_samples = 0;   ///< innermost active span == name
+    std::uint64_t total_samples = 0;  ///< name anywhere on the span stack
+  };
+
+  int hz = 0;
+  std::uint64_t samples = 0;  ///< samples in this report
+  std::uint64_t dropped = 0;  ///< ring overflows since profiler creation
+  std::uint64_t handler_reentries = 0;
+  int threads = 0;  ///< threads that contributed >= 1 sample
+  std::vector<Stack> stacks;     ///< count desc, then frames asc
+  std::vector<SpanShare> spans;  ///< self desc, then name asc
+
+  /// Brendan-Gregg folded stacks: one "frames count" line per stack.
+  void write_folded(std::ostream& os) const;
+
+  /// JSON report; `max_stacks` caps the embedded stack list (0 = all).
+  [[nodiscard]] Json to_json(std::size_t max_stacks = 0) const;
+};
+
+/// Process-wide sampling profiler.  All methods are thread-safe.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  /// Registers the calling thread for sampling.  Idempotent and cheap;
+  /// armed immediately when the profiler is running.  Threads that never
+  /// attach simply are not sampled.
+  static void attach_current_thread();
+
+  /// Arms every registered thread and begins a fresh profile (the
+  /// cumulative aggregation from any previous start() is discarded).
+  /// Throws Error when already running or on unusable options.  Marks
+  /// spans (lbist::spanmark) for attribution.
+  void start(const ProfilerOptions& opts = {});
+
+  /// Disarms all timers and stops span marking.  No-op when not running.
+  /// Captured samples stay aggregated for a later collect().
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int hz() const;
+
+  /// Drains every thread's ring and symbolizes into an aggregated report
+  /// covering everything since the last start() — collect() is cumulative,
+  /// so a mid-run dump never steals samples from a later export.  Callable
+  /// while running.
+  [[nodiscard]] ProfileReport collect();
+
+  /// Ring overflows across all threads since process start.
+  [[nodiscard]] std::uint64_t dropped_samples() const;
+
+  /// Nested SIGPROF deliveries suppressed by the re-entrancy guard.
+  [[nodiscard]] static std::uint64_t handler_reentries();
+
+  // Test hooks: exercise the handler's re-entrancy guard and sampling path
+  // synchronously, without timers or signals (sanitizer-friendly).
+  [[nodiscard]] static bool test_enter_guard();
+  static void test_leave_guard();
+  void sample_now_for_testing();
+
+ private:
+  Profiler() = default;
+  ~Profiler();
+
+  /// One aggregated (stack, span-stack) bucket: an exemplar RawSample for
+  /// lazy symbolization plus how many times it was observed.
+  struct Agg {
+    RawSample sample;
+    std::uint64_t count = 0;
+  };
+
+  void arm_locked(detail::ProfilerThreadState& ts);
+  static void disarm_locked(detail::ProfilerThreadState& ts);
+  static void detach_current_thread();
+  void drain_rings_locked();
+  void drainer_loop();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<detail::ProfilerThreadState>> threads_;
+  ProfilerOptions opts_;
+  std::atomic<bool> running_{false};
+  bool handler_installed_ = false;
+  std::map<std::string, Agg> agg_;  ///< cumulative since last start()
+  std::thread drainer_;
+  std::condition_variable drain_cv_;
+  bool drain_stop_ = false;
+
+  friend struct detail::ProfilerThreadState;
+  friend struct detail::ProfilerThreadGuard;
+};
+
+}  // namespace lbist::obs

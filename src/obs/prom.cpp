@@ -1,6 +1,7 @@
 #include "obs/prom.hpp"
 
 #include <cstdio>
+#include <map>
 
 namespace lbist {
 
@@ -17,6 +18,29 @@ std::string fmt_value(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.10g", v);
   return buf;
+}
+
+/// Splits a `base|k=v|k2=v2` instrument name (see labeled_metric) into the
+/// base name and its embedded label pairs.
+struct ParsedName {
+  std::string base;
+  PromLabels labels;
+};
+
+ParsedName parse_instrument(const std::string& raw) {
+  ParsedName out;
+  std::size_t bar = raw.find('|');
+  out.base = raw.substr(0, bar);
+  while (bar != std::string::npos) {
+    const std::size_t start = bar + 1;
+    bar = raw.find('|', start);
+    const std::string field = raw.substr(
+        start, bar == std::string::npos ? std::string::npos : bar - start);
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos || eq == 0) continue;  // malformed; drop
+    out.labels.emplace_back(field.substr(0, eq), field.substr(eq + 1));
+  }
+  return out;
 }
 
 /// `name{labels}` (or bare name), with an optional extra label appended
@@ -46,6 +70,31 @@ void emit_header(std::string& out, const std::string& name,
   out += "# TYPE " + name + " " + type + "\n";
 }
 
+/// One series of a family: the merged label set plus the instrument's
+/// value (scalar) or summary object (histograms).
+struct Series {
+  PromLabels labels;
+  const Json* value = nullptr;
+};
+
+/// Groups a registry section's instruments by base name, so families whose
+/// members differ only in embedded labels share one TYPE/HELP header even
+/// though the registry stores them under distinct names.
+std::map<std::string, std::vector<Series>> group_families(
+    const Json& section, const PromLabels& global_labels) {
+  std::map<std::string, std::vector<Series>> families;
+  for (const std::string& raw : section.keys()) {
+    ParsedName parsed = parse_instrument(raw);
+    Series s;
+    s.labels = global_labels;
+    s.labels.insert(s.labels.end(), parsed.labels.begin(),
+                    parsed.labels.end());
+    s.value = &section.at(raw);
+    families[parsed.base].push_back(std::move(s));
+  }
+  return families;
+}
+
 }  // namespace
 
 std::string prom_metric_name(std::string_view raw) {
@@ -72,6 +121,24 @@ std::string prom_escape_label_value(std::string_view raw) {
   return out;
 }
 
+std::string labeled_metric(std::string_view base, const PromLabels& labels) {
+  std::string out(base);
+  auto sanitized = [](std::string_view s) {
+    std::string v(s);
+    for (char& c : v) {
+      if (c == '|' || c == '=') c = '_';
+    }
+    return v;
+  };
+  for (const auto& [k, v] : labels) {
+    out += '|';
+    out += sanitized(k);
+    out += '=';
+    out += sanitized(v);
+  }
+  return out;
+}
+
 std::string prometheus_exposition(const Json& registry_dump,
                                   const std::string& ns,
                                   const PromLabels& labels) {
@@ -85,48 +152,48 @@ std::string prometheus_exposition(const Json& registry_dump,
     out += series(name, labels) + " " + fmt_value(ts->as_number()) + "\n";
   }
 
-  if (const Json* counters = registry_dump.find("counters");
-      counters != nullptr && counters->is_object()) {
-    for (const std::string& raw : counters->keys()) {
-      const std::string name = prefix + prom_metric_name(raw);
-      emit_header(out, name, raw, "counter");
-      out += series(name, labels) + " " +
-             fmt_value(counters->at(raw).as_number()) + "\n";
-    }
-  }
-
-  if (const Json* gauges = registry_dump.find("gauges");
-      gauges != nullptr && gauges->is_object()) {
-    for (const std::string& raw : gauges->keys()) {
-      const std::string name = prefix + prom_metric_name(raw);
-      emit_header(out, name, raw, "gauge");
-      out += series(name, labels) + " " +
-             fmt_value(gauges->at(raw).as_number()) + "\n";
+  for (const auto& [section_key, prom_type] :
+       {std::pair<const char*, const char*>{"counters", "counter"},
+        std::pair<const char*, const char*>{"gauges", "gauge"}}) {
+    const Json* section = registry_dump.find(section_key);
+    if (section == nullptr || !section->is_object()) continue;
+    for (const auto& [base, members] : group_families(*section, labels)) {
+      const std::string name = prefix + prom_metric_name(base);
+      emit_header(out, name, base, prom_type);
+      for (const Series& s : members) {
+        out += series(name, s.labels) + " " + fmt_value(s.value->as_number()) +
+               "\n";
+      }
     }
   }
 
   if (const Json* hists = registry_dump.find("histograms");
       hists != nullptr && hists->is_object()) {
-    for (const std::string& raw : hists->keys()) {
-      const Json& h = hists->at(raw);
-      const std::string name = prefix + prom_metric_name(raw);
-      const double count = h.at("count").as_number();
-      const double mean = h.at("mean").as_number();
-      emit_header(out, name, raw, "summary");
-      out += series(name, labels, "quantile", "0.5") + " " +
-             fmt_value(h.at("p50").as_number()) + "\n";
-      out += series(name, labels, "quantile", "0.95") + " " +
-             fmt_value(h.at("p95").as_number()) + "\n";
-      out += series(name, labels, "quantile", "0.99") + " " +
-             fmt_value(h.at("p99").as_number()) + "\n";
-      out += series(name + "_sum", labels) + " " + fmt_value(mean * count) +
-             "\n";
-      out += series(name + "_count", labels) + " " + fmt_value(count) + "\n";
+    for (const auto& [base, members] : group_families(*hists, labels)) {
+      const std::string name = prefix + prom_metric_name(base);
+      emit_header(out, name, base, "summary");
+      for (const Series& s : members) {
+        const Json& h = *s.value;
+        const double count = h.at("count").as_number();
+        const double mean = h.at("mean").as_number();
+        out += series(name, s.labels, "quantile", "0.5") + " " +
+               fmt_value(h.at("p50").as_number()) + "\n";
+        out += series(name, s.labels, "quantile", "0.95") + " " +
+               fmt_value(h.at("p95").as_number()) + "\n";
+        out += series(name, s.labels, "quantile", "0.99") + " " +
+               fmt_value(h.at("p99").as_number()) + "\n";
+        out += series(name + "_sum", s.labels) + " " +
+               fmt_value(mean * count) + "\n";
+        out += series(name + "_count", s.labels) + " " + fmt_value(count) +
+               "\n";
+      }
       for (const char* bound : {"min", "max"}) {
         const std::string gname = name + "_" + bound;
-        emit_header(out, gname, raw + " " + bound, "gauge");
-        out += series(gname, labels) + " " +
-               fmt_value(h.at(bound).as_number()) + "\n";
+        emit_header(out, gname, base + " " + bound, "gauge");
+        for (const Series& s : members) {
+          out += series(gname, s.labels) + " " +
+                 fmt_value(s.value->at(bound).as_number()) + "\n";
+        }
       }
     }
   }

@@ -36,6 +36,17 @@ using PromLabels = std::vector<std::pair<std::string, std::string>>;
 /// Escapes a label value: \ -> \\, " -> \", newline -> \n.
 [[nodiscard]] std::string prom_escape_label_value(std::string_view raw);
 
+/// Encodes per-series labels into a registry instrument name:
+/// `labeled_metric("shard.conns", {{"shard", "0"}})` -> "shard.conns|shard=0".
+/// The exposition renderer splits the encoding back into real Prometheus
+/// labels and groups all series of one base name under a single
+/// `# TYPE`/`# HELP` header, so per-shard instruments registered with
+/// distinct names become one labeled metric family.  '|' and '=' inside
+/// keys/values are replaced with '_' (they are the encoding's delimiters);
+/// everything else round-trips through the exposition escaping.
+[[nodiscard]] std::string labeled_metric(std::string_view base,
+                                         const PromLabels& labels);
+
 /// Renders a `MetricsRegistry::to_json()` dump.  `ns` prefixes every
 /// metric name ("lowbist" -> lowbist_jobs_ok).
 [[nodiscard]] std::string prometheus_exposition(const Json& registry_dump,

@@ -52,6 +52,52 @@ void append_us(std::string& out, std::uint64_t ns) {
 
 }  // namespace
 
+namespace spanmark {
+
+namespace {
+
+/// Constant-initialized so the thread_local needs no guard: the SIGPROF
+/// handler may read it on a thread that never pushed a span.
+struct Stack {
+  const char* names[kMaxDepth];
+  std::atomic<int> depth;
+};
+thread_local constinit Stack t_stack{{}, {0}};
+
+}  // namespace
+
+void push(const char* name) {
+  Stack& s = t_stack;
+  const int d = s.depth.load(std::memory_order_relaxed);
+  if (d < kMaxDepth) s.names[d] = name;
+  // Order the name store before the depth bump for a same-thread signal
+  // handler; no cross-thread ordering is needed (handlers run on the
+  // owning thread).
+  std::atomic_signal_fence(std::memory_order_release);
+  s.depth.store(d + 1, std::memory_order_relaxed);
+}
+
+void pop() {
+  Stack& s = t_stack;
+  const int d = s.depth.load(std::memory_order_relaxed);
+  if (d > 0) s.depth.store(d - 1, std::memory_order_relaxed);
+}
+
+int snapshot(const char** out, int max) {
+  const Stack& s = t_stack;
+  int d = s.depth.load(std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_acquire);
+  if (d > kMaxDepth) d = kMaxDepth;  // entries past kMaxDepth were not stored
+  const int first = d > max ? d - max : 0;  // keep the innermost `max`
+  const int n = d - first;
+  for (int i = 0; i < n; ++i) out[i] = s.names[first + i];
+  return n;
+}
+
+int depth() { return t_stack.depth.load(std::memory_order_relaxed); }
+
+}  // namespace spanmark
+
 /// Per-thread event buffer.  Shared ownership: the owning thread's TLS slot
 /// and the recorder both hold a reference, so neither thread exit nor
 /// recorder export can race on a freed buffer.
@@ -195,8 +241,17 @@ void TraceRecorder::write_chrome(std::ostream& os) const {
   os << "\n]}\n";
 }
 
-TraceRecorder::Span::Span(TraceRecorder* rec, const char* name)
-    : rec_(rec), name_(name), start_ns_(rec->now_ns()) {}
+TraceRecorder::Span::Span(TraceRecorder* rec, const char* name, bool mark) {
+  if (mark) {
+    spanmark::push(name);
+    mark_ = name;
+  }
+  if (rec != nullptr) {
+    rec_ = rec;
+    name_ = name;
+    start_ns_ = rec->now_ns();
+  }
+}
 
 void TraceRecorder::Span::arg(std::string_view key, std::string_view value) {
   if (rec_ == nullptr) return;
@@ -226,6 +281,13 @@ void TraceRecorder::Span::arg_bool(std::string_view key, bool value) {
 }
 
 void TraceRecorder::Span::finish() {
+  if (mark_ != nullptr) {
+    // Pops on the finishing thread: spans must finish on the thread that
+    // opened them for profiler attribution to stay coherent (true for
+    // every RAII use in this codebase).
+    spanmark::pop();
+    mark_ = nullptr;
+  }
   if (rec_ == nullptr) return;
   TraceRecorder* rec = rec_;
   rec_ = nullptr;

@@ -41,6 +41,46 @@
 
 namespace lbist {
 
+/// Async-signal-safe per-thread stack of active span *names* — the bridge
+/// between the tracer and the sampling profiler (src/obs/profiler.hpp).
+/// When marking is enabled (profiler running), every Span pushes its name
+/// (a `const char*` that must outlive the span — in practice a string
+/// literal) onto the calling thread's stack and pops it on finish, without
+/// allocating.  The SIGPROF handler snapshots the stack to attribute each
+/// sample to the innermost active span.  The stack is fixed-size; nesting
+/// past kMaxDepth only bumps the depth counter, so deep recursion is safe
+/// (the deepest kMaxDepth names stay addressable).
+namespace spanmark {
+
+inline constexpr int kMaxDepth = 32;
+
+/// Global switch, flipped by the profiler.  Relaxed loads keep the
+/// disabled instrumentation path one predictable branch.
+inline std::atomic<bool> g_marking{false};
+
+[[nodiscard]] inline bool enabled() {
+  return g_marking.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  g_marking.store(on, std::memory_order_relaxed);
+}
+
+/// Pushes/pops a span name on the calling thread's stack.  Allocation-free
+/// and async-signal-tolerant (a handler between the two stores sees a
+/// consistent prefix).
+void push(const char* name);
+void pop();
+
+/// Copies up to `max` names of the calling thread's stack into `out`,
+/// outermost first, preferring the innermost entries when the stack is
+/// deeper than `max`.  Returns the number copied.  Async-signal-safe.
+int snapshot(const char** out, int max);
+
+/// Current nesting depth on this thread (may exceed kMaxDepth).
+[[nodiscard]] int depth();
+
+}  // namespace spanmark
+
 /// One completed span, in recorder-relative time.
 struct TraceEvent {
   std::string name;
@@ -80,10 +120,12 @@ class TraceRecorder {
       if (this != &other) {
         finish();
         rec_ = other.rec_;
+        mark_ = other.mark_;
         name_ = std::move(other.name_);
         args_ = std::move(other.args_);
         start_ns_ = other.start_ns_;
         other.rec_ = nullptr;
+        other.mark_ = nullptr;
       }
       return *this;
     }
@@ -107,19 +149,30 @@ class TraceRecorder {
 
    private:
     friend class TraceRecorder;
-    Span(TraceRecorder* rec, const char* name);
+    Span(TraceRecorder* rec, const char* name, bool mark);
 
     TraceRecorder* rec_ = nullptr;
+    const char* mark_ = nullptr;  ///< non-null: pop spanmark on finish
     std::string name_;
     std::string args_;
     std::uint64_t start_ns_ = 0;
   };
 
   /// Opens a span.  When the recorder is disabled this returns an inert
-  /// span without allocating.
+  /// span without allocating (it still marks the spanmark stack when the
+  /// profiler has marking enabled — also allocation-free).
   [[nodiscard]] Span span(const char* name) {
-    if (!enabled()) return Span{};
-    return Span{this, name};
+    if (!enabled()) {
+      if (!spanmark::enabled()) return Span{};
+      return Span{nullptr, name, true};
+    }
+    return Span{this, name, spanmark::enabled()};
+  }
+
+  /// Mark-only span: maintains the profiler's span stack without any
+  /// recorder.  Allocation-free.
+  [[nodiscard]] static Span mark_span(const char* name) {
+    return Span{nullptr, name, true};
   }
 
   /// All recorded events, merged across threads and sorted by
@@ -157,12 +210,15 @@ class TraceRecorder {
   std::uint32_t next_tid_ = 0;
 };
 
-/// The single-branch instrumentation entry point: null or disabled
-/// recorders cost one predictable branch and no work at all.
+/// The instrumentation entry point: with tracing off and the profiler not
+/// marking, this costs two relaxed loads and no work at all.  `name` must
+/// outlive the span (string literals in practice) so the profiler can
+/// reference it from samples.
 [[nodiscard]] inline TraceRecorder::Span trace_span(TraceRecorder* rec,
                                                     const char* name) {
-  if (rec == nullptr || !rec->enabled()) return TraceRecorder::Span{};
-  return rec->span(name);
+  if (rec != nullptr && rec->enabled()) return rec->span(name);
+  if (!spanmark::enabled()) return TraceRecorder::Span{};
+  return TraceRecorder::mark_span(name);
 }
 
 }  // namespace lbist

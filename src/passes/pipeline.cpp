@@ -343,6 +343,12 @@ BistSolution bist_from_json(const Json& j) {
 // The run() bodies are the former Synthesizer::run phases, verbatim: same
 // call sequence, same trace span names and args, same event feeds, so the
 // façade produces byte-identical results, traces and event streams.
+//
+// The span names (sched/conflict_graph/binding/interconnect/bist) are a
+// stable external contract, not decoration: the sampling profiler
+// attributes samples to the innermost span, check_profile.py --expect-span
+// gates CI on them, and committed profiles in docs/performance.md slice by
+// them.  Renaming one is a breaking change to every profile consumer.
 
 class SchedPass final : public Pass {
  public:

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <fstream>
 #include <ostream>
 #include <thread>
 #include <unordered_map>
@@ -17,6 +18,7 @@
 #include "net/frame.hpp"
 #include "net/listener.hpp"
 #include "net/socket.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "passes/pipeline.hpp"
@@ -103,6 +105,20 @@ struct Server::Shard {
 
   std::atomic<bool> drain{false};
   bool drain_handled = false;
+
+  // Per-shard instrument names, pre-encoded with the shard label (see
+  // labeled_metric) so the hot paths do no string building.
+  std::string m_conns;
+  std::string m_queue_depth;
+  std::string m_loop_iter_ms;
+  std::string m_outbound_hwm;
+  std::string m_dirty_wakeups;
+  std::string m_requests;
+
+  /// Jobs admitted through this shard's connections, still unanswered.
+  std::atomic<int> in_flight{0};
+  /// Largest pending outbound-buffer size seen at flush (loop thread only).
+  std::size_t outbound_hwm = 0;
 };
 
 Server::Server(ServerOptions opts)
@@ -137,6 +153,10 @@ void Server::start() {
     disk_ = std::make_unique<DiskCache>(dopts);
     cache_.attach_disk(disk_.get());
   }
+  // Workers register with the sampling profiler as they start, so a
+  // {"type":"profile"} control request can arm them live.
+  ThreadPool::set_thread_start_hook(
+      [] { obs::Profiler::attach_current_thread(); });
   pool_ = std::make_unique<ThreadPool>(ThreadPool::resolve_jobs(opts_.jobs));
   shards_.reserve(static_cast<std::size_t>(opts_.shards));
   for (int i = 0; i < opts_.shards; ++i) {
@@ -148,6 +168,22 @@ void Server::start() {
     if (i == 0) port_ = shard->listener->port();
     shard->loop.add(shard->listener->fd(), net::EventLoop::kRead,
                     kListenerTag);
+    const PromLabels shard_label = {{"shard", std::to_string(i)}};
+    shard->m_conns = labeled_metric("shard.conns", shard_label);
+    shard->m_queue_depth = labeled_metric("shard.queue_depth", shard_label);
+    shard->m_loop_iter_ms = labeled_metric("shard.loop_iter_ms", shard_label);
+    shard->m_outbound_hwm =
+        labeled_metric("shard.outbound_hwm_bytes", shard_label);
+    shard->m_dirty_wakeups =
+        labeled_metric("shard.dirty_wakeups", shard_label);
+    shard->m_requests = labeled_metric("shard.requests", shard_label);
+    // Materialize every per-shard series up front so a scrape sees all
+    // shards, including ones that never took traffic.
+    metrics_.gauge(shard->m_conns).set(0.0);
+    metrics_.gauge(shard->m_queue_depth).set(0.0);
+    metrics_.gauge(shard->m_outbound_hwm).set(0.0);
+    metrics_.counter(shard->m_dirty_wakeups);
+    metrics_.counter(shard->m_requests);
     shards_.push_back(std::move(shard));
   }
   started_ = true;
@@ -208,12 +244,34 @@ void Server::wait() {
     if (fd >= 0) ::close(fd);
     fd = -1;
   }
+  // Export the trace as part of the graceful drain: every worker has
+  // finished (pool joined above), so the recorder is quiescent and a
+  // SIGTERM'd server still leaves a complete trace behind.
+  if (opts_.trace != nullptr && !opts_.trace_path.empty()) {
+    std::ofstream trace_out(opts_.trace_path);
+    if (trace_out) {
+      opts_.trace->write_chrome(trace_out);
+      log_event(Json::object()
+                    .set("event", Json::string("trace_exported"))
+                    .set("path", Json::string(opts_.trace_path))
+                    .set("spans", Json::number(opts_.trace->event_count())));
+    } else {
+      log_event(Json::object()
+                    .set("event", Json::string("trace_export_failed"))
+                    .set("path", Json::string(opts_.trace_path)));
+    }
+  }
   log_event(Json::object()
                 .set("event", Json::string("shutdown"))
                 .set("metrics", metrics_json()));
 }
 
 void Server::shard_loop(Shard& shard) {
+  obs::Profiler::attach_current_thread();
+  Histogram& iter_ms = metrics_.histogram(shard.m_loop_iter_ms);
+  shard.loop.set_iteration_hook([&iter_ms](std::uint64_t busy_ns) {
+    iter_ms.record(static_cast<double>(busy_ns) / 1e6);
+  });
   std::vector<net::EventLoop::Ready> ready;
   std::vector<std::uint64_t> dirty;
   while (true) {
@@ -285,6 +343,8 @@ void Server::accept_burst(Shard& shard) {
                   .set("conn", Json::number(conn->id))
                   .set("shard", Json::number(shard.index)));
     shard.conns.emplace(conn->id, std::move(conn));
+    metrics_.gauge(shard.m_conns)
+        .set(static_cast<double>(shard.conns.size()));
   }
 }
 
@@ -444,6 +504,48 @@ bool Server::handle_control(Conn* conn, const std::string& line) {
       reply.set("status", Json::string("error"))
           .set("error", Json::string(e.what()));
     }
+  } else if (type == "profile") {
+    // Live profile capture, answered inline on the shard loop like
+    // health/metrics: start arms every registered thread (shards +
+    // workers), dump drains and symbolizes without stopping, stop disarms.
+    metrics_.counter("requests_profile").inc();
+    const Json* a = doc.find("action");
+    const std::string action =
+        (a != nullptr && a->is_string()) ? a->as_string() : "";
+    try {
+      obs::Profiler& prof = obs::Profiler::instance();
+      if (action == "start") {
+        obs::ProfilerOptions popts;
+        if (const Json* hz = doc.find("hz");
+            hz != nullptr && hz->is_number()) {
+          popts.hz = static_cast<int>(hz->as_number());
+        }
+        prof.start(popts);
+        metrics_.gauge("profiler.running").set(1.0);
+        reply.set("status", Json::string("ok"))
+            .set("running", Json::boolean(true))
+            .set("hz", Json::number(popts.hz));
+      } else if (action == "stop") {
+        prof.stop();
+        metrics_.gauge("profiler.running").set(0.0);
+        reply.set("status", Json::string("ok"))
+            .set("running", Json::boolean(false));
+      } else if (action == "dump") {
+        obs::ProfileReport rep = prof.collect();
+        // Cap embedded stacks so one dump line stays scrape-sized; span
+        // shares are always complete.
+        reply.set("status", Json::string("ok"))
+            .set("running", Json::boolean(prof.running()))
+            .set("profile", rep.to_json(/*max_stacks=*/200));
+      } else {
+        reply.set("status", Json::string("error"))
+            .set("error", Json::string(
+                     "profile action must be start|stop|dump"));
+      }
+    } catch (const Error& e) {
+      reply.set("status", Json::string("error"))
+          .set("error", Json::string(e.what()));
+    }
   } else if (type == "metrics") {
     reply.set("status", Json::string("ok")).set("metrics", metrics_json());
   } else if (type == "prometheus") {
@@ -461,6 +563,7 @@ bool Server::handle_control(Conn* conn, const std::string& line) {
           .set(static_cast<double>(cache_.persistent_hits()));
       metrics_.gauge("diskcache.hits").set(static_cast<double>(ds.hits));
       metrics_.gauge("diskcache.misses").set(static_cast<double>(ds.misses));
+      metrics_.gauge("diskcache.puts").set(static_cast<double>(ds.puts));
       metrics_.gauge("diskcache.evictions")
           .set(static_cast<double>(ds.evictions));
       metrics_.gauge("diskcache.entries")
@@ -469,8 +572,20 @@ bool Server::handle_control(Conn* conn, const std::string& line) {
           .set(static_cast<double>(ds.file_bytes));
       metrics_.gauge("diskcache.live_bytes")
           .set(static_cast<double>(ds.live_bytes));
+      metrics_.gauge("diskcache.budget_bytes")
+          .set(static_cast<double>(ds.budget_bytes));
       metrics_.gauge("diskcache.compactions")
           .set(static_cast<double>(ds.compactions));
+      metrics_.gauge("diskcache.dropped")
+          .set(static_cast<double>(ds.dropped));
+      metrics_.gauge("diskcache.recovered")
+          .set(static_cast<double>(ds.recovered));
+    }
+    {
+      obs::Profiler& prof = obs::Profiler::instance();
+      metrics_.gauge("profiler.running").set(prof.running() ? 1.0 : 0.0);
+      metrics_.gauge("profiler.dropped_samples")
+          .set(static_cast<double>(prof.dropped_samples()));
     }
     reply.set("status", Json::string("ok"))
         .set("body", Json::string(prometheus_exposition(metrics_)));
@@ -484,7 +599,9 @@ bool Server::handle_control(Conn* conn, const std::string& line) {
 
 void Server::submit_job(const std::shared_ptr<Conn>& conn,
                         ManifestEntry entry, std::size_t index) {
+  Shard& shard = *shards_[static_cast<std::size_t>(conn->shard)];
   metrics_.counter("requests_total").inc();
+  metrics_.counter(shard.m_requests).inc();
   // Admission control: the increment reserves a slot; over the bound the
   // request is answered immediately instead of buffering without bound.
   if (in_flight_.fetch_add(1, std::memory_order_relaxed) >=
@@ -506,9 +623,14 @@ void Server::submit_job(const std::shared_ptr<Conn>& conn,
   }
   metrics_.gauge("queue_depth")
       .set(static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
+  metrics_.gauge(shard.m_queue_depth)
+      .set(static_cast<double>(
+          shard.in_flight.fetch_add(1, std::memory_order_relaxed) + 1));
   conn->jobs_in_flight.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t span_id =
+      next_span_id_.fetch_add(1, std::memory_order_relaxed);
   const Clock::time_point admitted = Clock::now();
-  pool_->submit([this, conn, entry = std::move(entry), index,
+  pool_->submit([this, conn, entry = std::move(entry), index, span_id,
                  admitted]() mutable {
     const double waited_ms = ms_since(admitted);
     metrics_.histogram("queue_ms").record(waited_ms);
@@ -536,19 +658,39 @@ void Server::submit_job(const std::shared_ptr<Conn>& conn,
       if (span.active()) {
         span.arg("name", display_name(entry, index));
         span.arg("conn", static_cast<std::uint64_t>(conn->id));
+        span.arg("span_id", span_id);
         span.arg("status", status);
       }
     }
     append_response(conn.get(), response);
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    metrics_.histogram("request_ms").record(ms_since(admitted));
+    Shard& home = *shards_[static_cast<std::size_t>(conn->shard)];
+    metrics_.gauge(home.m_queue_depth)
+        .set(static_cast<double>(
+            home.in_flight.fetch_sub(1, std::memory_order_relaxed) - 1));
+    const double total_ms = ms_since(admitted);
+    metrics_.histogram("request_ms").record(total_ms);
+    if (opts_.slow_request_ms > 0 &&
+        total_ms > static_cast<double>(opts_.slow_request_ms)) {
+      metrics_.counter("requests_slow").inc();
+      log_event(Json::object()
+                    .set("event", Json::string("slow_request"))
+                    .set("conn", Json::number(conn->id))
+                    .set("shard", Json::number(conn->shard))
+                    .set("job", Json::number(index))
+                    .set("name", Json::string(display_name(entry, index)))
+                    .set("span_id", Json::number(span_id))
+                    .set("threshold_ms", Json::number(opts_.slow_request_ms))
+                    .set("ms", Json::number(total_ms)));
+    }
     log_event(Json::object()
                   .set("event", Json::string("request"))
                   .set("conn", Json::number(conn->id))
                   .set("job", Json::number(index))
                   .set("name", Json::string(display_name(entry, index)))
                   .set("status", Json::string(status))
-                  .set("ms", Json::number(ms_since(admitted))));
+                  .set("span_id", Json::number(span_id))
+                  .set("ms", Json::number(total_ms)));
     // Release-decrement after the append: a loop that observes zero knows
     // the response bytes are already queued.  The dirty nudge makes the
     // shard flush (and possibly retire) the connection.
@@ -574,15 +716,24 @@ void Server::flush_and_update(Shard& shard,
       conn->jobs_in_flight.load(std::memory_order_acquire) == 0;
   bool overflow = false;
   bool empty = true;
+  std::size_t pending_before = 0;
   auto status = net::OutboundBuffer::Flush::Drained;
   {
     std::lock_guard<std::mutex> lock(conn->out_mu);
     if (conn->closed) return;
     overflow = conn->overflow;
+    pending_before = conn->outbound.pending();
     if (!overflow) {
       status = conn->outbound.flush(conn->sock.fd());
       empty = conn->outbound.empty();
     }
+  }
+  // High-water mark of pending response bytes (loop thread only): how
+  // close this shard's slowest reader gets to the disconnect bound.
+  if (pending_before > shard.outbound_hwm) {
+    shard.outbound_hwm = pending_before;
+    metrics_.gauge(shard.m_outbound_hwm)
+        .set(static_cast<double>(pending_before));
   }
   if (overflow) {
     metrics_.counter("slow_reader_disconnects").inc();
@@ -623,6 +774,7 @@ void Server::close_conn(Shard& shard, std::uint64_t id) {
   shard.loop.del(conn->sock.fd());
   conn->sock.close();
   shard.conns.erase(it);
+  metrics_.gauge(shard.m_conns).set(static_cast<double>(shard.conns.size()));
   log_event(Json::object()
                 .set("event", Json::string("conn_close"))
                 .set("conn", Json::number(conn->id)));
@@ -634,6 +786,7 @@ void Server::notify_dirty(int shard_index, std::uint64_t conn_id) {
     std::lock_guard<std::mutex> lock(shard.dirty_mu);
     shard.dirty.push_back(conn_id);
   }
+  metrics_.counter(shard.m_dirty_wakeups).inc();
   shard.loop.wakeup();
 }
 

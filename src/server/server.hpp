@@ -79,6 +79,14 @@ struct ServerOptions {
   /// Optional: per-request "request" spans (with nested pipeline phase
   /// spans) are recorded here.  Borrowed; must outlive the server.
   TraceRecorder* trace = nullptr;
+  /// With `trace` set, write the Chrome trace here during wait() — i.e. as
+  /// part of the SIGTERM/SIGINT graceful drain — so a killed server still
+  /// exports its trace without the launcher's cooperation.  "" = the
+  /// caller exports (or discards) the recorder itself.
+  std::string trace_path;
+  /// Threshold for the "slow_request" log line (carries the request's span
+  /// id, connecting the log to the trace/profile).  0 = disabled.
+  int slow_request_ms = 0;
   /// Retain decision-event objects (exportable via events().write_jsonl)
   /// in addition to the always-on counters.  Off by default: a long-lived
   /// server should not accumulate an unbounded event log.
@@ -170,6 +178,7 @@ class Server {
 
   std::atomic<std::uint64_t> next_conn_id_{1};  // 0 tags the listener
   std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<std::uint64_t> next_span_id_{1};  // request span identity
 
   std::mutex log_mu_;
   int stop_pipe_[2] = {-1, -1};  // [0] read / [1] write (self-pipe)

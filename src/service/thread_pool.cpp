@@ -2,6 +2,25 @@
 
 namespace lbist {
 
+namespace {
+
+std::mutex& hook_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::function<void()>& hook_slot() {
+  static std::function<void()> hook;
+  return hook;
+}
+
+}  // namespace
+
+void ThreadPool::set_thread_start_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hook_mutex());
+  hook_slot() = std::move(hook);
+}
+
 ThreadPool::ThreadPool(int num_threads) {
   const int n = num_threads < 1 ? 1 : num_threads;
   workers_.reserve(static_cast<std::size_t>(n));
@@ -20,6 +39,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  std::function<void()> on_start;
+  {
+    std::lock_guard<std::mutex> lock(hook_mutex());
+    on_start = hook_slot();
+  }
+  if (on_start) on_start();
   while (true) {
     std::function<void()> task;
     {

@@ -62,6 +62,13 @@ class ThreadPool {
   /// the hardware concurrency" (at least 1).
   [[nodiscard]] static int resolve_jobs(int jobs);
 
+  /// Process-wide hook every worker runs once as it starts, before taking
+  /// work.  The CLI and server use it to register workers with the
+  /// sampling profiler (src/obs/profiler.hpp) — injected as a callback so
+  /// this base library keeps zero obs dependency.  Set it before
+  /// constructing pools; pass nullptr to clear.
+  static void set_thread_start_hook(std::function<void()> hook);
+
  private:
   void worker_loop();
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <new>
 #include <sstream>
@@ -17,11 +18,24 @@
 #include "binding/cbilbo_check.hpp"
 #include "core/synthesizer.hpp"
 #include "dfg/benchmarks.hpp"
+#include "dfg/random_dfg.hpp"
 #include "obs/events.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "service/metrics.hpp"
 #include "support/json.hpp"
+
+// Real-timer profiler tests deliver SIGPROF at high rates, which TSan's
+// signal interception serializes into spurious deadlock reports; the
+// logic-only paths (ring, guard, spanmark) stay covered everywhere.
+#if defined(__SANITIZE_THREAD__)
+#define LBIST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LBIST_TSAN 1
+#endif
+#endif
 
 // Global allocation counter: the disabled-tracing path promises zero
 // allocations, which we verify by replacing operator new for the whole
@@ -395,6 +409,280 @@ TEST(ObsIntegration, Ex1SynthesisEmitsPaperDecisions) {
   const Json dump = metrics.to_json();
   EXPECT_EQ(dump.at("counters").at("binding.assignments").as_number(),
             static_cast<double>(events.count("assign")));
+}
+
+// --- sampling profiler -----------------------------------------------------
+
+TEST(SpanMark, MarkingPathDoesNotAllocate) {
+  spanmark::set_enabled(true);
+  {  // warm any lazy TLS state outside the measured window
+    auto warm = trace_span(static_cast<TraceRecorder*>(nullptr), "warm");
+  }
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    auto outer = trace_span(static_cast<TraceRecorder*>(nullptr), "outer");
+    auto inner = trace_span(static_cast<TraceRecorder*>(nullptr), "inner");
+    inner.arg("k", "v");  // args are dropped on mark-only spans
+  }
+  spanmark::set_enabled(false);
+  EXPECT_EQ(g_news.load(std::memory_order_relaxed), before);
+}
+
+TEST(SpanMark, SnapshotKeepsInnermostEntriesOnDeepStacks) {
+  spanmark::set_enabled(true);
+  // 36 pushes overflow kMaxDepth (32): the excess names are not stored,
+  // but depth still tracks so the pops below unwind cleanly.
+  for (int i = 0; i < 36; ++i) spanmark::push(i % 2 == 0 ? "even" : "odd");
+  EXPECT_EQ(spanmark::depth(), 36);
+  const char* got[8];
+  const int n = spanmark::snapshot(got, 8);
+  ASSERT_EQ(n, 8);
+  for (int i = 0; i < n; ++i) {
+    // Entries 24..31 of the stored stack, outermost first.
+    EXPECT_STREQ(got[i], (24 + i) % 2 == 0 ? "even" : "odd");
+  }
+  for (int i = 0; i < 36; ++i) spanmark::pop();
+  EXPECT_EQ(spanmark::depth(), 0);
+  spanmark::push("solo");
+  EXPECT_EQ(spanmark::snapshot(got, 8), 1);
+  EXPECT_STREQ(got[0], "solo");
+  spanmark::pop();
+  spanmark::set_enabled(false);
+}
+
+TEST(SampleRing, OverflowCountsDropsInsteadOfBlocking) {
+  obs::SampleRing ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  for (std::size_t i = 0; i < ring.capacity(); ++i) {
+    obs::RawSample* slot = ring.begin_push();
+    ASSERT_NE(slot, nullptr);
+    slot->num_frames = 0;
+    slot->num_spans = 1;
+    slot->spans[0] = "filler";
+    ring.commit_push();
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(ring.begin_push(), nullptr);
+  EXPECT_EQ(ring.dropped(), 3u);
+
+  obs::RawSample out;
+  std::size_t drained = 0;
+  while (ring.pop(&out)) ++drained;
+  EXPECT_EQ(drained, ring.capacity());  // drops lost samples, kept the rest
+  EXPECT_EQ(ring.dropped(), 3u);        // accounting survives the drain
+
+  // Space reclaimed by the reader is writable again.
+  EXPECT_NE(ring.begin_push(), nullptr);
+}
+
+TEST(Profiler, HandlerReentrancyGuardCountsNestedDeliveries) {
+  ASSERT_TRUE(obs::Profiler::test_enter_guard());
+  const std::uint64_t before = obs::Profiler::handler_reentries();
+  // A SIGPROF landing while the handler runs must bounce off, counted.
+  EXPECT_FALSE(obs::Profiler::test_enter_guard());
+  EXPECT_FALSE(obs::Profiler::test_enter_guard());
+  EXPECT_EQ(obs::Profiler::handler_reentries(), before + 2);
+  obs::Profiler::test_leave_guard();
+  ASSERT_TRUE(obs::Profiler::test_enter_guard());
+  obs::Profiler::test_leave_guard();
+}
+
+TEST(Profiler, SyntheticSampleCapturesSpanStack) {
+  obs::Profiler& prof = obs::Profiler::instance();
+  spanmark::set_enabled(true);
+  {
+    auto outer = trace_span(static_cast<TraceRecorder*>(nullptr), "outer");
+    auto inner = trace_span(static_cast<TraceRecorder*>(nullptr), "inner");
+    prof.sample_now_for_testing();
+  }
+  spanmark::set_enabled(false);
+  const obs::ProfileReport rep = prof.collect();
+  ASSERT_GE(rep.samples, 1u);
+
+  auto self_of = [&](const char* name) -> std::uint64_t {
+    for (const auto& s : rep.spans) {
+      if (s.name == name) return s.self_samples;
+    }
+    return 0;
+  };
+  auto total_of = [&](const char* name) -> std::uint64_t {
+    for (const auto& s : rep.spans) {
+      if (s.name == name) return s.total_samples;
+    }
+    return 0;
+  };
+  EXPECT_GE(self_of("inner"), 1u);   // innermost gets the self sample
+  EXPECT_EQ(self_of("outer"), 0u);   // enclosing span does not
+  EXPECT_GE(total_of("outer"), 1u);  // but it is on the sample's stack
+
+  // The folded export roots the stack at the innermost span.
+  std::ostringstream os;
+  rep.write_folded(os);
+  EXPECT_NE(os.str().find("inner;"), std::string::npos);
+}
+
+TEST(Profiler, CollectIsCumulativeAcrossDumps) {
+  // A mid-run dump (the server's {"action":"dump"}) must not steal samples
+  // from a later export: collect() reports everything since start().
+  obs::Profiler& prof = obs::Profiler::instance();
+  const std::uint64_t base = prof.collect().samples;
+  for (int i = 0; i < 3; ++i) prof.sample_now_for_testing();
+  EXPECT_EQ(prof.collect().samples, base + 3);
+  for (int i = 0; i < 2; ++i) prof.sample_now_for_testing();
+  EXPECT_EQ(prof.collect().samples, base + 5);  // dump #1 stole nothing
+}
+
+#if !defined(LBIST_TSAN)
+TEST(Profiler, TimerSamplesAttributeToPipelineSpans) {
+  // Same workload shape as bench_scaling's CI tier, small enough for a
+  // test: the BIST-aware binder and the interconnect builder both burn
+  // visible CPU, so at 997 Hz both spans must collect self samples.
+  RandomDfgOptions o;
+  o.seed = 424242;
+  o.ops_per_step = 8;
+  o.num_steps = 250;
+  o.num_inputs = 12;
+  o.reuse_probability = 0.9;
+  o.chain_probability = 0.3;
+  const RandomDfg rd = make_random_dfg(o);
+  const auto protos = minimal_module_spec(rd.dfg, rd.schedule);
+  SynthesisOptions so;
+  so.binder = BinderKind::BistAware;
+  so.lifetime.hold_outputs_to_end = false;
+
+  obs::Profiler& prof = obs::Profiler::instance();
+  obs::Profiler::attach_current_thread();
+  obs::ProfilerOptions po;
+  po.hz = 997;
+  prof.start(po);
+
+  std::uint64_t binding_self = 0;
+  std::uint64_t interconnect_self = 0;
+  std::uint64_t total = 0;
+  std::string folded;
+  // Samples are statistical; keep synthesizing (bounded) until both spans
+  // have been hit rather than flaking on one unlucky scheduling run.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const SynthesisResult res =
+        Synthesizer(so).run(rd.dfg, rd.schedule, protos);
+    ASSERT_GT(res.num_registers(), 0);
+    const obs::ProfileReport rep = prof.collect();
+    total += rep.samples;
+    for (const auto& s : rep.spans) {
+      if (s.name == "binding") binding_self += s.self_samples;
+      if (s.name == "interconnect") interconnect_self += s.self_samples;
+    }
+    std::ostringstream os;
+    rep.write_folded(os);
+    folded += os.str();
+    if (binding_self > 0 && interconnect_self > 0) break;
+  }
+  prof.stop();
+
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(binding_self, 0u) << "no samples attributed to the binder";
+  EXPECT_GT(interconnect_self, 0u)
+      << "no samples attributed to the interconnect pass";
+
+  // Every folded line is "frames count" with a positive count.
+  std::istringstream lines(folded);
+  std::string line;
+  std::size_t checked = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_FALSE(line.substr(0, sp).empty());
+    EXPECT_GT(std::stoull(line.substr(sp + 1)), 0u);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Profiler, BackgroundDrainerOutrunsATinyRing) {
+  // With a 4-slot ring, a multi-second run can only keep more than 4
+  // samples if the background drainer folds the ring while sampling is
+  // still live — this is what keeps hour-long captures representative
+  // instead of freezing the first few seconds of the run.
+  obs::Profiler& prof = obs::Profiler::instance();
+  obs::Profiler::attach_current_thread();
+  obs::ProfilerOptions po;
+  po.hz = 997;
+  po.ring_slots = 4;
+  prof.start(po);
+  std::uint64_t sink = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1200);
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (std::uint64_t i = 0; i < 1000; ++i) sink += i * i;
+  }
+  // Defeats optimizing the spin away without a deprecated volatile store.
+  asm volatile("" : : "r"(sink) : "memory");
+  prof.stop();
+  const obs::ProfileReport rep = prof.collect();
+  EXPECT_GT(rep.samples, 4u);
+}
+#endif  // !LBIST_TSAN
+
+// --- labeled metric families ----------------------------------------------
+
+TEST(Prometheus, LabeledMetricEncodesAndSanitizes) {
+  EXPECT_EQ(labeled_metric("shard.conns", {{"shard", "0"}}),
+            "shard.conns|shard=0");
+  EXPECT_EQ(labeled_metric("m", {{"a", "1"}, {"b", "2"}}), "m|a=1|b=2");
+  EXPECT_EQ(labeled_metric("m", {}), "m");
+  // The encoding's delimiters cannot be smuggled through keys or values.
+  EXPECT_EQ(labeled_metric("m", {{"a|b", "c=d"}}), "m|a_b=c_d");
+}
+
+TEST(Prometheus, LabeledSeriesGroupIntoOneFamily) {
+  MetricsRegistry reg;
+  reg.counter(labeled_metric("shard.requests", {{"shard", "0"}})).inc();
+  reg.counter(labeled_metric("shard.requests", {{"shard", "1"}})).inc(2);
+  reg.gauge(labeled_metric("shard.conns", {{"shard", "1"}})).set(3);
+  const std::string text = prometheus_exposition(reg);
+
+  // Exactly one TYPE header for the family, one series per shard.
+  const std::string header = "# TYPE lowbist_shard_requests counter";
+  const std::size_t first = text.find(header);
+  ASSERT_NE(first, std::string::npos) << text;
+  EXPECT_EQ(text.find(header, first + 1), std::string::npos);
+  EXPECT_NE(text.find("lowbist_shard_requests{shard=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lowbist_shard_requests{shard=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lowbist_shard_conns{shard=\"1\"} 3"),
+            std::string::npos);
+}
+
+TEST(Prometheus, LabeledHistogramsShareSummaryHeader) {
+  MetricsRegistry reg;
+  reg.histogram(labeled_metric("shard.loop_iter_ms", {{"shard", "0"}}))
+      .record(1.0);
+  reg.histogram(labeled_metric("shard.loop_iter_ms", {{"shard", "1"}}))
+      .record(2.0);
+  const std::string text = prometheus_exposition(reg);
+
+  const std::string header = "# TYPE lowbist_shard_loop_iter_ms summary";
+  const std::size_t first = text.find(header);
+  ASSERT_NE(first, std::string::npos) << text;
+  EXPECT_EQ(text.find(header, first + 1), std::string::npos);
+  EXPECT_NE(
+      text.find("lowbist_shard_loop_iter_ms{shard=\"0\",quantile=\"0.5\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("lowbist_shard_loop_iter_ms{shard=\"1\",quantile=\"0.5\"} 2"),
+      std::string::npos);
+  EXPECT_NE(text.find("lowbist_shard_loop_iter_ms_count{shard=\"0\"} 1"),
+            std::string::npos);
+}
+
+TEST(Prometheus, EmbeddedLabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.counter(labeled_metric("c", {{"k", "a\"b\\c\nd"}})).inc();
+  const std::string text = prometheus_exposition(reg);
+  EXPECT_NE(text.find("lowbist_c{k=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos)
+      << text;
 }
 
 }  // namespace

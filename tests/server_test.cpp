@@ -17,6 +17,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -26,12 +27,25 @@
 #include "binding/module_spec.hpp"
 #include "dfg/benchmarks.hpp"
 #include "hybrid/eval.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "passes/pipeline.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
 #include "service/batch.hpp"
 #include "service/diskcache/diskcache.hpp"
 #include "support/json.hpp"
+
+// The live-profiler round trip arms real per-thread SIGPROF timers, which
+// TSan's signal interception turns into spurious reports; everything else
+// in this file stays TSan-clean.
+#if defined(__SANITIZE_THREAD__)
+#define LBIST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LBIST_TSAN 1
+#endif
+#endif
 
 namespace lbist {
 namespace {
@@ -549,6 +563,197 @@ TEST(ShardedServer, RestartRewarmsFromPersistentCache) {
   }
   ::rmdir(cache_dir.c_str());
 }
+
+// With trace_path set, the Chrome trace is exported as part of wait()'s
+// graceful drain — a SIGTERM'd server writes the file itself before the
+// final shutdown log instead of relying on the launcher surviving it.
+TEST(ServerEndToEnd, SigtermDrainExportsTraceFile) {
+  char tmpl[] = "/tmp/lowbist-server-trace-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string trace_path = std::string(tmpl) + "/trace.json";
+
+  TraceRecorder trace;
+  trace.set_enabled(true);
+  ServerOptions opts;
+  opts.handle_signals = true;
+  opts.trace = &trace;
+  opts.trace_path = trace_path;
+  Server server(std::move(opts));
+  server.start();
+
+  std::ostringstream out;
+  const ClientSummary summary =
+      run_client("127.0.0.1", server.port(), "{\"bench\": \"ex1\"}\n", out);
+  EXPECT_EQ(summary.ok, 1);
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  server.wait();  // returns only after the drain — file must exist now
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace not exported during the SIGTERM drain";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const Json doc = Json::parse(buf.str());
+  const Json& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  bool saw_request_span = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events.at(i).at("name").as_string() == "request") {
+      saw_request_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_request_span);
+
+  std::remove(trace_path.c_str());
+  ::rmdir(tmpl);
+}
+
+// Every shard pre-registers its labeled series at start, so one scrape
+// shows all shards — including ones that never took traffic — as one
+// metric family per base name.
+TEST(ShardedServer, PerShardSeriesAppearInPrometheusScrape) {
+  ServerOptions opts;
+  opts.jobs = 2;
+  opts.shards = 3;
+  Server server(std::move(opts));
+  server.start();
+  std::ostringstream out;
+  const ClientSummary summary = run_client(
+      "127.0.0.1", server.port(),
+      "{\"bench\": \"ex1\"}\n{\"type\": \"prometheus\"}\n", out);
+  server.stop();
+  EXPECT_EQ(summary.responses, 2);
+
+  std::string body;
+  for (const std::string& line : sorted_lines(out.str())) {
+    const Json j = Json::parse(line);
+    if (const Json* t = j.find("type");
+        t != nullptr && t->as_string() == "prometheus") {
+      body = j.at("body").as_string();
+    }
+  }
+  ASSERT_FALSE(body.empty());
+
+  for (const char* family :
+       {"lowbist_shard_conns", "lowbist_shard_queue_depth",
+        "lowbist_shard_requests", "lowbist_shard_dirty_wakeups",
+        "lowbist_shard_outbound_hwm_bytes"}) {
+    for (const char* shard : {"0", "1", "2"}) {
+      const std::string series =
+          std::string(family) + "{shard=\"" + shard + "\"}";
+      EXPECT_NE(body.find(series), std::string::npos)
+          << "missing series: " << series;
+    }
+    // Grouped into one family: a single TYPE header despite three series.
+    const std::string header = std::string("# TYPE ") + family + " ";
+    const std::size_t first = body.find(header);
+    ASSERT_NE(first, std::string::npos) << family;
+    EXPECT_EQ(body.find(header, first + 1), std::string::npos) << family;
+  }
+  // The profiler's scrape-side gauges ride along on every exposition.
+  EXPECT_NE(body.find("lowbist_profiler_running"), std::string::npos);
+  EXPECT_NE(body.find("lowbist_profiler_dropped_samples"),
+            std::string::npos);
+}
+
+// slow_request log lines fire past the threshold and carry the request's
+// span id, connecting the log to the trace/profile.
+TEST(ServerEndToEnd, SlowRequestsLogWithSpanId) {
+  Gate gate;
+  std::ostringstream log;
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.slow_request_ms = 1;
+  opts.log = &log;
+  opts.test_hold = gate.hold();
+  Server server(std::move(opts));
+  server.start();
+
+  std::ostringstream out;
+  ClientSummary summary;
+  std::thread client([&] {
+    summary =
+        run_client("127.0.0.1", server.port(), "{\"bench\": \"ex1\"}\n", out);
+  });
+  ASSERT_TRUE(wait_counter(server, "requests_total", 1));
+  // The held worker keeps the request in flight well past the 1 ms
+  // threshold, making the slow-request path deterministic.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.open();
+  client.join();
+  server.stop();
+
+  EXPECT_EQ(summary.ok, 1);
+  EXPECT_GE(server.metrics().counter("requests_slow").value(), 1u);
+
+  bool found = false;
+  std::istringstream lines(log.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"slow_request\"") == std::string::npos) continue;
+    const Json j = Json::parse(line);
+    EXPECT_EQ(j.at("event").as_string(), "slow_request");
+    EXPECT_GE(j.at("span_id").as_int(), 1);
+    EXPECT_EQ(j.at("threshold_ms").as_int(), 1);
+    EXPECT_GT(j.at("ms").as_number(), 1.0);
+    found = true;
+  }
+  EXPECT_TRUE(found) << log.str();
+}
+
+#if !defined(LBIST_TSAN)
+// Live profile capture against a running 3-shard server: start arms the
+// shard loops and pool workers, dump drains and symbolizes inline, stop
+// disarms — all without restarting or disturbing job traffic.
+TEST(ShardedServer, ProfileControlRoundTrip) {
+  ServerOptions opts;
+  opts.jobs = 2;
+  opts.shards = 3;
+  Server server(std::move(opts));
+  server.start();
+
+  auto control = [&](const std::string& line) {
+    std::ostringstream out;
+    const ClientSummary summary =
+        run_client("127.0.0.1", server.port(), line + "\n", out);
+    EXPECT_EQ(summary.responses, 1);
+    return Json::parse(sorted_lines(out.str()).at(0));
+  };
+
+  const Json started =
+      control("{\"type\": \"profile\", \"action\": \"start\", \"hz\": 997}");
+  EXPECT_EQ(started.at("status").as_string(), "ok");
+  EXPECT_TRUE(started.at("running").as_bool());
+  EXPECT_EQ(started.at("hz").as_int(), 997);
+
+  // Push some real work through the armed workers (distinct widths dodge
+  // the cache) so the dump has something to attribute.
+  std::ostringstream jobs_out;
+  run_client("127.0.0.1", server.port(),
+             "{\"bench\": \"paulin\", \"width\": 5}\n"
+             "{\"bench\": \"paulin\", \"width\": 6}\n"
+             "{\"bench\": \"tseng\", \"width\": 7}\n",
+             jobs_out);
+
+  const Json dumped = control("{\"type\": \"profile\", \"action\": \"dump\"}");
+  EXPECT_EQ(dumped.at("status").as_string(), "ok");
+  EXPECT_TRUE(dumped.at("running").as_bool());  // dump does not stop it
+  const Json& profile = dumped.at("profile");
+  EXPECT_EQ(profile.at("format").as_string(), "lowbist-profile-v1");
+  EXPECT_EQ(profile.at("hz").as_int(), 997);
+  EXPECT_TRUE(profile.at("spans").is_array());
+  EXPECT_TRUE(profile.at("top_stacks").is_array());
+
+  const Json bogus =
+      control("{\"type\": \"profile\", \"action\": \"bogus\"}");
+  EXPECT_EQ(bogus.at("status").as_string(), "error");
+
+  const Json stopped =
+      control("{\"type\": \"profile\", \"action\": \"stop\"}");
+  EXPECT_EQ(stopped.at("status").as_string(), "ok");
+  EXPECT_FALSE(stopped.at("running").as_bool());
+  server.stop();
+}
+#endif  // !LBIST_TSAN
 
 TEST(ClientHelpers, ParseHostPort) {
   std::string host;

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""CI shape check for sampling-profiler artifacts.
+
+Validates the folded-stack export (`--profile FILE`, bench_obs
+--profile-ops) and optionally the JSON report written next to it:
+
+    tools/check_profile.py prof.folded --json prof.folded.json \
+                           --expect-span binding --expect-span interconnect
+
+Folded file: every non-empty line must be `frames count` where frames is a
+non-empty ';'-separated stack (no empty frame) and count a positive
+integer.  JSON report: must carry the lowbist-profile-v1 format tag, a
+positive sample total, and per-span self shares that sum to <= 1.0 (each
+sample has exactly one innermost span, so the shares partition the
+samples).  --expect-span NAME (repeatable) fails unless NAME appears in
+the span table with self_samples > 0 — the end-to-end proof that span
+attribution survived signal delivery, the ring, and symbolization.
+
+Stdlib only; exit code 0 = pass, 1 = check failed, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+FORMAT_TAG = "lowbist-profile-v1"
+
+
+def fail(msg):
+    print(f"check_profile: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_folded(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_profile: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    stacks = 0
+    total = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        frames, sep, count = line.rpartition(" ")
+        if not sep or not frames:
+            fail(f"{path}:{lineno}: not 'frames count': {line!r}")
+        if not count.isdigit() or int(count) <= 0:
+            fail(f"{path}:{lineno}: count must be a positive integer, "
+                 f"got {count!r}")
+        if any(not frame for frame in frames.split(";")):
+            fail(f"{path}:{lineno}: empty frame in stack {frames!r}")
+        stacks += 1
+        total += int(count)
+    if stacks == 0:
+        fail(f"{path}: no stacks (profiled run took no samples?)")
+    print(f"  folded: {stacks} unique stacks, {total} samples")
+    return total
+
+
+def check_json(path, expected_spans):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_profile: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("format") != FORMAT_TAG:
+        fail(f"{path}: format is {doc.get('format')!r}, want {FORMAT_TAG!r}")
+    samples = doc.get("samples", 0)
+    if not isinstance(samples, int) or samples <= 0:
+        fail(f"{path}: samples must be a positive integer, got {samples!r}")
+    spans = {s["name"]: s for s in doc.get("spans", [])}
+    self_share_sum = sum(s.get("self_share", 0.0) for s in spans.values())
+    if self_share_sum > 1.0 + 1e-9:
+        fail(f"{path}: span self shares sum to {self_share_sum:.6f} > 1.0 "
+             f"(shares must partition the samples)")
+    for name, s in sorted(spans.items()):
+        if s.get("self_samples", -1) < 0 or s.get("total_samples", -1) < 0:
+            fail(f"{path}: span {name!r} has negative sample counts")
+        if s["self_samples"] > s["total_samples"]:
+            fail(f"{path}: span {name!r} self {s['self_samples']} > "
+                 f"total {s['total_samples']}")
+    for name in expected_spans:
+        if name not in spans:
+            fail(f"{path}: expected span {name!r} missing from span table "
+                 f"(have: {', '.join(sorted(spans)) or 'none'})")
+        if spans[name]["self_samples"] <= 0:
+            fail(f"{path}: expected span {name!r} took no self samples")
+    print(f"  json: {samples} samples, {len(spans)} spans, "
+          f"self shares sum {self_share_sum:.3f}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("folded", help="folded-stack export to validate")
+    ap.add_argument("--json", dest="json_path",
+                    help="JSON report written next to the folded export")
+    ap.add_argument("--expect-span", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless NAME has self samples (repeatable)")
+    args = ap.parse_args()
+
+    if args.expect_span and not args.json_path:
+        print("check_profile: --expect-span needs --json", file=sys.stderr)
+        sys.exit(2)
+
+    check_folded(args.folded)
+    if args.json_path:
+        check_json(args.json_path, args.expect_span)
+    print("check_profile: ok")
+
+
+if __name__ == "__main__":
+    main()

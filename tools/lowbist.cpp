@@ -72,6 +72,13 @@
 //   --decisions        print the binder's decision log
 //   --trace FILE       write a Chrome trace_event JSON of the pipeline's
 //                      phase spans (load in chrome://tracing / Perfetto)
+//   --profile FILE     (synth, batch, explore, serve) run the command under
+//                      the span-attributed sampling profiler; folded stacks
+//                      go to FILE (flamegraph.pl / speedscope ready) and
+//                      the JSON report to FILE.json (docs/observability.md)
+//   --profile-hz N     profiler sampling rate per thread (default 199)
+//   --slow-ms N        (serve) log a "slow_request" line (with span id) for
+//                      requests slower than N ms
 //   --trace-events FILE
 //                      write the algorithm decision-event stream (PVES
 //                      order, ΔSD choices, Case overrides, CBILBO checks,
@@ -111,6 +118,7 @@
 #include "fuzz/fuzz.hpp"
 #include "hybrid/pareto.hpp"
 #include "obs/events.hpp"
+#include "obs/profiler.hpp"
 #include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "graph/conflict.hpp"
@@ -128,6 +136,7 @@
 #include "server/server.hpp"
 #include "service/batch.hpp"
 #include "service/metrics.hpp"
+#include "service/thread_pool.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -160,6 +169,9 @@ struct CliOptions {
   std::optional<std::string> pareto;       // explore: objective set ("bist")
   std::optional<std::string> trace_path;
   std::optional<std::string> trace_events_path;
+  std::optional<std::string> profile_path;
+  int profile_hz = 199;
+  int slow_ms = 0;
   bool prom = false;
   bool binder_given = false;
   std::vector<std::string> fu;
@@ -204,7 +216,7 @@ struct CliOptions {
       "  lowbist batch <jobs.jsonl|-> [-j N] [--metrics out.json]\n"
       "                [--cache N]            (\"-\" reads stdin)\n"
       "  lowbist serve [--port P] [-j N] [--shards N] [--cache N]\n"
-      "                [--max-queue N] [--deadline-ms N]\n"
+      "                [--max-queue N] [--deadline-ms N] [--slow-ms N]\n"
       "                [--cache-dir DIR] [--cache-budget-mb N]\n"
       "  lowbist client <host:port> <jobs.jsonl|->\n"
       "  lowbist fuzz [--seed N] [--cases N] [-j N] [--width N]\n"
@@ -223,7 +235,10 @@ struct CliOptions {
       "\n"
       "observability (synth, batch, serve, explore):\n"
       "  --trace FILE         Chrome trace_event JSON of pipeline spans\n"
-      "  --trace-events FILE  algorithm decision events as JSONL\n";
+      "  --trace-events FILE  algorithm decision events as JSONL\n"
+      "  --profile FILE       span-attributed sampling profile: folded\n"
+      "                       stacks to FILE, JSON report to FILE.json\n"
+      "  --profile-hz N       sampling rate per thread (default 199)\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -327,6 +342,16 @@ CliOptions parse_args(int argc, char** argv) {
       opts.trace_path = need_value(flag);
     } else if (flag == "--trace-events") {
       opts.trace_events_path = need_value(flag);
+    } else if (flag == "--profile") {
+      opts.profile_path = need_value(flag);
+    } else if (flag == "--profile-hz") {
+      const int n = need_int(flag);
+      if (n < 1 || n > 10000) usage("flag --profile-hz needs 1..10000");
+      opts.profile_hz = n;
+    } else if (flag == "--slow-ms") {
+      const int n = need_int(flag);
+      if (n < 0) usage("flag --slow-ms needs a non-negative threshold");
+      opts.slow_ms = n;
     } else if (flag == "--prom") {
       opts.prom = true;
     } else if (flag == "-j" || flag == "--jobs") {
@@ -400,8 +425,55 @@ CliOptions parse_args(int argc, char** argv) {
       usage("unknown flag: " + flag);
     }
   }
+  if (opts.profile_path.has_value() && opts.command != "synth" &&
+      opts.command != "batch" && opts.command != "explore" &&
+      opts.command != "serve") {
+    usage("--profile is supported on synth|batch|explore|serve");
+  }
   return opts;
 }
+
+/// --profile: arms the span-attributed sampling profiler around one
+/// command; write() (after the command returns) disarms it and emits the
+/// folded stacks to FILE plus the JSON report to FILE.json.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const CliOptions& cli) : cli_(cli) {
+    if (!cli_.profile_path.has_value()) return;
+    // Pools created later (batch workers, server shards + workers, explorer
+    // pools) attach their threads through the thread-start hook; the main
+    // thread attaches here.
+    ThreadPool::set_thread_start_hook(
+        [] { obs::Profiler::attach_current_thread(); });
+    obs::Profiler::attach_current_thread();
+    obs::ProfilerOptions po;
+    po.hz = cli_.profile_hz;
+    obs::Profiler::instance().start(po);
+    active_ = true;
+  }
+
+  void write() {
+    if (!active_) return;
+    active_ = false;
+    obs::Profiler& prof = obs::Profiler::instance();
+    prof.stop();
+    const obs::ProfileReport rep = prof.collect();
+    std::ofstream folded(*cli_.profile_path);
+    if (!folded) throw Error("cannot write profile: " + *cli_.profile_path);
+    rep.write_folded(folded);
+    const std::string jpath = *cli_.profile_path + ".json";
+    std::ofstream jout(jpath);
+    if (!jout) throw Error("cannot write profile: " + jpath);
+    jout << rep.to_json().dump() << "\n";
+    std::cerr << "profile: " << rep.samples << " samples @ " << rep.hz
+              << " Hz across " << rep.threads << " threads (" << rep.dropped
+              << " dropped) -> " << *cli_.profile_path << "\n";
+  }
+
+ private:
+  const CliOptions& cli_;
+  bool active_ = false;
+};
 
 /// Observability sinks requested via --trace / --trace-events.  Built
 /// up-front, threaded through the command, flushed with write() at the end.
@@ -783,6 +855,11 @@ int cmd_serve(const CliOptions& cli) {
   opts.handle_signals = true;
   opts.log = &std::cerr;
   opts.trace = trace.get();
+  // The server exports the trace itself as part of wait()'s graceful
+  // drain, so a SIGTERM'd serve writes the file before the final shutdown
+  // log instead of depending on this frame still running afterwards.
+  if (cli.trace_path.has_value()) opts.trace_path = *cli.trace_path;
+  opts.slow_request_ms = cli.slow_ms;
   // The server always counts decision events; keep the event objects only
   // when the user asked for the JSONL export.
   opts.keep_events = cli.trace_events_path.has_value();
@@ -793,11 +870,6 @@ int cmd_serve(const CliOptions& cli) {
     std::ofstream mout(*cli.metrics_path);
     if (!mout) throw Error("cannot write metrics: " + *cli.metrics_path);
     mout << server.metrics().to_json().dump() << "\n";
-  }
-  if (trace != nullptr) {
-    std::ofstream out(*cli.trace_path);
-    if (!out) throw Error("cannot write trace: " + *cli.trace_path);
-    trace->write_chrome(out);
   }
   if (cli.trace_events_path.has_value()) {
     std::ofstream out(*cli.trace_events_path);
@@ -1076,25 +1148,32 @@ int cmd_bench(const CliOptions& cli) {
   return 0;
 }
 
+int run_command(const CliOptions& cli) {
+  if (cli.command == "synth") return cmd_synth(cli);
+  if (cli.command == "compare") return cmd_compare(cli);
+  if (cli.command == "tables") return cmd_tables(cli);
+  if (cli.command == "bench") return cmd_bench(cli);
+  if (cli.command == "schedule") return cmd_schedule(cli);
+  if (cli.command == "optimize") return cmd_optimize(cli);
+  if (cli.command == "batch") return cmd_batch(cli);
+  if (cli.command == "serve") return cmd_serve(cli);
+  if (cli.command == "client") return cmd_client(cli);
+  if (cli.command == "fuzz") return cmd_fuzz(cli);
+  if (cli.command == "explore") return cmd_explore(cli);
+  if (cli.command == "metrics") return cmd_metrics(cli);
+  if (cli.command == "version") return cmd_version(cli);
+  usage("unknown command: " + cli.command);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     CliOptions cli = parse_args(argc, argv);
-    if (cli.command == "synth") return cmd_synth(cli);
-    if (cli.command == "compare") return cmd_compare(cli);
-    if (cli.command == "tables") return cmd_tables(cli);
-    if (cli.command == "bench") return cmd_bench(cli);
-    if (cli.command == "schedule") return cmd_schedule(cli);
-    if (cli.command == "optimize") return cmd_optimize(cli);
-    if (cli.command == "batch") return cmd_batch(cli);
-    if (cli.command == "serve") return cmd_serve(cli);
-    if (cli.command == "client") return cmd_client(cli);
-    if (cli.command == "fuzz") return cmd_fuzz(cli);
-    if (cli.command == "explore") return cmd_explore(cli);
-    if (cli.command == "metrics") return cmd_metrics(cli);
-    if (cli.command == "version") return cmd_version(cli);
-    usage("unknown command: " + cli.command);
+    ProfileScope profile(cli);
+    const int rc = run_command(cli);
+    profile.write();
+    return rc;
   } catch (const lbist::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
